@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+The expensive part — sweeping every Table II configuration over the whole
+workload suite under both attack models — runs once per session and feeds
+every figure/table benchmark.
+
+Scaling: by default the sweep uses ``suite(scale=0.35)`` so the whole
+``pytest benchmarks/ --benchmark-only`` run finishes in minutes.  Set
+``REPRO_FULL_EVAL=1`` for the full-size runs reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.sim import EVALUATED_CONFIGS, run_suite
+from repro.workloads import suite
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def _scale() -> float:
+    return 1.0 if os.environ.get("REPRO_FULL_EVAL") else 0.35
+
+
+@pytest.fixture(scope="session")
+def sweep_results():
+    """Full evaluation sweep: every config x model x workload."""
+    workloads = suite(scale=_scale())
+    started = time.time()
+    results = run_suite(workloads)
+    elapsed = time.time() - started
+    print(f"\n[sweep] {len(results)} runs in {elapsed:.0f}s (scale={_scale()})")
+    return results
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(directory: pathlib.Path, name: str, text: str) -> None:
+    (directory / name).write_text(text)
+    print(f"\n{text}")

@@ -1,0 +1,92 @@
+"""Figure 6: execution time normalized to Unsafe (the paper's main result).
+
+Regenerates the figure's rows (per benchmark, per design variant, per
+attack model) from the shared sweep, writes the artifact, and asserts the
+reproduction's *shape*: protections cost time, SDO recovers most of STT's
+overhead, Perfect bounds the technique.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.common import AttackModel
+from repro.eval import build_figure6, to_csv
+
+MODELS = (AttackModel.SPECTRE, AttackModel.FUTURISTIC)
+
+
+@pytest.fixture(scope="module")
+def figure6(sweep_results):
+    return build_figure6(sweep_results)
+
+
+def test_figure6_regenerate(benchmark, sweep_results, artifact_dir):
+    figure = benchmark.pedantic(build_figure6, args=(sweep_results,), rounds=1, iterations=1)
+    for model in MODELS:
+        save_artifact(artifact_dir, f"figure6_{model.value}.txt", figure.render(model))
+        rows = [
+            [w] + [figure.data[model][c][w] for c in figure.configs]
+            for w in figure.workloads
+        ]
+        (artifact_dir / f"figure6_{model.value}.csv").write_text(
+            to_csv(["benchmark"] + list(figure.configs), rows)
+        )
+
+
+class TestFigure6Shape:
+    """The claims Figure 6 supports, checked on our reproduction."""
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_protection_costs_time_on_average(self, figure6, model):
+        for config in ("STT{ld}", "STT{ld+fp}", "Hybrid"):
+            assert figure6.average(model, config) >= 0.99
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_sdo_beats_stt_on_average(self, figure6, model):
+        """STT+SDO outperforms STT with Hybrid and the best Static."""
+        stt = figure6.average(model, "STT{ld}")
+        assert figure6.average(model, "Hybrid") < stt
+        best_static = min(
+            figure6.average(model, f"Static L{i}") for i in (1, 2, 3)
+        )
+        assert best_static < stt
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_perfect_bounds_the_predictors(self, figure6, model):
+        perfect = figure6.average(model, "Perfect")
+        assert perfect <= figure6.average(model, "Hybrid") * 1.02
+        assert perfect <= figure6.average(model, "Static L2") * 1.02
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_stt_ldfp_at_least_stt_ld(self, figure6, model):
+        assert (
+            figure6.average(model, "STT{ld+fp}")
+            >= figure6.average(model, "STT{ld}") * 0.995
+        )
+
+    def test_fp_protection_bites_in_futuristic(self, figure6):
+        """The {ld}->{ld+fp} gap is pronounced in the Futuristic model."""
+        gap = figure6.average(
+            AttackModel.FUTURISTIC, "STT{ld+fp}"
+        ) - figure6.average(AttackModel.FUTURISTIC, "STT{ld}")
+        assert gap > 0.005
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_headline_improvement(self, figure6, model):
+        """SDO improves STT substantially (paper: 36.3%..55.1% averages)."""
+        best = max(
+            figure6.improvement_over(model, config, "STT{ld}")
+            for config in ("Hybrid", "Static L2", "Static L3")
+        )
+        assert best > 0.25, f"best SDO improvement over STT{{ld}} only {best:.1%}"
+
+    def test_futuristic_overheads_exceed_spectre(self, figure6):
+        assert figure6.average(
+            AttackModel.FUTURISTIC, "STT{ld}"
+        ) >= figure6.average(AttackModel.SPECTRE, "STT{ld}") * 0.98
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_low_pressure_workloads_unaffected(self, figure6, model):
+        """Compute-bound kernels see (near-)zero overhead everywhere."""
+        for config in figure6.configs:
+            assert figure6.data[model][config]["exchange2_like"] < 1.05

@@ -1,0 +1,65 @@
+"""Figure 7: overhead breakdown for the SDO variants, averaged over the suite."""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.common import AttackModel
+from repro.eval import build_figure7
+from repro.eval.figure7 import COMPONENTS
+from repro.sim import SDO_CONFIG_NAMES
+
+MODELS = (AttackModel.SPECTRE, AttackModel.FUTURISTIC)
+
+
+@pytest.fixture(scope="module")
+def figure7(sweep_results):
+    return build_figure7(sweep_results, configs=SDO_CONFIG_NAMES)
+
+
+def test_figure7_regenerate(benchmark, sweep_results, artifact_dir):
+    figure = benchmark.pedantic(
+        build_figure7, args=(sweep_results,), kwargs={"configs": SDO_CONFIG_NAMES},
+        rounds=1, iterations=1,
+    )
+    for model in MODELS:
+        save_artifact(artifact_dir, f"figure7_{model.value}.txt", figure.render(model))
+
+
+class TestFigure7Shape:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_fractions_sum_to_one(self, figure7, model):
+        for config, parts in figure7.data[model].items():
+            if figure7.overhead_cycles[model][config] > 0:
+                assert sum(parts.values()) == pytest.approx(1.0, abs=1e-6)
+            assert set(parts) == set(COMPONENTS)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_prediction_is_a_major_source(self, figure7, model):
+        """'Inaccurate and imprecise cache level prediction is a major
+        source of overhead' — paper, Section VIII-C."""
+        for config in ("Static L1", "Static L2"):
+            parts = figure7.data[model][config]
+            prediction_share = (
+                parts["inaccurate prediction"] + parts["imprecise prediction"]
+            )
+            assert prediction_share > 0.05
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_validation_and_tlb_are_minor(self, figure7, model):
+        """'Validation stall and TLB/virtual memory protection constitute a
+        small portion of the overhead.'"""
+        for config, parts in figure7.data[model].items():
+            assert parts["validation stall"] + parts["TLB protection"] < 0.5
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_perfect_has_no_inaccuracy_share(self, figure7, model):
+        """A perfect predictor never fails an Obl-Ld, so its breakdown has
+        (essentially) no inaccurate-prediction component."""
+        parts = figure7.data[model]["Perfect"]
+        assert parts["inaccurate prediction"] < 0.25
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_perfect_still_has_overhead(self, figure7, model):
+        """'Interestingly, there is still performance overhead, even if the
+        location predictor is perfect.'"""
+        assert figure7.overhead_cycles[model]["Perfect"] > 0

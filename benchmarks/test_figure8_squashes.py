@@ -1,0 +1,54 @@
+"""Figure 8: squashes vs normalized execution time, per SDO variant."""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.common import AttackModel
+from repro.eval import build_figure8
+from repro.sim import SDO_CONFIG_NAMES
+
+MODELS = (AttackModel.SPECTRE, AttackModel.FUTURISTIC)
+
+
+@pytest.fixture(scope="module")
+def figure8(sweep_results):
+    return build_figure8(sweep_results, SDO_CONFIG_NAMES)
+
+
+def test_figure8_regenerate(benchmark, sweep_results, artifact_dir):
+    figure = benchmark.pedantic(
+        build_figure8, args=(sweep_results, SDO_CONFIG_NAMES), rounds=1, iterations=1
+    )
+    for model in MODELS:
+        text = figure.render(model)
+        text += (
+            f"\ncorrelation excl. Static L3: {figure.correlation(model):.3f}\n"
+        )
+        save_artifact(artifact_dir, f"figure8_{model.value}.txt", text)
+
+
+class TestFigure8Shape:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_every_sdo_variant_has_a_point(self, figure8, model):
+        assert set(figure8.by_config(model)) == set(SDO_CONFIG_NAMES)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_perfect_squashes_least(self, figure8, model):
+        """The oracle never fails an Obl-Ld; only FP subnormal mispredicts
+        (statically predicted) remain."""
+        points = figure8.by_config(model)
+        perfect = points["Perfect"].squashes
+        assert perfect <= min(points[c].squashes for c in points) + 1e-9
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_static_l1_squashes_most_among_statics(self, figure8, model):
+        """Predicting L1 always is the least accurate static choice."""
+        points = figure8.by_config(model)
+        assert points["Static L1"].squashes >= points["Static L2"].squashes
+        assert points["Static L1"].squashes >= points["Static L3"].squashes
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_overhead_correlates_with_squashes(self, figure8, model):
+        """'Performance overhead is roughly proportional to the number of
+        squashes' (Static L3 excluded, as in the paper)."""
+        assert figure8.correlation(model) > 0.3

@@ -1,0 +1,43 @@
+"""Sensitivity sweeps: how the STT-vs-SDO gap moves with the machine.
+
+Not a paper figure — the extension a reviewer would ask for.  Artifacts are
+written next to the other reproduction outputs.
+"""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.eval.sweeps import dram_latency_variant, rob_variant, sweep
+from repro.workloads import make_indirect_stream
+
+_WORKLOAD = make_indirect_stream(
+    "sensitivity", table_words=16 * 1024, iterations=250, seed=31
+)
+
+
+def test_rob_sensitivity(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        sweep,
+        args=(_WORKLOAD, [rob_variant(n) for n in (64, 128, 192, 384)]),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(artifact_dir, "sweep_rob.txt", result.render())
+    # A bigger window lets the insecure machine hide more latency, but STT's
+    # delays scale with it too: the gap persists at every size.
+    for variant in result.variants:
+        assert result.table[variant]["STT{ld}"] >= result.table[variant]["Perfect"] * 0.98
+
+
+def test_dram_latency_sensitivity(benchmark, artifact_dir):
+    result = benchmark.pedantic(
+        sweep,
+        args=(_WORKLOAD, [dram_latency_variant(n) for n in (50, 100, 200)]),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(artifact_dir, "sweep_dram.txt", result.render())
+    # Slower DRAM widens taint windows: STT's normalized cost should not
+    # shrink as DRAM gets slower.
+    stt = [result.table[v]["STT{ld}"] for v in result.variants]
+    assert stt[-1] >= stt[0] * 0.9

@@ -1,0 +1,40 @@
+"""Raw simulator performance: cycles simulated per second.
+
+Not a paper artifact — a regression guard for the engine itself, so that
+instrumentation added later doesn't silently make the reproduction sweep
+intractable.
+"""
+
+import pytest
+
+from repro.common import AttackModel
+from repro.sim import config_by_name, run_workload
+from repro.workloads import make_indirect_stream
+
+_WORKLOAD = make_indirect_stream(
+    "bench_kernel", table_words=8192, iterations=250, seed=5
+)
+
+
+@pytest.mark.parametrize("config_name", ["Unsafe", "STT{ld}", "Hybrid"])
+def test_simulation_throughput(benchmark, config_name):
+    config = config_by_name(config_name)
+    metrics = benchmark.pedantic(
+        run_workload,
+        args=(_WORKLOAD, config, AttackModel.SPECTRE),
+        rounds=3,
+        iterations=1,
+    )
+    assert metrics.instructions > 500
+
+
+def test_golden_check_cost(benchmark):
+    """The ISS shadow check should not dominate simulation time."""
+    config = config_by_name("Unsafe")
+    benchmark.pedantic(
+        run_workload,
+        args=(_WORKLOAD, config, AttackModel.SPECTRE),
+        kwargs={"check_golden": False},
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,35 @@
+"""Tables I and II: regenerated from the live configuration objects."""
+
+from benchmarks.conftest import save_artifact
+from repro.common.config import MachineConfig
+from repro.eval.tables import render_table1, render_table2, table1_rows, table2_rows
+
+
+def test_table1_regenerate(benchmark, artifact_dir):
+    text = benchmark.pedantic(render_table1, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "table1.txt", text)
+
+
+def test_table2_regenerate(benchmark, artifact_dir):
+    text = benchmark.pedantic(render_table2, rounds=1, iterations=1)
+    save_artifact(artifact_dir, "table2.txt", text)
+
+
+def test_table1_matches_paper_parameters():
+    rows = {name: params for name, params in table1_rows(MachineConfig())}
+    assert "8 fetch/decode/issue/commit" in rows["Pipeline"]
+    assert "32/32 SQ/LQ" in rows["Pipeline"]
+    assert "192 ROB" in rows["Pipeline"]
+    assert rows["L1 D-Cache"].startswith("32KB, 64B line, 8-way, 2-cycle")
+    assert rows["L2 Cache"].startswith("256KB, 64B line, 8-way, 12-cycle")
+    assert rows["L3 Cache"].startswith("2048KB, 64B line, 8-way, 40-cycle")
+    assert rows["Network"].startswith("4x2 mesh")
+    assert rows["Coherence Protocol"] == "Directory-based MESI protocol"
+
+
+def test_table2_matches_paper_variants():
+    names = [name for name, _ in table2_rows()]
+    assert names == [
+        "Unsafe", "STT{ld}", "STT{ld+fp}",
+        "Static L1", "Static L2", "Static L3", "Hybrid", "Perfect",
+    ]

@@ -1,0 +1,64 @@
+"""Table III: precision and accuracy of the evaluated SDO predictors."""
+
+import pytest
+
+from benchmarks.conftest import save_artifact
+from repro.common import AttackModel
+from repro.eval.tables import render_table3, table3_rows
+
+MODELS = (AttackModel.SPECTRE, AttackModel.FUTURISTIC)
+
+
+@pytest.fixture(scope="module")
+def table3(sweep_results):
+    rows = table3_rows(sweep_results)
+    return {row[0]: row[1:] for row in rows}
+
+
+def test_table3_regenerate(benchmark, sweep_results, artifact_dir):
+    text = benchmark.pedantic(render_table3, args=(sweep_results,), rounds=1, iterations=1)
+    save_artifact(artifact_dir, "table3.txt", text)
+
+
+class TestTable3Shape:
+    """Paper: Hybrid has the highest precision, followed by Static L1;
+    Static L2/L3 have low precision but higher accuracy."""
+
+    def _cell(self, table3, config, model, kind):
+        index = {"prec": 0, "acc": 1}[kind] + (0 if model is AttackModel.SPECTRE else 2)
+        value = table3[config][index]
+        assert value != "-", f"no predictions recorded for {config}"
+        return value
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_statics_precision_equals_accuracy_for_l1(self, table3, model):
+        prec = self._cell(table3, "Static L1", model, "prec")
+        acc = self._cell(table3, "Static L1", model, "acc")
+        assert prec == pytest.approx(acc, abs=1e-9)
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_accuracy_monotone_in_static_depth(self, table3, model):
+        """Predicting deeper is never less accurate (i <= j is easier)."""
+        l1 = self._cell(table3, "Static L1", model, "acc")
+        l2 = self._cell(table3, "Static L2", model, "acc")
+        l3 = self._cell(table3, "Static L3", model, "acc")
+        assert l1 <= l2 + 1e-9 <= l3 + 2e-9
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_deep_statics_are_imprecise(self, table3, model):
+        """Static L2/L3 precision is far below their accuracy."""
+        for config in ("Static L2", "Static L3"):
+            prec = self._cell(table3, config, model, "prec")
+            acc = self._cell(table3, config, model, "acc")
+            assert prec < acc
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_hybrid_beats_deep_statics_on_precision(self, table3, model):
+        hybrid = self._cell(table3, "Hybrid", model, "prec")
+        assert hybrid > self._cell(table3, "Static L2", model, "prec")
+        assert hybrid > self._cell(table3, "Static L3", model, "prec")
+
+    @pytest.mark.parametrize("model", MODELS)
+    def test_perfect_is_perfect(self, table3, model):
+        assert self._cell(table3, "Perfect", model, "prec") == pytest.approx(100.0)
+        assert self._cell(table3, "Perfect", model, "acc") == pytest.approx(100.0)

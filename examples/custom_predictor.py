@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Extending SDO: plug a custom location predictor into the framework.
+
+Section V-D: "The goal of this paper is to show the SDO framework is
+viable, not to invent a state-of-the-art predictor."  This example does
+what a follow-up paper would: implements a new predictor against the
+:class:`~repro.core.predictors.LocationPredictor` interface — a two-level
+predictor that keys on (PC, last-observed level) — and races it against the
+paper's Static/Hybrid/Perfect predictors on a workload whose loads
+alternate between L1 and L2 residence.
+
+Run:  python examples/custom_predictor.py
+"""
+
+from repro.common import AttackModel, MemLevel
+from repro.core import SdoProtection
+from repro.core.predictors import (
+    HybridPredictor,
+    LocationPredictor,
+    PerfectPredictor,
+    StaticPredictor,
+)
+from repro.eval import render_table
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import Core
+from repro.common.config import MachineConfig, ProtectionConfig, ProtectionKind, PredictorKind
+from repro.workloads import make_indirect_stream
+
+
+class TwoLevelPredictor(LocationPredictor):
+    """Predicts from a (PC, previous level) Markov table.
+
+    Captures alternating patterns (L1, L2, L1, L2, ...) that the greedy
+    component smears and the loop component only sees as period 2.
+    """
+
+    name = "TwoLevel"
+
+    def __init__(self) -> None:
+        self._last: dict[int, MemLevel] = {}
+        self._table: dict[tuple[int, MemLevel], MemLevel] = {}
+
+    def predict(self, pc: int, oracle_hint: MemLevel | None = None) -> MemLevel:
+        last = self._last.get(pc, MemLevel.L1)
+        return self._table.get((pc, last), MemLevel.L1)
+
+    def update(self, pc: int, actual: MemLevel) -> None:
+        last = self._last.get(pc, MemLevel.L1)
+        self._table[(pc, last)] = actual
+        self._last[pc] = actual
+
+
+def run_with(predictor: LocationPredictor, workload) -> tuple[float, float, float]:
+    machine = MachineConfig().with_protection(
+        ProtectionConfig(
+            kind=ProtectionKind.STT_SDO,
+            predictor=PredictorKind.HYBRID,  # label only; we inject our own
+            fp_transmitters=True,
+        )
+    )
+    protection = SdoProtection(predictor, attack_model=AttackModel.SPECTRE)
+    hierarchy = MemoryHierarchy(machine)
+    core = Core(workload.program, config=machine, protection=protection, hierarchy=hierarchy)
+    hierarchy.warm(workload.warm_addresses)
+    result = core.run()
+    return result.cycles, protection.precision, protection.accuracy
+
+
+def main() -> None:
+    workload = make_indirect_stream(
+        "alternating",
+        table_words=16 * 1024,  # L2-resident overall; hot subset in L1
+        iterations=500,
+        seed=3,
+    )
+    rows = []
+    for predictor in (
+        StaticPredictor(MemLevel.L1),
+        StaticPredictor(MemLevel.L2),
+        HybridPredictor(),
+        TwoLevelPredictor(),
+        PerfectPredictor(),
+    ):
+        cycles, precision, accuracy = run_with(predictor, workload)
+        rows.append([predictor.name, cycles, f"{precision:.1%}", f"{accuracy:.1%}"])
+    print(render_table(["predictor", "cycles", "precision", "accuracy"], rows,
+                       title="Custom predictor vs the paper's predictors"))
+    print("Any LocationPredictor subclass drops straight into SdoProtection;")
+    print("predict() sees only the PC — never the address — so the framework's")
+    print("security argument (Claim 1) holds for custom predictors too.")
+
+
+if __name__ == "__main__":
+    main()

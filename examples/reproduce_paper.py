@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs the full sweep — every Table II design variant, both attack models,
+the whole workload suite — then renders Figure 6 (normalized execution
+time), Figure 7 (overhead breakdown), Figure 8 (squashes vs time),
+Table I, Table II and Table III, and writes CSVs next to the text output.
+
+Run:  python examples/reproduce_paper.py [--quick] [--out DIR]
+
+``--quick`` scales workload iteration counts down ~4x (minutes instead of
+tens of minutes); the shapes survive, the exact numbers move a little.
+"""
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.common import AttackModel
+from repro.eval import build_figure6, build_figure7, build_figure8, to_csv
+from repro.eval.tables import render_table1, render_table2, render_table3, table3_rows
+from repro.sim import EVALUATED_CONFIGS, SDO_CONFIG_NAMES, run_suite
+from repro.workloads import suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="~4x smaller workloads")
+    parser.add_argument("--out", default="results", help="output directory for CSVs")
+    args = parser.parse_args(argv)
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    workloads = suite(scale=0.25 if args.quick else 1.0)
+
+    started = time.time()
+    total = len(workloads) * len(EVALUATED_CONFIGS) * 2
+    done = [0]
+
+    def progress(workload: str, config: str, model: AttackModel) -> None:
+        done[0] += 1
+        elapsed = time.time() - started
+        print(
+            f"\r[{done[0]:3d}/{total}] {elapsed:6.0f}s  {model.value:10s} "
+            f"{workload:18s} {config:12s}",
+            end="",
+            flush=True,
+        )
+
+    results = run_suite(workloads, progress=progress)
+    print(f"\nsweep finished in {time.time() - started:.0f}s\n")
+
+    print(render_table1())
+    print(render_table2())
+
+    figure6 = build_figure6(results)
+    for model in (AttackModel.SPECTRE, AttackModel.FUTURISTIC):
+        print(figure6.render(model))
+        for config in ("Hybrid", "Static L2", "Perfect"):
+            for baseline in ("STT{ld}", "STT{ld+fp}"):
+                improvement = figure6.improvement_over(model, config, baseline)
+                print(
+                    f"  {config} improves {baseline} by {improvement:.1%} "
+                    f"({model.value})"
+                )
+        print()
+        csv_rows = [
+            [workload] + [figure6.data[model][config][workload] for config in figure6.configs]
+            for workload in figure6.workloads
+        ]
+        (out_dir / f"figure6_{model.value}.csv").write_text(
+            to_csv(["benchmark"] + list(figure6.configs), csv_rows)
+        )
+
+    figure7 = build_figure7(results, configs=SDO_CONFIG_NAMES)
+    for model in (AttackModel.SPECTRE, AttackModel.FUTURISTIC):
+        print(figure7.render(model))
+
+    figure8 = build_figure8(results, SDO_CONFIG_NAMES)
+    for model in (AttackModel.SPECTRE, AttackModel.FUTURISTIC):
+        print(figure8.render(model))
+        print(
+            f"  squashes-vs-time correlation (excl. Static L3): "
+            f"{figure8.correlation(model):.2f}\n"
+        )
+
+    print(render_table3(results))
+    (out_dir / "table3.csv").write_text(
+        to_csv(
+            ["config", "spectre_prec", "spectre_acc", "futuristic_prec", "futuristic_acc"],
+            table3_rows(results),
+        )
+    )
+    print(f"CSV artifacts written to {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

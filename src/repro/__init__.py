@@ -1,0 +1,37 @@
+"""repro — Speculative Data-Oblivious Execution (SDO, ISCA 2020) in Python.
+
+A full reproduction of Yu et al.'s SDO on a from-scratch simulation stack:
+a speculative out-of-order core, a banked/sliced cache hierarchy, STT
+taint tracking, and the SDO framework (Obl-Ld + location predictors +
+Obl-FP) on top.  See README.md for the tour, DESIGN.md for the system
+inventory, EXPERIMENTS.md for paper-vs-measured results.
+
+The most useful entry points:
+
+>>> from repro import run_workload, config_by_name, suite, AttackModel
+>>> metrics = run_workload(suite()[1], config_by_name("Hybrid"),
+...                        AttackModel.SPECTRE)      # doctest: +SKIP
+>>> from repro.security import run_spectre_v1
+>>> run_spectre_v1("Unsafe").leaked                  # doctest: +SKIP
+True
+"""
+
+from repro.common.config import AttackModel, MachineConfig, MemLevel
+from repro.sim.configs import EVALUATED_CONFIGS, config_by_name
+from repro.sim.runner import RunMetrics, run_suite, run_workload
+from repro.workloads.spec17 import suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackModel",
+    "EVALUATED_CONFIGS",
+    "MachineConfig",
+    "MemLevel",
+    "RunMetrics",
+    "config_by_name",
+    "run_suite",
+    "run_workload",
+    "suite",
+    "__version__",
+]

@@ -1,0 +1,75 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``     — print Table I (machine) and Table II (variants)
+* ``spectre``  — run the Spectre V1 penetration test across all configs
+* ``run``      — run one workload under one configuration and print metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import AttackModel
+from repro.eval.report import render_table
+from repro.eval.tables import render_table1, render_table2
+from repro.sim.configs import EVALUATED_CONFIGS, config_by_name
+from repro.sim.runner import run_workload
+from repro.workloads.spec17 import SPEC17_SUITE, workload_by_name
+
+
+def _cmd_info(_args) -> int:
+    print(render_table1())
+    print(render_table2())
+    names = ", ".join(w.name for w in SPEC17_SUITE)
+    print(f"workloads: {names}")
+    return 0
+
+
+def _cmd_spectre(args) -> int:
+    from repro.security.spectre_v1 import run_spectre_v1
+
+    rows = []
+    for config in EVALUATED_CONFIGS:
+        result = run_spectre_v1(config, AttackModel(args.model), secret=args.secret)
+        rows.append([config.name, "LEAKED" if result.leaked else "blocked",
+                     result.recovered if result.recovered is not None else "-"])
+    print(render_table(["configuration", "outcome", "recovered"], rows,
+                       title=f"Spectre V1, secret={args.secret}, model={args.model}"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    workload = workload_by_name(args.workload)
+    config = config_by_name(args.config)
+    metrics = run_workload(workload, config, AttackModel(args.model))
+    print(f"{workload.name} under {config.name} ({args.model}):")
+    print(f"  cycles       {metrics.cycles}")
+    print(f"  instructions {metrics.instructions}")
+    print(f"  IPC          {metrics.ipc:.3f}")
+    if metrics.stats.get("stt.sdo.predictions"):
+        print(f"  precision    {metrics.predictor_precision:.1%}")
+        print(f"  accuracy     {metrics.predictor_accuracy:.1%}")
+        print(f"  SDO squashes {metrics.squashes:.0f}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="print machine and variant tables")
+    spectre = sub.add_parser("spectre", help="run the Spectre V1 penetration test")
+    spectre.add_argument("--secret", type=int, default=5)
+    spectre.add_argument("--model", choices=["spectre", "futuristic"], default="spectre")
+    run = sub.add_parser("run", help="run one workload under one configuration")
+    run.add_argument("workload")
+    run.add_argument("config")
+    run.add_argument("--model", choices=["spectre", "futuristic"], default="spectre")
+    args = parser.parse_args(argv)
+    return {"info": _cmd_info, "spectre": _cmd_spectre, "run": _cmd_run}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

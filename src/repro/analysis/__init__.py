@@ -1,0 +1,22 @@
+"""Post-run analysis instruments.
+
+These attach to a :class:`~repro.pipeline.core.Core` *before* a run and
+collect per-instruction observations that the aggregate counters can't
+express:
+
+* :class:`PipelineTimeline` — per-uop fetch/issue/complete/commit cycles
+  with a text pipeline-diagram renderer (a poor man's Konata);
+* :class:`TaintWindowProbe` — the distribution of taint-window lengths
+  (cycles between a protected load becoming ready and becoming safe),
+  which is the quantity STT's delay and SDO's prediction both race against;
+* :class:`MlpProbe` — overlapped-miss statistics, the memory-level
+  parallelism that STT's delays destroy and SDO recovers.
+
+All instruments are observation-only: attaching them never changes timing
+(verified by test).
+"""
+
+from repro.analysis.timeline import PipelineTimeline, UopRecord
+from repro.analysis.probes import MlpProbe, TaintWindowProbe
+
+__all__ = ["MlpProbe", "PipelineTimeline", "TaintWindowProbe", "UopRecord"]

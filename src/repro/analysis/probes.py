@@ -1,0 +1,135 @@
+"""Taint-window and memory-level-parallelism probes.
+
+Both quantities explain *why* the Figure 6 numbers come out the way they
+do:
+
+* the **taint window** of a protected load is the time between "operands
+  ready" and "operands safe".  STT stalls the load for the whole window;
+  SDO hides it behind an oblivious lookup.  The distribution (collected by
+  :class:`TaintWindowProbe`) shows how much there is to win.
+* **MLP** is the number of long-latency loads in flight simultaneously.
+  STT's delays serialize dependent-miss chains (MLP -> 1); SDO restores the
+  overlap.  :class:`MlpProbe` samples in-flight miss counts per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import MemLevel
+from repro.common.stats import Histogram
+from repro.pipeline.core import Core
+from repro.pipeline.uop import DynInst
+
+
+class TaintWindowProbe:
+    """Histogram of (safe_cycle - ready_cycle) per protected load.
+
+    Ready is approximated by the load's first delayed/issued cycle; safe is
+    when the protection declared the output safe (event C) — for loads that
+    were never tainted the window is 0 and is *not* recorded.
+    """
+
+    def __init__(self, core: Core) -> None:
+        self.core = core
+        self.windows = Histogram()
+        self._ready_at: dict[int, int] = {}
+        self._wrap(core)
+
+    def _wrap(self, core: Core) -> None:
+        from repro.pipeline.protection import LoadIssueAction
+
+        original_decision = core.protection.load_issue_decision
+        original_safe = core._on_became_safe
+
+        def decision(uop: DynInst):
+            result = original_decision(uop)
+            if uop.seq not in self._ready_at:
+                self._ready_at[uop.seq] = core.cycle
+            if (
+                result.action is not LoadIssueAction.DELAY
+                and uop.delayed_cycles > 0
+            ):
+                # An STT-delayed load finally issuing: its window just closed.
+                self.windows.add(max(0, core.cycle - self._ready_at[uop.seq]))
+            return result
+
+        def became_safe(uop: DynInst):
+            ready = self._ready_at.get(uop.seq)
+            if ready is not None and uop.is_load and uop.delayed_cycles == 0:
+                # An Obl-Ld that issued immediately: window closes at C.
+                self.windows.add(max(0, core.cycle - ready))
+            original_safe(uop)
+
+        core.protection.load_issue_decision = decision
+        core._on_became_safe = became_safe
+
+    @property
+    def mean_window(self) -> float:
+        return self.windows.mean
+
+    def percentile(self, p: float) -> int:
+        return self.windows.percentile(p)
+
+
+@dataclass
+class MlpSample:
+    cycle: int
+    outstanding: int
+
+
+class MlpProbe:
+    """Samples the number of outstanding long-latency loads per cycle.
+
+    A load counts as outstanding between issue and completion if its
+    residence was below the L1 (it is a "miss" from the core's viewpoint).
+    """
+
+    def __init__(self, core: Core, sample_every: int = 1) -> None:
+        self.core = core
+        self.sample_every = max(1, sample_every)
+        self.samples: list[MlpSample] = []
+        self._in_flight: dict[int, int] = {}  # seq -> issue cycle
+        self._wrap(core)
+
+    def _wrap(self, core: Core) -> None:
+        original_normal = core._issue_load_normal
+        original_obl = core._issue_load_oblivious
+        original_writeback = core._writeback
+        original_step = core.step
+
+        def issue_normal(uop, forward):
+            original_normal(uop, forward)
+            if uop.actual_level is not None and uop.actual_level > MemLevel.L1:
+                self._in_flight[uop.seq] = core.cycle
+            return None
+
+        def issue_obl(uop, forward, level):
+            original_obl(uop, forward, level)
+            if uop.actual_level is not None and uop.actual_level > MemLevel.L1:
+                self._in_flight[uop.seq] = core.cycle
+
+        def writeback(uop, value):
+            original_writeback(uop, value)
+            self._in_flight.pop(uop.seq, None)
+
+        def step():
+            original_step()
+            if core.cycle % self.sample_every == 0 and self._in_flight:
+                self.samples.append(MlpSample(core.cycle, len(self._in_flight)))
+
+        core._issue_load_normal = issue_normal
+        core._issue_load_oblivious = issue_obl
+        core._writeback = writeback
+        core.step = step
+
+    @property
+    def mean_mlp(self) -> float:
+        """Average outstanding misses over cycles that had any."""
+        if not self.samples:
+            return 0.0
+        return sum(s.outstanding for s in self.samples) / len(self.samples)
+
+    @property
+    def peak_mlp(self) -> int:
+        return max((s.outstanding for s in self.samples), default=0)

@@ -1,0 +1,149 @@
+"""Per-uop pipeline timeline recording and rendering.
+
+Wraps a core's dispatch/issue/writeback/commit paths with observation-only
+hooks and renders a text pipeline diagram::
+
+    seq   pc  instruction           F----D--I=====C......R
+    12     4  load r6 r10 4194304   |39   43 45    58     71
+
+Legend: F fetch, D dispatch/rename, I issue, C complete, R retire; a
+``squashed`` column marks uops that never retired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.core import Core
+from repro.pipeline.uop import DynInst
+
+
+@dataclass
+class UopRecord:
+    seq: int
+    pc: int
+    text: str
+    fetched: int = -1
+    dispatched: int = -1
+    issued: int = -1
+    completed: int = -1
+    retired: int = -1
+    squashed: bool = False
+    was_oblivious: bool = False
+    was_delayed_cycles: int = 0
+
+    @property
+    def latency(self) -> int | None:
+        if self.retired < 0 or self.fetched < 0:
+            return None
+        return self.retired - self.fetched
+
+
+class PipelineTimeline:
+    """Attach before ``core.run()``; read ``records`` afterwards."""
+
+    def __init__(self, core: Core, capacity: int = 100_000) -> None:
+        self.core = core
+        self.capacity = capacity
+        self.records: dict[int, UopRecord] = {}
+        self._wrap(core)
+
+    def _record_for(self, uop: DynInst) -> UopRecord | None:
+        record = self.records.get(uop.seq)
+        if record is None:
+            if len(self.records) >= self.capacity:
+                return None
+            record = UopRecord(uop.seq, uop.pc, str(uop.inst))
+            record.fetched = self.core.cycle
+            self.records[uop.seq] = record
+        return record
+
+    def _wrap(self, core: Core) -> None:
+        original_rename = core._rename
+        original_writeback = core._writeback
+        original_commit = core._do_commit
+        original_squash = core._squash_after
+
+        def rename(uop):
+            ok = original_rename(uop)
+            if ok:
+                record = self._record_for(uop)
+                if record:
+                    record.dispatched = core.cycle
+            return ok
+
+        def writeback(uop, value):
+            record = self.records.get(uop.seq)
+            already = uop.completed
+            original_writeback(uop, value)
+            if record and not already:
+                record.completed = core.cycle
+                if uop.issue_cycle >= 0:
+                    record.issued = uop.issue_cycle
+                record.was_oblivious = uop.obl_response is not None
+                record.was_delayed_cycles = uop.delayed_cycles
+
+        def commit(uop):
+            original_commit(uop)
+            record = self.records.get(uop.seq)
+            if record:
+                record.retired = core.cycle
+                if uop.issue_cycle >= 0:
+                    record.issued = uop.issue_cycle
+
+        def squash(seq, refetch_pc):
+            count = original_squash(seq, refetch_pc)
+            for record_seq, record in self.records.items():
+                if record_seq > seq and record.retired < 0:
+                    record.squashed = True
+            return count
+
+        core._rename = rename
+        core._writeback = writeback
+        core._do_commit = commit
+        core._squash_after = squash
+
+    # ------------------------------------------------------------------ #
+
+    def retired_records(self) -> list[UopRecord]:
+        return sorted(
+            (r for r in self.records.values() if r.retired >= 0),
+            key=lambda r: r.seq,
+        )
+
+    def render(self, first: int = 0, count: int = 32, width: int = 64) -> str:
+        """Text pipeline diagram for ``count`` uops starting at index
+        ``first`` of the retired stream."""
+        records = self.retired_records()[first : first + count]
+        if not records:
+            return "(no retired uops recorded)"
+        base = min(r.fetched for r in records)
+        span = max(r.retired for r in records) - base + 1
+        scale = max(1, (span + width - 1) // width)
+        lines = [f"cycles {base}..{base + span} (1 column = {scale} cycle(s))"]
+        for record in records:
+            row = [" "] * width
+
+            def mark(cycle, char):
+                if cycle >= 0:
+                    index = min(width - 1, (cycle - base) // scale)
+                    row[index] = char
+
+            if record.issued >= 0 and record.completed >= 0:
+                for cycle in range(record.issued, record.completed + 1, scale):
+                    mark(cycle, "=")
+            mark(record.fetched, "F")
+            mark(record.dispatched, "D")
+            mark(record.issued, "I")
+            mark(record.completed, "C")
+            mark(record.retired, "R")
+            tag = "O" if record.was_oblivious else " "
+            lines.append(
+                f"{record.seq:6d} {record.pc:4d} {tag} "
+                f"{record.text[:26]:26s} {''.join(row)}"
+            )
+        return "\n".join(lines)
+
+    def average_latency(self) -> float:
+        latencies = [r.latency for r in self.retired_records() if r.latency is not None]
+        return sum(latencies) / len(latencies) if latencies else 0.0

@@ -1,0 +1,37 @@
+"""Shared infrastructure: configuration, statistics, and common types.
+
+Everything in this package is substrate-neutral: it knows nothing about
+pipelines, caches, STT, or SDO.  It exists so that the rest of the simulator
+can agree on how machines are parameterised (:class:`MachineConfig`, which
+mirrors Table I of the paper) and how results are counted
+(:class:`StatGroup`).
+"""
+
+from repro.common.config import (
+    AttackModel,
+    CacheConfig,
+    CoreConfig,
+    DramConfig,
+    MachineConfig,
+    MemLevel,
+    ProtectionConfig,
+    ProtectionKind,
+    PredictorKind,
+    TlbConfig,
+)
+from repro.common.stats import StatGroup, Histogram
+
+__all__ = [
+    "AttackModel",
+    "CacheConfig",
+    "CoreConfig",
+    "DramConfig",
+    "Histogram",
+    "MachineConfig",
+    "MemLevel",
+    "PredictorKind",
+    "ProtectionConfig",
+    "ProtectionKind",
+    "StatGroup",
+    "TlbConfig",
+]

@@ -1,0 +1,139 @@
+"""Statistics plumbing.
+
+Every subsystem owns a :class:`StatGroup`, a thin namespaced counter bag.
+Groups can be nested; :meth:`StatGroup.as_dict` flattens the hierarchy into
+``"group.sub.counter" -> value`` pairs, which is what the experiment harness
+(``repro.eval``) consumes.
+
+Counters are created on first touch, so adding instrumentation never requires
+a schema change — but :meth:`StatGroup.freeze` is available for tests that
+want to assert no counter is created past setup (typo protection).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+
+class Histogram:
+    """A sparse integer histogram with mean/percentile helpers."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = defaultdict(int)
+        self._count = 0
+        self._total = 0
+
+    def add(self, value: int, weight: int = 1) -> None:
+        self._buckets[value] += weight
+        self._count += weight
+        self._total += value * weight
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Return the smallest value with at least ``p`` fraction of mass below it."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"percentile must be in [0, 1], got {p}")
+        if not self._count:
+            return 0
+        target = p * self._count
+        seen = 0
+        for value in sorted(self._buckets):
+            seen += self._buckets[value]
+            if seen >= target:
+                return value
+        return max(self._buckets)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        return iter(sorted(self._buckets.items()))
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self._count}, mean={self.mean:.2f})"
+
+
+class StatGroup:
+    """Namespaced counters.
+
+    >>> stats = StatGroup("core")
+    >>> stats.bump("cycles")
+    >>> stats.bump("cycles", 9)
+    >>> stats["cycles"]
+    10
+    >>> mem = stats.group("mem")
+    >>> mem.bump("loads")
+    >>> stats.as_dict()
+    {'core.cycles': 10, 'core.mem.loads': 1}
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: dict[str, int] = defaultdict(int)
+        self._histograms: dict[str, Histogram] = {}
+        self._children: dict[str, StatGroup] = {}
+        self._frozen = False
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        if self._frozen and counter not in self._counters:
+            raise KeyError(f"stat group {self.name!r} is frozen; unknown counter {counter!r}")
+        self._counters[counter] += amount
+
+    def set(self, counter: str, value: int) -> None:
+        if self._frozen and counter not in self._counters:
+            raise KeyError(f"stat group {self.name!r} is frozen; unknown counter {counter!r}")
+        self._counters[counter] = value
+
+    def __getitem__(self, counter: str) -> int:
+        return self._counters.get(counter, 0)
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            if self._frozen:
+                raise KeyError(f"stat group {self.name!r} is frozen; unknown histogram {name!r}")
+            self._histograms[name] = Histogram()
+        return self._histograms[name]
+
+    def group(self, name: str) -> "StatGroup":
+        if name not in self._children:
+            if self._frozen:
+                raise KeyError(f"stat group {self.name!r} is frozen; unknown child {name!r}")
+            self._children[name] = StatGroup(name)
+        return self._children[name]
+
+    def freeze(self) -> None:
+        """Disallow creation of new counters/groups (typo protection in tests)."""
+        self._frozen = True
+        for child in self._children.values():
+            child.freeze()
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+        for child in self._children.values():
+            child.reset()
+
+    def as_dict(self, prefix: str = "") -> dict[str, float]:
+        """Flatten to ``"a.b.counter" -> value``; histograms export mean/count."""
+        base = f"{prefix}{self.name}."
+        out: dict[str, float] = {}
+        for key in sorted(self._counters):
+            out[base + key] = self._counters[key]
+        for key, hist in sorted(self._histograms.items()):
+            out[f"{base}{key}.mean"] = hist.mean
+            out[f"{base}{key}.count"] = hist.count
+        for child_name in sorted(self._children):
+            out.update(self._children[child_name].as_dict(prefix=base))
+        return out
+
+    def __repr__(self) -> str:
+        return f"StatGroup({self.name!r}, counters={dict(self._counters)!r})"

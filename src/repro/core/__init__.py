@@ -1,0 +1,48 @@
+"""Speculative Data-Oblivious execution (SDO) — the paper's contribution.
+
+Three layers:
+
+* :mod:`repro.core.sdo` — the *general* SDO framework of Section IV:
+  data-oblivious variants (Definition 1/2), DO predictors, and the
+  ``Obl-f`` construction of Figure 2, independent of any pipeline.
+* :mod:`repro.core.predictors` — the location predictors of Section V-D:
+  Static L1/L2/L3, Greedy, Loop, the Hybrid chooser, and the Perfect oracle.
+* :mod:`repro.core.protection` — STT+SDO as a pipeline protection scheme:
+  tainted loads issue as Obl-Ld operations at the predicted level (with the
+  DRAM-prediction -> delay fallback of Section VI-B2), and tainted FP
+  transmitters issue on the statically predicted fast path.
+"""
+
+from repro.core.sdo import (
+    DOVariant,
+    DOPredictor,
+    SdoOperation,
+    StaticDOPredictor,
+    VariantResult,
+)
+from repro.core.predictors import (
+    GreedyPredictor,
+    HybridPredictor,
+    LocationPredictor,
+    LoopPredictor,
+    PerfectPredictor,
+    StaticPredictor,
+    make_predictor,
+)
+from repro.core.protection import SdoProtection
+
+__all__ = [
+    "DOPredictor",
+    "DOVariant",
+    "GreedyPredictor",
+    "HybridPredictor",
+    "LocationPredictor",
+    "LoopPredictor",
+    "PerfectPredictor",
+    "SdoOperation",
+    "SdoProtection",
+    "StaticDOPredictor",
+    "StaticPredictor",
+    "VariantResult",
+    "make_predictor",
+]

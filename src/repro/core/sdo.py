@@ -1,0 +1,202 @@
+"""The general SDO framework (Section IV of the paper).
+
+A microarchitect turns a transmitter ``result <- f(args)`` into an SDO
+operation ``Obl-f`` in two steps:
+
+1. design ``N`` *data-oblivious variants* ``Obl-f_i`` with signature
+   ``success?, presult <- Obl-f_i(args)`` satisfying
+
+   * **Definition 1 (functional correctness)**: if a variant returns
+     success, ``presult == f(args)``; on fail, ``presult`` is undefined;
+   * **Definition 2 (security)**: for any two operand assignments, the
+     variant creates identical hardware resource interference;
+
+2. design a *DO predictor* ``i <- predict(inp)`` / ``update((inp, actual))``
+   whose inputs are non-sensitive (e.g. the PC).
+
+This module implements that construction abstractly, mirroring the
+pseudo-code of Figure 2: :meth:`SdoOperation.issue` is Part 1 (predict a
+variant, execute it, forward the — possibly wrong — result) and
+:meth:`SdoOperation.resolve` is Part 2 (once ``args`` untaints: train the
+predictor on success, demand a squash + re-execution on fail).
+
+The pipeline's Obl-Ld is a hand-specialized instance of this pattern (the
+variants are per-cache-level lookups and the predictor is a location
+predictor); this module is the reference form, used directly by the Obl-FP
+example and by anyone extending SDO to a new transmitter.
+
+Resource accounting: each variant declares a :class:`ResourceSignature`
+(latency + named resources held).  :meth:`DOVariant.execute` must report
+usage equal to its signature for every input — the property-based security
+tests generate random operand pairs and check exactly that, which is how
+Definition 2 is enforced rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Sequence, TypeVar
+
+Args = TypeVar("Args")
+Result = TypeVar("Result")
+
+
+@dataclass(frozen=True)
+class ResourceSignature:
+    """Operand-independent resource usage of a DO variant."""
+
+    latency: int
+    resources: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class VariantResult(Generic[Result]):
+    """``success?, presult`` (Equation 1)."""
+
+    success: bool
+    presult: Result | None
+    latency: int
+    resources: tuple[str, ...] = ()
+
+
+class DOVariant(Generic[Args, Result]):
+    """One data-oblivious variant ``Obl-f_i``.
+
+    Subclasses implement :meth:`_compute`, returning ``(success, presult)``.
+    The base class stamps the declared resource signature onto every result,
+    so a variant cannot accidentally report operand-dependent usage — if its
+    *actual* behaviour varied, that must show up inside ``_compute`` and be
+    caught by the correctness checks instead.
+    """
+
+    def __init__(self, name: str, signature: ResourceSignature) -> None:
+        self.name = name
+        self.signature = signature
+
+    def _compute(self, args: Args) -> tuple[bool, Result | None]:
+        raise NotImplementedError
+
+    def execute(self, args: Args) -> VariantResult[Result]:
+        success, presult = self._compute(args)
+        if not success:
+            presult = None  # Definition 1: presult undefined on fail
+        return VariantResult(
+            success=success,
+            presult=presult,
+            latency=self.signature.latency,
+            resources=self.signature.resources,
+        )
+
+
+class DOPredictor:
+    """``i <- predict(inp)`` / ``update((inp, actual_i))`` (Equations 2-3).
+
+    ``inp`` must be non-sensitive (the PC, in the paper and here); the
+    framework never passes operand values to the predictor.
+    """
+
+    def predict(self, inp: int) -> int:
+        raise NotImplementedError
+
+    def update(self, inp: int, actual_index: int) -> None:
+        raise NotImplementedError
+
+
+class StaticDOPredictor(DOPredictor):
+    """Always predicts the same variant (the paper's FP example: N=1,
+    statically predict 'operands are normal')."""
+
+    def __init__(self, index: int = 0) -> None:
+        self.index = index
+
+    def predict(self, inp: int) -> int:
+        return self.index
+
+    def update(self, inp: int, actual_index: int) -> None:
+        """Static predictors carry no state."""
+
+
+@dataclass(frozen=True)
+class IssueOutcome(Generic[Result]):
+    """Part 1 of Figure 2: what the SDO operation forwarded.
+
+    ``presult`` is forwarded to dependents *unconditionally* and remains
+    tainted; ``success`` must NOT be revealed until ``args`` untaints —
+    callers that branch on it early are violating the construction, so it is
+    deliberately name-mangled into :attr:`_success_sealed`.
+    """
+
+    variant_index: int
+    presult: Result | None
+    latency: int
+    resources: tuple[str, ...]
+    _success_sealed: bool
+
+
+@dataclass(frozen=True)
+class ResolveOutcome(Generic[Result]):
+    """Part 2 of Figure 2: the action once ``args`` is untainted."""
+
+    squash: bool
+    result: Result  # correct f(args); equals forwarded presult on success
+
+
+class SdoOperation(Generic[Args, Result]):
+    """``Obl-f``: the complete construction of Figure 2."""
+
+    def __init__(
+        self,
+        reference: Callable[[Args], Result],
+        variants: Sequence[DOVariant[Args, Result]],
+        predictor: DOPredictor,
+    ) -> None:
+        if not variants:
+            raise ValueError("an SDO operation needs at least one DO variant")
+        self.reference = reference
+        self.variants = list(variants)
+        self.predictor = predictor
+        self.issues = 0
+        self.fails = 0
+
+    def issue(self, pc: int, args: Args) -> IssueOutcome[Result]:
+        """Part 1: predict a variant and execute it (operands tainted)."""
+        index = self.predictor.predict(pc)
+        if not 0 <= index < len(self.variants):
+            raise IndexError(
+                f"predictor chose variant {index}, but only "
+                f"{len(self.variants)} exist"
+            )
+        outcome = self.variants[index].execute(args)
+        self.issues += 1
+        return IssueOutcome(
+            variant_index=index,
+            presult=outcome.presult,
+            latency=outcome.latency,
+            resources=outcome.resources,
+            _success_sealed=outcome.success,
+        )
+
+    def resolve(self, pc: int, args: Args, issued: IssueOutcome[Result]) -> ResolveOutcome[Result]:
+        """Part 2: ``args`` is untainted; reveal success?, train, or squash.
+
+        On success the forwarded value stands and the predictor is trained.
+        On fail the caller must squash dependents; the correct value is
+        recomputed by the reference implementation (``return f(args)`` on
+        Figure 2 line 16).
+        """
+        if issued._success_sealed:
+            self.predictor.update(pc, issued.variant_index)
+            return ResolveOutcome(squash=False, result=issued.presult)
+        self.fails += 1
+        correct = self.reference(args)
+        actual = self._actual_variant(args)
+        if actual is not None:
+            self.predictor.update(pc, actual)
+        return ResolveOutcome(squash=True, result=correct)
+
+    def _actual_variant(self, args: Args) -> int | None:
+        """Which variant would have succeeded (for predictor training)."""
+        for index, variant in enumerate(self.variants):
+            if variant.execute(args).success:
+                return index
+        return None

@@ -1,0 +1,36 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+One module per artifact:
+
+* :mod:`repro.eval.figure6` — execution time normalized to Unsafe, per
+  benchmark, per design variant, per attack model;
+* :mod:`repro.eval.figure7` — overhead breakdown (prediction inaccuracy,
+  imprecision, validation stalls, TLB protection, other);
+* :mod:`repro.eval.figure8` — squash count vs. normalized execution time;
+* :mod:`repro.eval.tables` — Table I (architecture), Table II (variants),
+  and Table III (predictor precision/accuracy).
+
+All of them consume :class:`repro.sim.runner.RunMetrics` lists so a single
+simulation sweep can feed every artifact; ``repro.eval.report`` renders
+aligned text tables and CSV.
+"""
+
+from repro.eval.report import render_table, to_csv
+from repro.eval.figure6 import Figure6, build_figure6
+from repro.eval.figure7 import Figure7, build_figure7
+from repro.eval.figure8 import Figure8, build_figure8
+from repro.eval.tables import table1_rows, table2_rows, table3_rows
+
+__all__ = [
+    "Figure6",
+    "Figure7",
+    "Figure8",
+    "build_figure6",
+    "build_figure7",
+    "build_figure8",
+    "render_table",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "to_csv",
+]

@@ -1,0 +1,90 @@
+"""Figure 6: execution time normalized to Unsafe.
+
+The paper's main result: per SPEC2017 benchmark, the execution time of STT
+and every STT+SDO variant, normalized to the insecure baseline, for both
+attack models, with averages on the right.  The headline numbers derived
+from it: Hybrid improves stand-alone STT by ~44.4%/50.1% (vs STT{ld} /
+STT{ld+fp}) in the Spectre model, Static L2 by ~36.3%/55.1% in the
+Futuristic model, and Perfect bounds the technique at ~51-66%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import AttackModel
+from repro.eval.report import geometric_mean, render_table
+from repro.sim.runner import RunMetrics
+
+
+@dataclass
+class Figure6:
+    """Normalized execution times: ``data[model][config][workload]``."""
+
+    data: dict[AttackModel, dict[str, dict[str, float]]] = field(default_factory=dict)
+    workloads: tuple[str, ...] = ()
+    configs: tuple[str, ...] = ()
+
+    def average(self, model: AttackModel, config: str) -> float:
+        """Geometric-mean normalized execution time across the suite."""
+        per_workload = self.data[model][config]
+        return geometric_mean([per_workload[w] for w in self.workloads])
+
+    def overhead(self, model: AttackModel, config: str) -> float:
+        """Average overhead vs. Unsafe, as a fraction (0.042 = 4.2%)."""
+        return self.average(model, config) - 1.0
+
+    def improvement_over(self, model: AttackModel, config: str, baseline: str) -> float:
+        """The paper's headline metric: by what fraction ``config`` reduces
+        ``baseline``'s overhead (e.g. Hybrid vs STT{ld})."""
+        base = self.overhead(model, baseline)
+        own = self.overhead(model, config)
+        if base <= 0:
+            return 0.0
+        return (base - own) / base
+
+    def render(self, model: AttackModel) -> str:
+        headers = ["benchmark"] + list(self.configs)
+        rows = []
+        for workload in self.workloads:
+            rows.append(
+                [workload]
+                + [self.data[model][config][workload] for config in self.configs]
+            )
+        rows.append(
+            ["average (geomean)"]
+            + [self.average(model, config) for config in self.configs]
+        )
+        return render_table(
+            headers,
+            rows,
+            title=f"Figure 6 ({model.value} model): execution time normalized to Unsafe",
+        )
+
+
+def build_figure6(results: list[RunMetrics]) -> Figure6:
+    """Assemble Figure 6 from a full sweep (must include Unsafe runs)."""
+    baselines: dict[tuple[AttackModel, str], RunMetrics] = {}
+    for metrics in results:
+        if metrics.config == "Unsafe":
+            baselines[(metrics.attack_model, metrics.workload)] = metrics
+
+    figure = Figure6()
+    workloads: list[str] = []
+    configs: list[str] = []
+    for metrics in results:
+        if metrics.config == "Unsafe":
+            continue
+        key = (metrics.attack_model, metrics.workload)
+        if key not in baselines:
+            raise ValueError(f"no Unsafe baseline for {key}")
+        normalized = metrics.normalized_to(baselines[key])
+        model_data = figure.data.setdefault(metrics.attack_model, {})
+        model_data.setdefault(metrics.config, {})[metrics.workload] = normalized
+        if metrics.workload not in workloads:
+            workloads.append(metrics.workload)
+        if metrics.config not in configs:
+            configs.append(metrics.config)
+    figure.workloads = tuple(workloads)
+    figure.configs = tuple(configs)
+    return figure

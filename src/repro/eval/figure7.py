@@ -1,0 +1,136 @@
+"""Figure 7: breakdown of the slowdown into design components.
+
+The paper attributes each SDO variant's overhead (vs. Unsafe) to:
+inaccurate prediction (squash cost), imprecise prediction (extra wait-buffer
+latency), validation stalls, TLB/virtual-memory protection, and "other"
+(no cache-state change by Obl-Lds, implicit-channel handling, extra memory
+contention).  We reconstruct the same attribution from the simulator's
+event counters; "other" is the unattributed remainder, exactly as in a
+hardware-counter-based breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import AttackModel
+from repro.eval.report import render_table
+from repro.sim.runner import RunMetrics
+
+#: Cost model for attributing counters to cycles.  A squash costs roughly
+#: the refetch penalty plus re-execution of the squashed window; we charge
+#: the directly measured squashed uops at one issue slot each plus the
+#: redirect penalty per event.
+_SQUASH_REDIRECT_COST = 5
+
+COMPONENTS = (
+    "inaccurate prediction",
+    "imprecise prediction",
+    "validation stall",
+    "TLB protection",
+    "other",
+)
+
+
+@dataclass
+class Figure7:
+    """Per-config overhead fractions: ``data[model][config][component]``.
+
+    Fractions are of total overhead cycles (summing to 1 for each config
+    with nonzero overhead), mirroring the paper's 100%-stacked bars.
+    """
+
+    data: dict[AttackModel, dict[str, dict[str, float]]] = field(default_factory=dict)
+    overhead_cycles: dict[AttackModel, dict[str, float]] = field(default_factory=dict)
+
+    def render(self, model: AttackModel) -> str:
+        configs = sorted(self.data.get(model, {}))
+        headers = ["component"] + configs
+        rows = []
+        for component in COMPONENTS:
+            rows.append(
+                [component]
+                + [self.data[model][config].get(component, 0.0) for config in configs]
+            )
+        return render_table(
+            headers,
+            rows,
+            title=f"Figure 7 ({model.value} model): share of total slowdown vs Unsafe",
+        )
+
+
+def _attribute(metrics: RunMetrics, baseline: RunMetrics) -> tuple[float, dict[str, float]]:
+    overhead_cycles = max(
+        0.0,
+        metrics.cycles - baseline.cycles * (metrics.instructions / max(1, baseline.instructions)),
+    )
+    stats = metrics.stats
+    fail_squashes = (
+        stats.get("core.obl_fail_squashes", 0)
+        + stats.get("core.fp_fail_squashes", 0)
+        + stats.get("core.validation_mismatch_squashes", 0)
+    )
+    squash_cost = (
+        stats.get("core.sdo_squashed_uops", 0) / 8.0
+        + fail_squashes * _SQUASH_REDIRECT_COST
+    )
+    inaccurate = max(0.0, squash_cost)
+    imprecise = stats.get("core.imprecision_cycles", 0)
+    validation = stats.get("core.validation_stall_cycles", 0)
+    tlb = stats.get("mem.obl_tlb_fails", 0) * _SQUASH_REDIRECT_COST
+    attributed = inaccurate + imprecise + validation + tlb
+    if overhead_cycles == 0:
+        # The run was not slower than the baseline: nothing to attribute
+        # (raw counters may still be nonzero — the costs were hidden).
+        zero = dict.fromkeys(COMPONENTS, 0.0)
+        return 0.0, zero
+    if attributed > overhead_cycles > 0:
+        # Attribution estimates can overshoot the measured overhead when
+        # costs overlap (a squash hides a validation stall, etc.); scale the
+        # components down so shares stay meaningful.
+        scale = overhead_cycles / attributed
+        inaccurate *= scale
+        imprecise *= scale
+        validation *= scale
+        tlb *= scale
+        attributed = overhead_cycles
+    other = max(0.0, overhead_cycles - attributed)
+    return overhead_cycles, {
+        "inaccurate prediction": inaccurate,
+        "imprecise prediction": imprecise,
+        "validation stall": validation,
+        "TLB protection": tlb,
+        "other": other,
+    }
+
+
+def build_figure7(results: list[RunMetrics], configs: tuple[str, ...] | None = None) -> Figure7:
+    """Attribute overhead cycles per (model, config), averaged over the suite."""
+    baselines = {
+        (m.attack_model, m.workload): m for m in results if m.config == "Unsafe"
+    }
+    sums: dict[tuple[AttackModel, str], dict[str, float]] = {}
+    totals: dict[tuple[AttackModel, str], float] = {}
+    for metrics in results:
+        if metrics.config == "Unsafe":
+            continue
+        if configs is not None and metrics.config not in configs:
+            continue
+        baseline = baselines[(metrics.attack_model, metrics.workload)]
+        overhead, parts = _attribute(metrics, baseline)
+        key = (metrics.attack_model, metrics.config)
+        bucket = sums.setdefault(key, {component: 0.0 for component in COMPONENTS})
+        for component, cycles in parts.items():
+            bucket[component] += cycles
+        totals[key] = totals.get(key, 0.0) + overhead
+
+    figure = Figure7()
+    for (model, config), bucket in sums.items():
+        total = totals[(model, config)]
+        fractions = {
+            component: (cycles / total if total > 0 else 0.0)
+            for component, cycles in bucket.items()
+        }
+        figure.data.setdefault(model, {})[config] = fractions
+        figure.overhead_cycles.setdefault(model, {})[config] = total
+    return figure

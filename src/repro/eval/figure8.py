@@ -1,0 +1,95 @@
+"""Figure 8: relationship between squashes and execution time.
+
+For every SDO variant (both attack models), the paper plots the number of
+squashes against execution time normalized to Unsafe, averaged over the
+suite, and observes that overhead is roughly proportional to squash count —
+with the Static L3 exception (fewest squashes, but imprecision pays for
+them in latency instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import AttackModel
+from repro.eval.report import geometric_mean, render_table
+from repro.sim.runner import RunMetrics
+
+
+@dataclass(frozen=True)
+class Figure8Point:
+    config: str
+    model: AttackModel
+    squashes: float  # mean SDO-induced squashes per 1k instructions
+    normalized_time: float
+
+
+@dataclass
+class Figure8:
+    points: list[Figure8Point] = field(default_factory=list)
+
+    def by_config(self, model: AttackModel) -> dict[str, Figure8Point]:
+        return {p.config: p for p in self.points if p.model is model}
+
+    def correlation(self, model: AttackModel, exclude: tuple[str, ...] = ("Static L3",)) -> float:
+        """Pearson correlation between squashes and normalized time.
+
+        ``exclude`` defaults to Static L3, the paper's called-out exception
+        (its accuracy trades squashes for imprecision latency).
+        """
+        pts = [p for p in self.points if p.model is model and p.config not in exclude]
+        if len(pts) < 2:
+            return 0.0
+        xs = [p.squashes for p in pts]
+        ys = [p.normalized_time for p in pts]
+        n = len(pts)
+        mean_x, mean_y = sum(xs) / n, sum(ys) / n
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        var_x = sum((x - mean_x) ** 2 for x in xs)
+        var_y = sum((y - mean_y) ** 2 for y in ys)
+        if var_x == 0 or var_y == 0:
+            return 0.0
+        return cov / (var_x * var_y) ** 0.5
+
+    def render(self, model: AttackModel) -> str:
+        headers = ["config", "squashes / 1k inst", "normalized time"]
+        rows = [
+            [p.config, p.squashes, p.normalized_time]
+            for p in self.points
+            if p.model is model
+        ]
+        return render_table(
+            headers,
+            rows,
+            title=f"Figure 8 ({model.value} model): squashes vs execution time",
+        )
+
+
+def build_figure8(
+    results: list[RunMetrics], sdo_configs: tuple[str, ...]
+) -> Figure8:
+    baselines = {
+        (m.attack_model, m.workload): m for m in results if m.config == "Unsafe"
+    }
+    grouped: dict[tuple[AttackModel, str], list[RunMetrics]] = {}
+    for metrics in results:
+        if metrics.config in sdo_configs:
+            grouped.setdefault((metrics.attack_model, metrics.config), []).append(metrics)
+
+    figure = Figure8()
+    for (model, config), runs in sorted(grouped.items(), key=lambda kv: (kv[0][0].value, kv[0][1])):
+        squash_rates = [
+            1000.0 * m.squashes / max(1, m.instructions) for m in runs
+        ]
+        normalized = [
+            m.normalized_to(baselines[(model, m.workload)]) for m in runs
+        ]
+        figure.points.append(
+            Figure8Point(
+                config=config,
+                model=model,
+                squashes=sum(squash_rates) / len(squash_rates),
+                normalized_time=geometric_mean(normalized),
+            )
+        )
+    return figure

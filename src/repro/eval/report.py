@@ -1,0 +1,64 @@
+"""Plain-text and CSV rendering for experiment results."""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table."""
+    formatted_rows = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+        out.write("=" * len(title) + "\n")
+    out.write(line(headers) + "\n")
+    out.write(line(["-" * w for w in widths]) + "\n")
+    for row in formatted_rows:
+        out.write(line(row) + "\n")
+    return out.getvalue()
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """CSV with no quoting surprises (values are simple scalars)."""
+    def cell(value: object) -> str:
+        text = str(value)
+        if "," in text or '"' in text:
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(cell(c) for c in row))
+    return "\n".join(lines) + "\n"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geometric mean needs positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))

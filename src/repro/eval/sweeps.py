@@ -1,0 +1,138 @@
+"""Parameter-sweep utilities: sensitivity of the SDO result to the machine.
+
+The paper evaluates one machine (Table I).  A natural reviewer question is
+how the STT-vs-SDO gap moves with the microarchitecture: a bigger ROB hides
+more of STT's delay; a slower DRAM widens taint windows; a smaller L2
+shifts the location predictor's target distribution.  ``sweep`` runs a
+(workload, config-set) pair across a list of machine variants and tabulates
+normalized execution times, so those questions are one function call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.common.config import AttackModel, CacheConfig, CoreConfig, DramConfig, MachineConfig
+from repro.eval.report import render_table
+from repro.sim.configs import EvaluatedConfig, config_by_name
+from repro.sim.runner import RunMetrics, run_workload
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class MachineVariant:
+    """A named mutation of the baseline machine."""
+
+    name: str
+    mutate: Callable[[MachineConfig], MachineConfig]
+
+    def build(self, base: MachineConfig | None = None) -> MachineConfig:
+        return self.mutate(base or MachineConfig())
+
+
+def rob_variant(entries: int) -> MachineVariant:
+    def mutate(machine: MachineConfig) -> MachineConfig:
+        return dataclasses.replace(
+            machine, core=dataclasses.replace(machine.core, rob_entries=entries)
+        )
+    return MachineVariant(f"ROB={entries}", mutate)
+
+
+def lq_variant(entries: int) -> MachineVariant:
+    def mutate(machine: MachineConfig) -> MachineConfig:
+        return dataclasses.replace(
+            machine, core=dataclasses.replace(machine.core, lq_entries=entries)
+        )
+    return MachineVariant(f"LQ={entries}", mutate)
+
+
+def dram_latency_variant(latency: int) -> MachineVariant:
+    def mutate(machine: MachineConfig) -> MachineConfig:
+        return dataclasses.replace(
+            machine,
+            dram=dataclasses.replace(
+                machine.dram,
+                latency=latency,
+                row_buffer_hit_latency=max(10, latency * 6 // 10),
+            ),
+        )
+    return MachineVariant(f"DRAM={latency}cyc", mutate)
+
+
+def l2_size_variant(kilobytes: int) -> MachineVariant:
+    def mutate(machine: MachineConfig) -> MachineConfig:
+        return dataclasses.replace(
+            machine,
+            l2=CacheConfig(
+                "L2", kilobytes * 1024, machine.l2.line_size, machine.l2.assoc,
+                machine.l2.latency, banks=machine.l2.banks,
+                mshrs=machine.l2.mshrs, ports=machine.l2.ports,
+            ),
+        )
+    return MachineVariant(f"L2={kilobytes}KB", mutate)
+
+
+@dataclass
+class SweepResult:
+    """Normalized times: ``table[variant][config]`` (vs per-variant Unsafe)."""
+
+    workload: str
+    attack_model: AttackModel
+    variants: tuple[str, ...]
+    configs: tuple[str, ...]
+    table: dict[str, dict[str, float]]
+    raw: dict[str, dict[str, RunMetrics]]
+
+    def render(self) -> str:
+        headers = ["machine"] + list(self.configs)
+        rows = [
+            [variant] + [self.table[variant][config] for config in self.configs]
+            for variant in self.variants
+        ]
+        return render_table(
+            headers, rows,
+            title=f"Sensitivity sweep: {self.workload} ({self.attack_model.value})",
+        )
+
+
+def sweep(
+    workload: Workload,
+    variants: Sequence[MachineVariant],
+    config_names: Sequence[str] = ("STT{ld}", "Hybrid", "Perfect"),
+    attack_model: AttackModel = AttackModel.SPECTRE,
+    check_golden: bool = False,
+) -> SweepResult:
+    """Run ``workload`` under every (variant, config) pair.
+
+    Each variant gets its own Unsafe baseline, so the normalized numbers
+    isolate the protection cost from the machine change itself.
+    """
+    table: dict[str, dict[str, float]] = {}
+    raw: dict[str, dict[str, RunMetrics]] = {}
+    for variant in variants:
+        machine = variant.build()
+        baseline = run_workload(
+            workload, config_by_name("Unsafe"), attack_model,
+            machine=machine, check_golden=check_golden,
+        )
+        row: dict[str, float] = {}
+        row_raw: dict[str, RunMetrics] = {"Unsafe": baseline}
+        for name in config_names:
+            metrics = run_workload(
+                workload, config_by_name(name), attack_model,
+                machine=machine, check_golden=check_golden,
+            )
+            row[name] = metrics.normalized_to(baseline)
+            row_raw[name] = metrics
+        table[variant.name] = row
+        raw[variant.name] = row_raw
+    return SweepResult(
+        workload=workload.name,
+        attack_model=attack_model,
+        variants=tuple(v.name for v in variants),
+        configs=tuple(config_names),
+        table=table,
+        raw=raw,
+    )

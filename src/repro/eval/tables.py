@@ -1,0 +1,106 @@
+"""Tables I, II and III.
+
+Table I and II are configuration tables — they are regenerated from the
+live config objects so the documentation can never drift from the code.
+Table III (predictor precision/accuracy) is measured from a sweep.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import AttackModel, MachineConfig
+from repro.eval.report import render_table
+from repro.sim.configs import EVALUATED_CONFIGS
+from repro.sim.runner import RunMetrics
+
+
+def table1_rows(machine: MachineConfig | None = None) -> list[list[str]]:
+    """Table I: simulated architecture parameters."""
+    machine = machine or MachineConfig()
+    core = machine.core
+
+    def cache_row(config) -> str:
+        kb = config.size // 1024
+        return (
+            f"{kb}KB, {config.line_size}B line, {config.assoc}-way, "
+            f"{config.latency}-cycle latency"
+        )
+
+    return [
+        ["Pipeline",
+         f"{core.fetch_width} fetch/decode/issue/commit, "
+         f"{core.sq_entries}/{core.lq_entries} SQ/LQ entries, "
+         f"{core.rob_entries} ROB, {machine.l1d.mshrs} MSHRs, "
+         f"Tournament branch predictor"],
+        ["L1 I-Cache", cache_row(machine.l1i)],
+        ["L1 D-Cache", cache_row(machine.l1d)],
+        ["L2 Cache", cache_row(machine.l2)],
+        ["L3 Cache", cache_row(machine.l3)],
+        ["Network",
+         f"{machine.mesh_dims[0]}x{machine.mesh_dims[1]} mesh, "
+         f"{machine.mesh_hop_latency} cycle latency per hop"],
+        ["Coherence Protocol", "Directory-based MESI protocol"],
+        ["DRAM", f"{machine.dram.latency} cycles after L2 "
+                 f"(row-buffer hit: {machine.dram.row_buffer_hit_latency})"],
+    ]
+
+
+def render_table1(machine: MachineConfig | None = None) -> str:
+    return render_table(
+        ["HW Components", "Parameters"],
+        table1_rows(machine),
+        title="Table I: simulated architecture parameters",
+    )
+
+
+def table2_rows() -> list[list[str]]:
+    """Table II: evaluated design variants."""
+    return [[c.name, c.description] for c in EVALUATED_CONFIGS]
+
+
+def render_table2() -> str:
+    return render_table(
+        ["Configuration", "Description"],
+        table2_rows(),
+        title="Table II: evaluated design variants",
+    )
+
+
+def table3_rows(results: list[RunMetrics]) -> list[list[object]]:
+    """Table III: precision and accuracy per SDO predictor and attack model.
+
+    Aggregated over all workloads that made at least one prediction
+    (a workload with no tainted loads contributes no denominators).
+    """
+    sums: dict[tuple[str, AttackModel], dict[str, float]] = {}
+    for metrics in results:
+        total = metrics.stats.get("stt.sdo.predictions", 0)
+        if not total:
+            continue
+        key = (metrics.config, metrics.attack_model)
+        bucket = sums.setdefault(key, {"total": 0.0, "precise": 0.0, "accurate": 0.0})
+        bucket["total"] += total
+        bucket["precise"] += metrics.stats.get("stt.sdo.precise", 0)
+        bucket["accurate"] += metrics.stats.get("stt.sdo.accurate", 0)
+
+    configs = sorted({config for config, _ in sums})
+    rows: list[list[object]] = []
+    for config in configs:
+        row: list[object] = [config]
+        for model in (AttackModel.SPECTRE, AttackModel.FUTURISTIC):
+            bucket = sums.get((config, model))
+            if bucket is None or not bucket["total"]:
+                row.extend(["-", "-"])
+            else:
+                row.append(100.0 * bucket["precise"] / bucket["total"])
+                row.append(100.0 * bucket["accurate"] / bucket["total"])
+        rows.append(row)
+    return rows
+
+
+def render_table3(results: list[RunMetrics]) -> str:
+    return render_table(
+        ["Configuration", "Spectre Prec%", "Spectre Acc%", "Futuristic Prec%", "Futuristic Acc%"],
+        table3_rows(results),
+        title="Table III: precision and accuracy of evaluated SDO predictors",
+        float_format="{:.2f}",
+    )

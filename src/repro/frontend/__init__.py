@@ -1,0 +1,27 @@
+"""Front-end prediction structures: tournament branch predictor, BTB, RAS.
+
+Table I specifies a tournament branch predictor.  STT's central corollary
+(Section III-B) is that predictor *state* must never become a function of
+tainted data: the pipeline only calls :meth:`TournamentPredictor.update`
+for branches whose predicate is untainted (or after the taint has cleared),
+and the structures themselves are indexed by PC/history — never by data
+values.
+"""
+
+from repro.frontend.branch_predictor import (
+    BimodalTable,
+    BranchPrediction,
+    GshareTable,
+    TournamentPredictor,
+)
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.ras import ReturnAddressStack
+
+__all__ = [
+    "BimodalTable",
+    "BranchPrediction",
+    "BranchTargetBuffer",
+    "GshareTable",
+    "ReturnAddressStack",
+    "TournamentPredictor",
+]

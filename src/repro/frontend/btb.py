@@ -1,0 +1,39 @@
+"""Branch target buffer.
+
+Direct-mapped tagged target cache.  In our micro-ISA all branch targets are
+static (encoded in the instruction), so the BTB's role is to supply the
+target *at fetch time* for predicted-taken branches; a BTB miss on a taken
+branch costs a fetch redirect even when the direction was right.
+"""
+
+from __future__ import annotations
+
+
+class BranchTargetBuffer:
+    def __init__(self, entries: int = 1024) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._tags: list[int | None] = [None] * entries
+        self._targets: list[int] = [0] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for the branch at ``pc``, or None on a miss."""
+        index = pc & self._mask
+        if self._tags[index] == pc:
+            self.hits += 1
+            return self._targets[index]
+        self.misses += 1
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        index = pc & self._mask
+        self._tags[index] = pc
+        self._targets[index] = target
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,48 @@
+"""Return address stack.
+
+Our micro-ISA has no call/return instructions (workloads are inlined
+kernels), but the RAS is part of the Table I front end and of STT's
+implicit-channel story — RAS *updates* are predictor updates and must not be
+a function of tainted data — so the structure is implemented and tested, and
+available to ISA extensions.
+
+The stack is circular and overwrites on overflow, like hardware.  Snapshots
+(top-of-stack pointer + the entry it points at) support squash repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RasSnapshot:
+    top: int
+    top_value: int
+
+
+class ReturnAddressStack:
+    def __init__(self, entries: int = 16) -> None:
+        if entries < 1:
+            raise ValueError("RAS needs at least one entry")
+        self._entries = [0] * entries
+        self._top = 0  # index of the next free slot
+        self.size = entries
+
+    def snapshot(self) -> RasSnapshot:
+        return RasSnapshot(self._top, self._entries[(self._top - 1) % self.size])
+
+    def restore(self, snapshot: RasSnapshot) -> None:
+        self._top = snapshot.top
+        self._entries[(self._top - 1) % self.size] = snapshot.top_value
+
+    def push(self, return_pc: int) -> None:
+        self._entries[self._top % self.size] = return_pc
+        self._top += 1
+
+    def pop(self) -> int:
+        self._top -= 1
+        return self._entries[self._top % self.size]
+
+    def peek(self) -> int:
+        return self._entries[(self._top - 1) % self.size]

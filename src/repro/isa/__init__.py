@@ -1,0 +1,48 @@
+"""A small RISC-like micro-ISA.
+
+This is the language every workload in the repository is written in and the
+contract between the functional interpreter (:class:`Interpreter`, the golden
+model) and the out-of-order timing model (``repro.pipeline``).
+
+The ISA is deliberately tiny but covers everything the paper's mechanisms
+care about:
+
+* integer ALU ops (single-cycle) and multiplies,
+* loads and stores (the transmitters that dominate STT's overhead),
+* conditional branches and jumps (the speculation source),
+* floating point add/mul/div/sqrt with a *subnormal slow path* — the
+  transmitter family used by the paper's running Obl-FP example,
+* ``HALT``.
+
+Programs are sequences of :class:`Instruction` plus an initial data memory
+image; the PC is simply an index into the instruction list.
+"""
+
+from repro.isa.instructions import (
+    FP_TRANSMIT_OPS,
+    Instruction,
+    Opcode,
+    OpClass,
+    fp_reg,
+    int_reg,
+    is_subnormal,
+)
+from repro.isa.program import Program
+from repro.isa.assembler import assemble, AssemblyError
+from repro.isa.iss import ArchState, Interpreter, CommittedOp
+
+__all__ = [
+    "ArchState",
+    "AssemblyError",
+    "CommittedOp",
+    "FP_TRANSMIT_OPS",
+    "Instruction",
+    "Interpreter",
+    "OpClass",
+    "Opcode",
+    "Program",
+    "assemble",
+    "fp_reg",
+    "int_reg",
+    "is_subnormal",
+]

@@ -1,0 +1,51 @@
+"""Program representation: instructions + initial data memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction, Opcode
+
+
+@dataclass
+class Program:
+    """A static program.
+
+    ``instructions`` is the code segment; the PC is an index into it.
+    ``initial_memory`` maps addresses to 64-bit integer words (floating point
+    values are stored as Python floats; the simulator's memory is typed by
+    whatever was stored).  ``name`` is used in reports.
+    """
+
+    instructions: list[Instruction]
+    initial_memory: dict[int, int | float] = field(default_factory=dict)
+    name: str = "anonymous"
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError("a program needs at least one instruction")
+        limit = len(self.instructions)
+        for pc, inst in enumerate(self.instructions):
+            if inst.target is not None and not 0 <= inst.target < limit:
+                raise ValueError(
+                    f"instruction {pc} ({inst}) branches to {inst.target}, "
+                    f"outside program of length {limit}"
+                )
+        if self.instructions[-1].opcode is not Opcode.HALT and not any(
+            inst.opcode is Opcode.HALT for inst in self.instructions
+        ):
+            raise ValueError(f"program {self.name!r} has no HALT instruction")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def listing(self) -> str:
+        """Human-readable disassembly."""
+        lines = []
+        for pc, inst in enumerate(self.instructions):
+            label = f"{inst.label}:" if inst.label else ""
+            lines.append(f"{label:>12} {pc:4d}  {inst}")
+        return "\n".join(lines)

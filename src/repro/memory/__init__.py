@@ -1,0 +1,47 @@
+"""The cache/memory hierarchy substrate.
+
+This package implements the baseline memory subsystem of Section VI-B1:
+private L1D/L1I and L2, a shared sliced L3, banked set-associative write-back
+write-allocate caches with MSHRs, a mesh interconnect, a directory-based MESI
+coherence protocol, a row-buffer DRAM model, and an L1 TLB.
+
+Two access paths matter to the paper:
+
+* the **normal** path (:meth:`MemoryHierarchy.load`): address-dependent bank
+  selection, state-changing fills/LRU updates, MSHR sharing — every one of
+  which is a covert channel;
+* the **data-oblivious** path (:meth:`MemoryHierarchy.oblivious_load`):
+  per-level tag *probes* that change no state, reserve *all* banks (and all
+  L3 slices), allocate a private MSHR at an address-independent slot, and
+  respond after a fixed per-level latency (Section VI-B2).
+
+Every resource event either path produces is recorded on an
+:class:`~repro.memory.observer.ResourceObserver`, which is how the security
+tests check Definition 2 (equal resource interference for any two addresses).
+"""
+
+from repro.memory.cache import CacheArray
+from repro.memory.dram import Dram
+from repro.memory.tlb import Tlb
+from repro.memory.mshr import MshrFile
+from repro.memory.interconnect import Mesh
+from repro.memory.coherence import Directory, CoherenceState
+from repro.memory.observer import ResourceObserver, ResourceEvent
+from repro.memory.hierarchy import LoadResponse, MemoryHierarchy, OblLoadResponse
+from repro.memory.multicore import SharedMemorySystem
+
+__all__ = [
+    "CacheArray",
+    "CoherenceState",
+    "Directory",
+    "Dram",
+    "LoadResponse",
+    "MemoryHierarchy",
+    "Mesh",
+    "MshrFile",
+    "OblLoadResponse",
+    "ResourceEvent",
+    "ResourceObserver",
+    "SharedMemorySystem",
+    "Tlb",
+]

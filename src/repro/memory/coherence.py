@@ -1,0 +1,131 @@
+"""Directory-based MESI coherence.
+
+Table I specifies a directory-based MESI protocol.  The SPEC evaluation is
+single-threaded, so in the performance runs the directory is quiescent — but
+the *mechanism* matters to SDO through memory consistency (Section V-C1): an
+Obl-Ld may read a line that is not in the core's L1, so the core misses the
+invalidation that would normally trigger a consistency squash.  SDO's answer
+is InvisiSpec-style validation/exposure, and the tests exercise it by
+injecting invalidations through this directory.
+
+The directory tracks, per line, the set of sharers and the owner (if any core
+holds the line Modified/Exclusive).  Transitions implement the standard MESI
+state machine; each transition reports the set of cores that must be
+invalidated, which the hierarchy turns into L1/L2 invalidations and — for
+tracked speculative loads — pending consistency squashes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CoherenceState(enum.Enum):
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class DirectoryEntry:
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None  # core holding M/E
+
+    @property
+    def state(self) -> CoherenceState:
+        if self.owner is not None:
+            return CoherenceState.MODIFIED  # M/E collapsed at the directory
+        if self.sharers:
+            return CoherenceState.SHARED
+        return CoherenceState.INVALID
+
+
+@dataclass(frozen=True)
+class CoherenceResult:
+    """Outcome of a directory transaction."""
+
+    invalidated_cores: frozenset[int]
+    downgraded_core: int | None  # owner forced M->S by a read
+    granted: CoherenceState
+
+
+class Directory:
+    """One directory for the whole address space (co-located with L3 slices)."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        self.num_cores = num_cores
+        self._entries: dict[int, DirectoryEntry] = {}
+        self.invalidations_sent = 0
+        self.downgrades_sent = 0
+
+    def _entry(self, line: int) -> DirectoryEntry:
+        if line not in self._entries:
+            self._entries[line] = DirectoryEntry()
+        return self._entries[line]
+
+    def state_of(self, line: int) -> CoherenceState:
+        entry = self._entries.get(line)
+        return entry.state if entry else CoherenceState.INVALID
+
+    def sharers_of(self, line: int) -> frozenset[int]:
+        entry = self._entries.get(line)
+        if entry is None:
+            return frozenset()
+        sharers = set(entry.sharers)
+        if entry.owner is not None:
+            sharers.add(entry.owner)
+        return frozenset(sharers)
+
+    def read(self, core: int, line: int) -> CoherenceResult:
+        """Core requests read permission (GetS)."""
+        self._check_core(core)
+        entry = self._entry(line)
+        downgraded = None
+        if entry.owner is not None and entry.owner != core:
+            # Owner is forced to share (M -> S with writeback).
+            downgraded = entry.owner
+            entry.sharers.add(entry.owner)
+            entry.owner = None
+            self.downgrades_sent += 1
+        if entry.owner == core:
+            return CoherenceResult(frozenset(), None, CoherenceState.MODIFIED)
+        entry.sharers.add(core)
+        if entry.sharers == {core}:
+            # Sole sharer gets Exclusive.
+            entry.owner = core
+            entry.sharers.clear()
+            return CoherenceResult(frozenset(), downgraded, CoherenceState.EXCLUSIVE)
+        return CoherenceResult(frozenset(), downgraded, CoherenceState.SHARED)
+
+    def write(self, core: int, line: int) -> CoherenceResult:
+        """Core requests write permission (GetX)."""
+        self._check_core(core)
+        entry = self._entry(line)
+        to_invalidate = set(entry.sharers)
+        if entry.owner is not None and entry.owner != core:
+            to_invalidate.add(entry.owner)
+        to_invalidate.discard(core)
+        entry.sharers.clear()
+        entry.owner = core
+        self.invalidations_sent += len(to_invalidate)
+        return CoherenceResult(frozenset(to_invalidate), None, CoherenceState.MODIFIED)
+
+    def evict(self, core: int, line: int) -> None:
+        """Core silently drops (or writes back) a line."""
+        self._check_core(core)
+        entry = self._entries.get(line)
+        if entry is None:
+            return
+        entry.sharers.discard(core)
+        if entry.owner == core:
+            entry.owner = None
+        if entry.state is CoherenceState.INVALID:
+            del self._entries[line]
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range 0..{self.num_cores - 1}")

@@ -1,0 +1,62 @@
+"""DRAM with per-bank open-row buffers.
+
+Access latency depends on whether the request hits the currently open row of
+its bank (Section VI-B1: "DRAM access latency is a function of recent and
+outstanding requests").  This address-dependent timing is precisely why the
+paper declines to build a DO variant for DRAM (Section VI-B2): hiding it
+would require changes to the modules themselves.  Our SDO configurations
+therefore *delay* loads predicted to be in DRAM instead (the
+``dram_do_variant=False`` default), and this model is what makes that choice
+consequential in the numbers.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DramConfig
+
+
+class Dram:
+    """Row-buffer timing model.  One open row per bank."""
+
+    def __init__(self, config: DramConfig, line_size: int = 64) -> None:
+        self.config = config
+        self.line_size = line_size
+        self._open_rows: dict[int, int] = {}
+        self.accesses = 0
+        self.row_hits = 0
+
+    @property
+    def lines_per_row(self) -> int:
+        return max(1, self.config.row_size // self.line_size)
+
+    def bank_of(self, line: int) -> int:
+        # Row-interleaved mapping: a whole row lives in one bank and
+        # consecutive rows rotate across banks, so sequential streams enjoy
+        # row-buffer hits — the address-dependent timing a DO DRAM variant
+        # would have to hide.
+        return (line // self.lines_per_row) % self.config.banks
+
+    def row_of(self, line: int) -> int:
+        return line // self.lines_per_row
+
+    def access(self, line: int) -> int:
+        """Access a line; returns latency and updates the open row."""
+        bank = self.bank_of(line)
+        row = self.row_of(line)
+        self.accesses += 1
+        if self._open_rows.get(bank) == row:
+            self.row_hits += 1
+            latency = self.config.row_buffer_hit_latency
+        else:
+            latency = self.config.latency
+            self._open_rows[bank] = row
+        return latency
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self._open_rows.clear()
+        self.accesses = 0
+        self.row_hits = 0

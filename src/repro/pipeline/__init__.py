@@ -1,0 +1,45 @@
+"""The out-of-order core substrate.
+
+An execution-driven speculative out-of-order pipeline: fetch (with the
+``repro.frontend`` predictors), register renaming onto a physical register
+file, out-of-order issue with functional-unit constraints, a load/store
+queue with store-to-load forwarding, and in-order commit against the
+functional golden model.
+
+Wrong-path instructions *really execute* here — they read real (stale or
+wrong) values, probe the real cache model, and are rolled back by walking
+the ROB — because that transient execution is the attack surface the paper
+defends.  Protection schemes (Unsafe / STT / STT+SDO) plug in through the
+:class:`~repro.pipeline.protection.ProtectionScheme` interface; the pipeline
+itself knows only *where* the hooks are, not what any scheme does.
+"""
+
+from repro.pipeline.uop import DynInst, UopState
+from repro.pipeline.registers import PhysRegFile, RenameMap
+from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.lsq import LoadQueue, StoreQueue
+from repro.pipeline.protection import (
+    FpIssueAction,
+    IssueDecision,
+    LoadIssueAction,
+    ProtectionScheme,
+    UnsafeProtection,
+)
+from repro.pipeline.core import Core, SimulationResult
+
+__all__ = [
+    "Core",
+    "DynInst",
+    "FpIssueAction",
+    "IssueDecision",
+    "LoadIssueAction",
+    "LoadQueue",
+    "PhysRegFile",
+    "ProtectionScheme",
+    "RenameMap",
+    "ReorderBuffer",
+    "SimulationResult",
+    "StoreQueue",
+    "UnsafeProtection",
+    "UopState",
+]

@@ -1,0 +1,1057 @@
+"""The execution-driven out-of-order core.
+
+Stage order within a cycle: writeback events -> protection ``begin_cycle``
+(untaint frontier; pending branch resolutions; Obl-Ld safe/C events) ->
+commit -> issue -> dispatch/rename -> fetch.  Fetched wrong-path
+instructions execute for real and are rolled back by a tail-first ROB walk.
+
+The core is policy-free: every security decision is delegated to the
+attached :class:`~repro.pipeline.protection.ProtectionScheme`.  What *is*
+here is the Obl-Ld microarchitecture of Section VI-A — the load-queue state
+machine over events A (issue), B (wait-buffer complete), C (safe) and
+D (validation complete), including all three orderings of Section V-C2 and
+the early-forwarding optimization — because those are pipeline structures,
+not policy.
+
+Committed state is checked against the functional golden model
+(:class:`~repro.isa.iss.Interpreter`) instruction by instruction: any
+divergence raises :class:`GoldenModelMismatch` immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.config import MachineConfig, MemLevel
+from repro.common.stats import StatGroup
+from repro.frontend.branch_predictor import TournamentPredictor
+from repro.frontend.btb import BranchTargetBuffer
+from repro.isa.instructions import Opcode, OpClass, is_subnormal
+from repro.isa.iss import ArchState, Interpreter, execute_instruction, wrap64
+from repro.isa.program import Program
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.observer import ResourceObserver
+from repro.pipeline.lsq import LoadQueue, StoreQueue
+from repro.pipeline.protection import (
+    FpIssueAction,
+    LoadIssueAction,
+    ProtectionScheme,
+    UnsafeProtection,
+)
+from repro.pipeline.registers import PhysRegFile, RenameMap
+from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.uop import DynInst, OblState, UopState
+
+#: Fixed execution latencies (cycles) by opcode class / opcode.
+_FP_FAST_LATENCY = {
+    Opcode.FADD: 3,
+    Opcode.FSUB: 3,
+    Opcode.FMUL: 4,
+    Opcode.FDIV: 12,
+    Opcode.FSQRT: 15,
+    Opcode.FLI: 1,
+}
+#: Extra cycles of the microcoded slow path taken on subnormal operands
+#: (the operand-dependent timing of [5] the paper's FP example builds on).
+FP_SLOW_EXTRA = 40
+_SQ_FORWARD_LATENCY = 1
+
+
+class GoldenModelMismatch(AssertionError):
+    """The OoO core committed something the ISS disagrees with."""
+
+
+class DeadlockError(RuntimeError):
+    """No instruction committed for an implausibly long time."""
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Summary of one simulation run."""
+
+    cycles: int
+    instructions: int
+    stats: dict[str, float]
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class _ExecView:
+    """ArchState-compatible adapter giving ``execute_instruction`` renamed
+    operand values and a speculative memory view."""
+
+    __slots__ = ("core", "uop", "result", "store_addr", "store_value", "load_addr")
+
+    def __init__(self, core: "Core", uop: DynInst) -> None:
+        self.core = core
+        self.uop = uop
+        self.result: int | float | None = None
+        self.store_addr: int | None = None
+        self.store_value: int | float | None = None
+        self.load_addr: int | None = None
+
+    def read_reg(self, reg: int) -> int | float:
+        inst = self.uop.inst
+        if reg == inst.rs1:
+            return self.core.prf.value[self.uop.src_pregs[0]]
+        if reg == inst.rs2:
+            index = 1 if inst.rs1 is not None else 0
+            return self.core.prf.value[self.uop.src_pregs[index]]
+        raise KeyError(f"uop {self.uop} read unexpected register {reg}")
+
+    def write_reg(self, reg: int, value: int | float) -> None:
+        self.result = value
+
+    def read_mem(self, addr: int) -> int | float:
+        self.load_addr = addr
+        return self.core.speculative_read(addr, self.uop.seq)
+
+    def write_mem(self, addr: int, value: int | float) -> None:
+        self.store_addr = addr
+        self.store_value = value
+
+
+class Core:
+    """One out-of-order core attached to a memory hierarchy."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: MachineConfig | None = None,
+        protection: ProtectionScheme | None = None,
+        hierarchy: MemoryHierarchy | None = None,
+        observer: ResourceObserver | None = None,
+        check_golden: bool = True,
+    ) -> None:
+        self.program = program
+        self.config = config or MachineConfig()
+        self.observer = observer or ResourceObserver(enabled=False)
+        self.hierarchy = hierarchy or MemoryHierarchy(self.config, self.observer)
+        self.protection = protection or UnsafeProtection()
+        self.check_golden = check_golden
+
+        core_cfg = self.config.core
+        self.prf = PhysRegFile(core_cfg.phys_int_regs + core_cfg.phys_fp_regs)
+        self.rename_map = RenameMap(self.prf)
+        self.rob = ReorderBuffer(core_cfg.rob_entries)
+        self.iq: list[DynInst] = []
+        self.lq = LoadQueue(core_cfg.lq_entries)
+        self.sq = StoreQueue(core_cfg.sq_entries)
+        self.bpred = TournamentPredictor()
+        self.btb = BranchTargetBuffer()
+
+        self.committed = ArchState(memory=dict(program.initial_memory))
+        self._golden = Interpreter(program) if check_golden else None
+
+        self.cycle = 0
+        self.halted = False
+        self._seq = 0
+        self.fetch_pc = 0
+        self._fetch_resume_cycle = 0
+        self._fetch_halted = False
+        self._decode_queue: deque[DynInst] = deque()
+        self._decode_ready: dict[int, int] = {}  # seq -> ready cycle
+        self._events: list[tuple[int, int, str, DynInst]] = []
+        self._event_tiebreak = 0
+        self._last_commit_cycle = 0
+
+        # Loads/FP ops under protection whose safe (C) event is pending.
+        self._protected_watch: list[DynInst] = []
+        # Branches whose resolution STT is delaying.
+        self._pending_resolutions: list[DynInst] = []
+        # Stores whose address is computed but whose data is still in flight.
+        self._stores_awaiting_data: list[DynInst] = []
+
+        self.stats = StatGroup("core")
+        self.protection.attach(self)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_instructions: int = 1_000_000, max_cycles: int = 10_000_000) -> SimulationResult:
+        """Simulate until HALT commits (or a limit is hit)."""
+        target = self.stats["instructions"] + max_instructions
+        while not self.halted and self.cycle < max_cycles:
+            self.step()
+            if self.stats["instructions"] >= target:
+                break
+            if self.cycle - self._last_commit_cycle > 50_000:
+                raise DeadlockError(
+                    f"no commit since cycle {self._last_commit_cycle} "
+                    f"(now {self.cycle}); ROB head: {self.rob.head!r}"
+                )
+        merged = dict(self.stats.as_dict())
+        merged.update(self.hierarchy.stats.as_dict())
+        protection_stats = getattr(self.protection, "stats", None)
+        if protection_stats is not None:
+            merged.update(protection_stats.as_dict())
+        merged["core.bpred_mispredict_rate"] = self.bpred.mispredict_rate
+        return SimulationResult(
+            cycles=self.cycle,
+            instructions=self.stats["instructions"],
+            stats=merged,
+        )
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        self._process_events()
+        self.protection.begin_cycle(self.cycle)
+        self._process_pending_resolutions()
+        self._process_safe_transitions()
+        self._commit()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self.cycle += 1
+
+    def speculative_read(self, addr: int, seq: int) -> int | float:
+        """Memory view of a load at ``seq``: SQ forwarding over committed
+        state (exact under single-core TSO)."""
+        store = self.sq.forward_source(addr, seq)
+        if store is not None and store.store_value is not None:
+            return store.store_value
+        return self.committed.read_mem(addr)
+
+    def notify_invalidation(self, addr: int) -> None:
+        """An external agent invalidated ``addr``'s line (coherence hook).
+
+        Completed-but-uncommitted loads of that line may need a consistency
+        squash; per Section V-C1 the squash is *delayed* until the load's
+        address is untainted, and loads that performed a validation (or read
+        from the L1) are covered by the normal path.
+        """
+        line = self.hierarchy.line_of(addr)
+        self.hierarchy.external_invalidate(addr)
+        for uop in self.lq.loads_of_line(line):
+            uop.invalidated_while_inflight = True
+            self.stats.bump("consistency_marks")
+
+    # ------------------------------------------------------------------ #
+    # Events
+    # ------------------------------------------------------------------ #
+
+    def _schedule(self, cycle: int, kind: str, uop: DynInst) -> None:
+        self._event_tiebreak += 1
+        heapq.heappush(self._events, (max(cycle, self.cycle + 1), self._event_tiebreak, kind, uop))
+
+    def _process_events(self) -> None:
+        while self._events and self._events[0][0] <= self.cycle:
+            _, _, kind, uop = heapq.heappop(self._events)
+            if uop.squashed:
+                continue
+            if kind == "complete":
+                self._complete(uop)
+            elif kind == "branch_resolve":
+                self._resolve_branch(uop)
+            elif kind == "obl_resp":
+                self._obl_wait_buffer(uop)
+            elif kind == "validation_done":
+                self._validation_done(uop)
+            else:  # pragma: no cover
+                raise AssertionError(f"unknown event kind {kind}")
+
+    # ------------------------------------------------------------------ #
+    # Fetch
+    # ------------------------------------------------------------------ #
+
+    def _fetch(self) -> None:
+        if self._fetch_halted or self.cycle < self._fetch_resume_cycle:
+            return
+        if len(self._decode_queue) >= 3 * self.config.core.fetch_width:
+            self.stats.bump("fetch_buffer_full_cycles")
+            return
+        rooms = self.config.core.fetch_width
+        while rooms > 0:
+            if not 0 <= self.fetch_pc < len(self.program):
+                # Ran off the program on a wrong path; wait for a redirect.
+                self.stats.bump("fetch_off_end_cycles")
+                return
+            inst = self.program[self.fetch_pc]
+            uop = DynInst(self._seq, self.fetch_pc, inst)
+            self._seq += 1
+            next_pc = self.fetch_pc + 1
+            taken_break = False
+            if inst.opcode is Opcode.JMP:
+                uop.predicted_taken = True
+                next_pc = inst.target if inst.target is not None else next_pc
+                taken_break = True
+            elif inst.is_conditional_branch:
+                prediction = self.bpred.predict(self.fetch_pc)
+                uop.prediction = prediction
+                uop.predicted_taken = prediction.taken
+                if prediction.taken:
+                    next_pc = inst.target if inst.target is not None else next_pc
+                    taken_break = True
+            uop.predicted_next_pc = next_pc
+            self._decode_queue.append(uop)
+            self._decode_ready[uop.seq] = self.cycle + self.config.core.fetch_to_decode_latency
+            self.stats.bump("fetched")
+            self.fetch_pc = next_pc
+            rooms -= 1
+            if inst.opcode is Opcode.HALT:
+                # Stop fetching past a (possibly speculative) HALT; a squash
+                # redirect un-sticks us if it was wrong-path.
+                self._fetch_halted = True
+                return
+            if taken_break:
+                return  # taken-branch fetch break
+
+    # ------------------------------------------------------------------ #
+    # Dispatch / rename
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self) -> None:
+        width = self.config.core.decode_width
+        while width > 0 and self._decode_queue:
+            uop = self._decode_queue[0]
+            if self._decode_ready.get(uop.seq, 0) > self.cycle:
+                return
+            if self.rob.full:
+                self.stats.bump("rob_full_stalls")
+                return
+            if uop.is_load and self.lq.full:
+                self.stats.bump("lq_full_stalls")
+                return
+            if uop.is_store and self.sq.full:
+                self.stats.bump("sq_full_stalls")
+                return
+            needs_iq = uop.inst.op_class is not OpClass.SYSTEM
+            if needs_iq and len(self.iq) >= self.config.core.iq_entries:
+                self.stats.bump("iq_full_stalls")
+                return
+            if not self._rename(uop):
+                self.stats.bump("no_preg_stalls")
+                return
+            self._decode_queue.popleft()
+            self._decode_ready.pop(uop.seq, None)
+            self.rob.push(uop)
+            uop.state = UopState.WAITING
+            uop.ready_cycle = self.cycle
+            if uop.is_load:
+                self.lq.push(uop)
+            if uop.is_store:
+                self.sq.push(uop)
+            if needs_iq:
+                self.iq.append(uop)
+            else:
+                uop.state = UopState.COMPLETED
+                uop.complete_cycle = self.cycle
+            width -= 1
+
+    def _rename(self, uop: DynInst) -> bool:
+        inst = uop.inst
+        uop.src_pregs = tuple(self.rename_map.lookup(src) for src in inst.sources())
+        if inst.rd is not None:
+            renamed = self.rename_map.rename_dest(inst.rd)
+            if renamed is None:
+                return False
+            uop.dest_preg, uop.old_dest_preg = renamed
+        self.protection.on_rename(uop)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Issue / execute
+    # ------------------------------------------------------------------ #
+
+    def _issue(self) -> None:
+        slots = self.config.core.issue_width
+        core_cfg = self.config.core
+        fu_free = {
+            OpClass.INT_ALU: core_cfg.int_alu_units,
+            OpClass.INT_MUL: core_cfg.int_mul_units,
+            OpClass.FP: core_cfg.fp_units,
+            OpClass.BRANCH: core_cfg.int_alu_units,  # branches share ALUs
+        }
+        mem_slots = core_cfg.mem_ports
+        self._capture_store_data()
+        issued: list[DynInst] = []
+        for uop in self.iq:
+            if slots == 0:
+                break
+            op_class = uop.inst.op_class
+            if op_class is OpClass.STORE:
+                # Stores issue (compute their address) once the *base*
+                # register is ready; the data may arrive later (split AGU).
+                if not self.prf.ready[uop.src_pregs[1]]:
+                    continue
+            elif not all(self.prf.ready[p] for p in uop.src_pregs):
+                continue
+            if op_class in (OpClass.LOAD, OpClass.STORE):
+                if mem_slots == 0:
+                    continue
+                if op_class is OpClass.LOAD and not self._try_issue_load(uop):
+                    continue
+                if op_class is OpClass.STORE:
+                    self._issue_store(uop)
+                mem_slots -= 1
+            elif op_class is OpClass.FP and uop.is_fp_transmitter:
+                if fu_free[OpClass.FP] == 0:
+                    continue
+                if not self._try_issue_fp_transmitter(uop):
+                    continue
+                fu_free[OpClass.FP] -= 1
+            else:
+                if fu_free.get(op_class, 0) == 0:
+                    continue
+                self._issue_simple(uop)
+                fu_free[op_class] -= 1
+            issued.append(uop)
+            slots -= 1
+        if issued:
+            issued_set = set(id(u) for u in issued)
+            self.iq = [u for u in self.iq if id(u) not in issued_set]
+
+    def _execute(self, uop: DynInst) -> _ExecView:
+        """Functionally execute ``uop`` with renamed operands."""
+        view = _ExecView(self, uop)
+        next_pc, taken, _, _ = execute_instruction(uop.inst, uop.pc, view)
+        uop.actual_taken = taken
+        uop.actual_next_pc = next_pc
+        return view
+
+    def _issue_simple(self, uop: DynInst) -> None:
+        """ALU / FP-non-transmitter / branch issue."""
+        view = self._execute(uop)
+        uop.issue_cycle = self.cycle
+        uop.state = UopState.ISSUED
+        uop.result = view.result
+        latency = self._latency_of(uop)
+        if uop.is_branch:
+            self._schedule(self.cycle + latency, "branch_resolve", uop)
+            uop.result = None
+            # Branches have no dest; completion coincides with resolution
+            # scheduling (the squash, if any, happens at resolve time).
+            uop.state = UopState.COMPLETED
+            uop.complete_cycle = self.cycle + latency
+        else:
+            self._schedule(self.cycle + latency, "complete", uop)
+        self.stats.bump("issued")
+
+    def _latency_of(self, uop: DynInst) -> int:
+        op = uop.inst.opcode
+        op_class = uop.inst.op_class
+        if op_class is OpClass.INT_ALU:
+            return 1
+        if op_class is OpClass.INT_MUL:
+            return 3
+        if op_class is OpClass.BRANCH:
+            return 1
+        if op_class is OpClass.FP:
+            base = _FP_FAST_LATENCY[op]
+            if self._fp_operands_slow(uop):
+                return base + FP_SLOW_EXTRA
+            return base
+        raise AssertionError(f"no fixed latency for {op}")
+
+    def _fp_operands_slow(self, uop: DynInst) -> bool:
+        for preg in uop.src_pregs:
+            value = self.prf.value[preg]
+            if isinstance(value, float) and is_subnormal(value):
+                return True
+        return False
+
+    def _issue_store(self, uop: DynInst) -> None:
+        """Address generation; data is captured when its register is ready."""
+        base = self.prf.value[uop.src_pregs[1]]
+        uop.addr = wrap64(int(base) + int(uop.inst.imm))
+        uop.line = self.hierarchy.line_of(uop.addr)
+        uop.issue_cycle = self.cycle
+        uop.state = UopState.ISSUED
+        uop.actual_taken = False
+        uop.actual_next_pc = uop.pc + 1
+        data_preg = uop.src_pregs[0]
+        if self.prf.ready[data_preg]:
+            uop.store_value = self.prf.value[data_preg]
+            self._schedule(self.cycle + 1, "complete", uop)
+        else:
+            self._stores_awaiting_data.append(uop)
+        self.stats.bump("issued")
+
+    def _capture_store_data(self) -> None:
+        if not self._stores_awaiting_data:
+            return
+        still_waiting: list[DynInst] = []
+        for uop in self._stores_awaiting_data:
+            if uop.squashed:
+                continue
+            if self.prf.ready[uop.src_pregs[0]]:
+                uop.store_value = self.prf.value[uop.src_pregs[0]]
+                self._schedule(self.cycle + 1, "complete", uop)
+            else:
+                still_waiting.append(uop)
+        self._stores_awaiting_data = still_waiting
+
+    # --- loads ----------------------------------------------------------- #
+
+    def _try_issue_load(self, uop: DynInst) -> bool:
+        """Attempt to issue a ready load; returns False to retry later."""
+        # Conservative disambiguation: wait until all older stores have
+        # computed their addresses.
+        if not self.sq.all_addresses_known_before(uop.seq):
+            return False
+        # The address is computed once, before the policy decision (hardware
+        # AGUs run regardless); the Perfect predictor's oracle needs it.
+        # Source registers cannot change while the load waits, so delayed
+        # retries reuse it.  The *value* is re-read at actual issue because
+        # an older store may have drained in the meantime.
+        if uop.addr is None:
+            view = self._execute(uop)
+            uop.addr = view.load_addr
+            uop.line = self.hierarchy.line_of(view.load_addr)
+        forward = self.sq.forward_source(uop.addr, uop.seq)
+        if forward is not None and forward.store_value is None:
+            # The matching store's data has not arrived; the forwarded value
+            # would be wrong — retry next cycle.
+            return False
+        decision = self.protection.load_issue_decision(uop)
+        if decision.action is LoadIssueAction.DELAY:
+            uop.delayed_cycles += 1
+            self.stats.bump("load_delay_cycles")
+            return False
+        uop.issue_cycle = self.cycle
+        uop.state = UopState.ISSUED
+        raw = self.speculative_read(uop.addr, uop.seq)
+        # Match the ISS's load semantics (FLOAD coerces to float, LOAD to a
+        # wrapped 64-bit integer) so the golden-model comparison stays exact.
+        if uop.inst.opcode is Opcode.FLOAD:
+            uop.value = float(raw)
+        else:
+            uop.value = wrap64(int(raw))
+        if decision.action is LoadIssueAction.NORMAL:
+            self._issue_load_normal(uop, forward)
+        else:
+            self._issue_load_oblivious(uop, forward, decision.predicted_level)
+        self.stats.bump("issued")
+        return True
+
+    def _issue_load_normal(self, uop: DynInst, forward: DynInst | None) -> None:
+        if forward is not None:
+            uop.sq_forward_seq = forward.seq
+            uop.actual_level = None
+            self.stats.bump("sq_forwards")
+            self._schedule(self.cycle + _SQ_FORWARD_LATENCY, "complete", uop)
+            return
+        response = self.hierarchy.load(uop.addr, self.cycle)
+        uop.actual_level = response.level
+        if uop.predicted_level is not None:
+            # This load carried a location prediction but issued normally —
+            # the DRAM-prediction delay fallback.  Train the predictor with
+            # what the standard access found (Section V-C3: "update the
+            # predictor with the level that the validation finds data in").
+            self._train_predictor(uop)
+        self._schedule(response.complete_at, "complete", uop)
+
+    def _issue_load_oblivious(
+        self, uop: DynInst, forward: DynInst | None, level: MemLevel
+    ) -> None:
+        """Event A of Section V-C2: issue as an Obl-Ld.
+
+        Per Section V-C3, on a store-queue hit the Obl-Ld still issues
+        (uniform resource usage) but correct data is forwarded from the SQ
+        once all responses return.
+        """
+        response = self.hierarchy.oblivious_load(uop.addr, level, self.cycle)
+        uop.obl_state = OblState.INFLIGHT
+        uop.obl_response = response
+        uop.predicted_level = level
+        uop.actual_level = response.actual_level
+        if forward is not None:
+            uop.sq_forward_seq = forward.seq
+            self.stats.bump("sq_forwards")
+        self.stats.bump("obl_issued")
+        # Validation policy (Section VI-A field 3): exposure if the L1
+        # lookup succeeds, or if the load cannot be reordered with older
+        # memory operations (the InvisiSpec exposure condition, approximated
+        # as "no older memory ops in flight at issue").
+        oldest_mem = self._is_oldest_mem_op(uop)
+        uop.use_exposure = oldest_mem or (
+            response.success and response.actual_level is MemLevel.L1
+        ) or forward is not None
+        uop.needs_validation = not uop.use_exposure
+        for _, respond_cycle, _ in response.responses:
+            self._schedule(respond_cycle, "obl_resp", uop)
+        self._protected_watch.append(uop)
+
+    def _older_loads_done(self, uop: DynInst) -> bool:
+        """The InvisiSpec exposure condition, evaluated at the safe point:
+        with every older load already performed, this load's value can no
+        longer violate TSO load-load ordering, so the validation can be
+        replaced by an asynchronous exposure (Section V-C1)."""
+        for other in self.lq:
+            if other.seq >= uop.seq:
+                break
+            if not other.completed:
+                return False
+        return True
+
+    def _is_oldest_mem_op(self, uop: DynInst) -> bool:
+        for other in self.lq:
+            if other.seq < uop.seq and other.state is not UopState.RETIRED:
+                return False
+        for other in self.sq._entries:  # noqa: SLF001 - same package
+            if other.seq < uop.seq:
+                return False
+        return True
+
+    def _obl_success_value(self, uop: DynInst) -> int | float:
+        """What the wait buffer forwards on success."""
+        if uop.sq_forward_seq is not None:
+            return uop.value  # captured via speculative_read at issue
+        return uop.value
+
+    def _obl_wait_buffer(self, uop: DynInst) -> None:
+        """A response reached the wait buffer (may be event B)."""
+        if uop.obl_state is not OblState.INFLIGHT:
+            return
+        response = uop.obl_response
+        # Early forwarding (Section V-C2): once safe, data may be forwarded
+        # as soon as a success response (with all earlier responses) arrives.
+        if (
+            self.config.protection.early_forwarding
+            and uop.safe
+            and not uop.completed
+            and uop.sq_forward_seq is None
+        ):
+            first_success = response.first_success_cycle()
+            if first_success is not None and first_success <= self.cycle < response.complete_at:
+                self.stats.bump("obl_early_forwards")
+                self._obl_complete_success(uop)
+                return
+        if self.cycle < response.complete_at:
+            return
+        # --- Event B: all responses arrived ---
+        uop.obl_state = OblState.DONE
+        sq_hit = uop.sq_forward_seq is not None
+        success = response.success or sq_hit
+        if not uop.safe:
+            # Case 1 ordering (B before C): forward unconditionally —
+            # success or fail must look identical to the attacker.
+            if success:
+                self._obl_complete_success(uop)
+            else:
+                uop.pending_squash = True
+                self.stats.bump("obl_fail_forwards")
+                self._writeback(uop, self._poison_value(uop))
+            return
+        # C already happened (Case 2/3 orderings).
+        if success:
+            if not uop.completed:
+                self._obl_complete_success(uop)
+        elif uop.validation_complete_cycle < 0 and not uop.validation_done:
+            # Fail, safe, and no validation in flight (the exposure condition
+            # had been assumed at C): it is now safe to reveal the fail, so
+            # issue the standard access that will supply the value.
+            self._issue_validation(uop)
+        # Otherwise: drop the failed result and let the already-issued
+        # validation (event D) supply the value.
+
+    def _poison_value(self, uop: DynInst) -> int | float:
+        """The architecturally wrong value a failed DO variant forwards."""
+        return 0.0 if uop.inst.opcode is Opcode.FLOAD else 0
+
+    def _obl_complete_success(self, uop: DynInst) -> None:
+        if uop.completed:
+            return
+        if uop.safe:
+            # Success is public once the load is safe: train the location
+            # predictor now (Section V-C3).
+            self._train_predictor(uop)
+        if uop.sq_forward_seq is None and uop.obl_response is not None:
+            first_hit = next(
+                (cycle for _, cycle, hit in uop.obl_response.responses if hit), None
+            )
+            if first_hit is not None:
+                # Cycles the correct data sat in the wait buffer waiting for
+                # deeper (imprecisely predicted) lookups to respond.
+                self.stats.bump("imprecision_cycles", max(0, self.cycle - first_hit))
+        self._writeback(uop, self._obl_success_value(uop))
+
+    # ------------------------------------------------------------------ #
+    # Completion / writeback
+    # ------------------------------------------------------------------ #
+
+    def _complete(self, uop: DynInst) -> None:
+        if uop.is_load:
+            self._writeback(uop, uop.value)
+            return
+        if uop.is_store:
+            uop.state = UopState.COMPLETED
+            uop.complete_cycle = self.cycle
+            return
+        self._writeback(uop, uop.result)
+
+    def _writeback(self, uop: DynInst, value: int | float | None) -> None:
+        if uop.completed:
+            return
+        if uop.dest_preg is not None and value is not None:
+            self.prf.mark_ready(uop.dest_preg, value)
+        elif uop.dest_preg is not None:
+            self.prf.mark_ready(uop.dest_preg, 0)
+        uop.state = UopState.COMPLETED
+        uop.complete_cycle = self.cycle
+        self.protection.on_complete(uop)
+
+    # ------------------------------------------------------------------ #
+    # Branch resolution
+    # ------------------------------------------------------------------ #
+
+    def _resolve_branch(self, uop: DynInst) -> None:
+        if uop.resolved:
+            return
+        uop.mispredicted = uop.actual_next_pc != uop.predicted_next_pc
+        if not self.protection.may_resolve_branch(uop):
+            # Resolution-based implicit channel rule: hold the outcome until
+            # the predicate untaints (Section III).
+            if not uop.resolution_pending:
+                uop.resolution_pending = True
+                self._pending_resolutions.append(uop)
+                self.stats.bump("delayed_resolutions")
+            return
+        self._apply_branch_resolution(uop)
+
+    def _process_pending_resolutions(self) -> None:
+        if not self._pending_resolutions:
+            return
+        still_pending: list[DynInst] = []
+        for uop in self._pending_resolutions:
+            if uop.squashed:
+                continue
+            if self.protection.may_resolve_branch(uop):
+                self._apply_branch_resolution(uop)
+            else:
+                still_pending.append(uop)
+        self._pending_resolutions = still_pending
+
+    def _apply_branch_resolution(self, uop: DynInst) -> None:
+        uop.resolved = True
+        uop.resolution_pending = False
+        if uop.prediction is not None:
+            self.bpred.update(uop.pc, uop.prediction, uop.actual_taken)
+        if uop.inst.target is not None and uop.actual_taken:
+            self.btb.install(uop.pc, uop.inst.target)
+        self.protection.on_complete(uop)
+        if uop.mispredicted:
+            self.stats.bump("branch_squashes")
+            if uop.prediction is not None:
+                self.bpred.repair(uop.prediction, uop.actual_taken)
+            self._squash_after(uop.seq, uop.actual_next_pc)
+
+    # ------------------------------------------------------------------ #
+    # Safe (event C) transitions for protected loads / FP ops
+    # ------------------------------------------------------------------ #
+
+    def _process_safe_transitions(self) -> None:
+        if not self._protected_watch:
+            return
+        remaining: list[DynInst] = []
+        for uop in self._protected_watch:
+            if uop.squashed:
+                continue
+            if not uop.safe and self.protection.output_safe(uop):
+                uop.safe = True
+                self._on_became_safe(uop)
+            elif not uop.safe:
+                remaining.append(uop)
+        self._protected_watch = remaining
+
+    def _on_became_safe(self, uop: DynInst) -> None:
+        """Event C for Obl-Lds; re-execution point for failed Obl-FP ops."""
+        if uop.is_fp_transmitter:
+            self._fp_became_safe(uop)
+            return
+        response = uop.obl_response
+        sq_hit = uop.sq_forward_seq is not None
+        success = (response is not None and response.success) or sq_hit
+        can_expose = (
+            uop.use_exposure
+            or uop.sq_forward_seq is not None
+            or self._older_loads_done(uop)
+        )
+        if uop.obl_state is OblState.DONE:
+            # Case 1 ordering: B happened before C.
+            if success:
+                self._train_predictor(uop)
+                if can_expose:
+                    self._issue_exposure(uop)
+                else:
+                    self._issue_validation(uop)
+            else:
+                # Fail is now public (Section V-C2 Case 1): squash the
+                # dependents that consumed the poisoned value and re-issue
+                # the load as a regular, safe load.
+                self.stats.bump("obl_fail_squashes")
+                self._train_predictor(uop)
+                self.stats.bump("sdo_squashed_uops", self._reissue_load(uop))
+        else:
+            # Case 2/3 orderings: C before B.
+            if sq_hit:
+                # Data will come (correctly) from the store queue at B.
+                uop.validation_done = True
+            elif can_expose and success:
+                # Exposure condition: fill asynchronously, wait for B's data.
+                self._issue_exposure(uop)
+            else:
+                # Issue the validation now (Section V-C2 Case 2 [C]); it
+                # both checks consistency and supplies the value on fail.
+                self._issue_validation(uop)
+            # With the safe bit set, a success response already in the wait
+            # buffer can be forwarded immediately (early forwarding).
+            if (
+                self.config.protection.early_forwarding
+                and not uop.completed
+                and uop.sq_forward_seq is None
+            ):
+                first_success = response.first_success_cycle()
+                if first_success is not None and first_success <= self.cycle:
+                    self.stats.bump("obl_early_forwards")
+                    self._obl_complete_success(uop)
+
+    def _reissue_load(self, uop: DynInst) -> int:
+        """Squash younger instructions and re-execute ``uop`` as a normal
+        load (it is safe now, so STT imposes no further delay).  Returns the
+        number of uops squashed."""
+        discarded = self._squash_after(uop.seq, uop.pc + 1)
+        uop.obl_state = OblState.NONE
+        uop.obl_response = None
+        uop.predicted_level = None  # already trained at the safe point
+        uop.pending_squash = False
+        uop.obl_forwarded = False
+        uop.needs_validation = False
+        uop.use_exposure = False
+        uop.validation_done = False
+        uop.validation_complete_cycle = -1
+        uop.state = UopState.WAITING
+        uop.issue_cycle = -1
+        uop.complete_cycle = -1
+        if uop.dest_preg is not None:
+            self.prf.ready[uop.dest_preg] = False
+        self.iq.append(uop)
+        return discarded
+
+    def _issue_validation(self, uop: DynInst) -> None:
+        response = self.hierarchy.validate(uop.addr, self.cycle)
+        uop.validation_complete_cycle = response.complete_at
+        uop.actual_level = uop.actual_level or response.level
+        self._schedule(response.complete_at, "validation_done", uop)
+        self.stats.bump("validations_issued")
+
+    def _issue_exposure(self, uop: DynInst) -> None:
+        if uop.sq_forward_seq is None and uop.obl_response is not None:
+            self.hierarchy.expose(uop.addr, self.cycle)
+        uop.validation_done = True
+        self.stats.bump("exposures_issued")
+
+    def _validation_done(self, uop: DynInst) -> None:
+        """Event D: the validation's standard access completed."""
+        uop.validation_done = True
+        current_value = self.speculative_read(uop.addr, uop.seq)
+        if not uop.completed:
+            # Case 3 ordering (D before B) or fail-waiting-for-validation:
+            # the validation supplies the value.
+            self._writeback(uop, current_value)
+            self._train_predictor(uop, validated=True)
+            return
+        if current_value != uop.value or uop.invalidated_while_inflight:
+            # Consistency violation detected by value comparison: squash
+            # younger instructions and re-forward the fresh value.
+            self.stats.bump("validation_mismatch_squashes")
+            uop.value = current_value
+            if uop.dest_preg is not None:
+                self.prf.mark_ready(uop.dest_preg, current_value)
+            uop.invalidated_while_inflight = False
+            self.stats.bump(
+                "sdo_squashed_uops", self._squash_after(uop.seq, uop.actual_next_pc)
+            )
+
+    def _train_predictor(self, uop: DynInst, validated: bool = False) -> None:
+        if uop.sq_forward_seq is not None:
+            return  # SQ-forwarded: the cache level is not ground truth
+        if uop.predicted_level is None:
+            return  # never predicted, or already trained once
+        if uop.actual_level is not None:
+            self.protection.on_load_outcome(uop, uop.actual_level)
+            uop.predicted_level = None
+
+    def _fp_became_safe(self, uop: DynInst) -> None:
+        if not (uop.fp_predicted_fast and uop.fp_actually_slow):
+            return
+        # The static "normal operands" prediction failed: squash the
+        # dependents and re-execute on the (now untainted) slow path.
+        self.stats.bump("fp_fail_squashes")
+        self.stats.bump("sdo_squashed_uops", self._squash_after(uop.seq, uop.pc + 1))
+        uop.fp_predicted_fast = False
+        uop.fp_actually_slow = False
+        uop.state = UopState.WAITING
+        uop.issue_cycle = -1
+        uop.complete_cycle = -1
+        if uop.dest_preg is not None:
+            self.prf.ready[uop.dest_preg] = False
+        self.iq.append(uop)
+
+    def _try_issue_fp_transmitter(self, uop: DynInst) -> bool:
+        action = self.protection.fp_issue_decision(uop)
+        if action is FpIssueAction.DELAY:
+            uop.delayed_cycles += 1
+            self.stats.bump("fp_delay_cycles")
+            return False
+        view = self._execute(uop)
+        uop.issue_cycle = self.cycle
+        uop.state = UopState.ISSUED
+        uop.result = view.result
+        slow = self._fp_operands_slow(uop)
+        if action is FpIssueAction.PREDICT_FAST:
+            uop.fp_predicted_fast = True
+            uop.fp_actually_slow = slow
+            latency = _FP_FAST_LATENCY[uop.inst.opcode]
+            self.stats.bump("fp_predicted_fast")
+            if slow:
+                self.stats.bump("fp_subnormal_mispredicts")
+            self._protected_watch.append(uop)
+        else:
+            latency = _FP_FAST_LATENCY[uop.inst.opcode] + (FP_SLOW_EXTRA if slow else 0)
+        self._schedule(self.cycle + latency, "complete", uop)
+        self.stats.bump("issued")
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Squash
+    # ------------------------------------------------------------------ #
+
+    def _squash_after(self, seq: int, refetch_pc: int) -> int:
+        """Squash every uop with ``uop.seq > seq`` and refetch.
+
+        Returns the number of in-flight uops discarded (used to attribute
+        squash cost to its cause in the Figure 7 breakdown).
+        """
+        squashed = self.rob.squash_younger_than(seq)
+        oldest_snapshot = None
+        oldest_snapshot_seq = None
+        for uop in squashed:  # youngest first
+            uop.squashed = True
+            uop.state = UopState.FETCHED
+            if uop.dest_preg is not None:
+                self.rename_map.rollback_dest(uop.inst.rd, uop.old_dest_preg)
+                self.prf.free(uop.dest_preg)
+            if uop.prediction is not None and (
+                oldest_snapshot_seq is None or uop.seq < oldest_snapshot_seq
+            ):
+                oldest_snapshot = uop.prediction
+                oldest_snapshot_seq = uop.seq
+            self.protection.on_squash(uop)
+            self.stats.bump("squashed_uops")
+        for uop in self._decode_queue:
+            if uop.seq > seq:
+                uop.squashed = True
+                self._decode_ready.pop(uop.seq, None)
+                if uop.prediction is not None and (
+                    oldest_snapshot_seq is None or uop.seq < oldest_snapshot_seq
+                ):
+                    oldest_snapshot = uop.prediction
+                    oldest_snapshot_seq = uop.seq
+        self._decode_queue = deque(u for u in self._decode_queue if u.seq <= seq)
+        if oldest_snapshot is not None:
+            # Rewind speculative global history to before the oldest
+            # squashed prediction.
+            self.bpred.history = oldest_snapshot.history_snapshot
+        self.iq = [u for u in self.iq if not u.squashed]
+        self.lq.squash_younger_than(seq)
+        self.sq.squash_younger_than(seq)
+        self._protected_watch = [u for u in self._protected_watch if not u.squashed]
+        self._pending_resolutions = [
+            u for u in self._pending_resolutions if not u.squashed
+        ]
+        self.fetch_pc = refetch_pc
+        self._fetch_halted = False
+        self._fetch_resume_cycle = self.cycle + self.config.core.mispredict_penalty
+        self.stats.bump("squashes")
+        return len(squashed)
+
+    # ------------------------------------------------------------------ #
+    # Commit
+    # ------------------------------------------------------------------ #
+
+    def _commit(self) -> None:
+        width = self.config.core.commit_width
+        while width > 0:
+            head = self.rob.head
+            if head is None:
+                return
+            if not self._commit_ready(head):
+                return
+            self.rob.pop_head()
+            self._do_commit(head)
+            width -= 1
+
+    def _commit_ready(self, uop: DynInst) -> bool:
+        if uop.is_branch:
+            return uop.resolved
+        if not uop.completed:
+            return False
+        if uop.is_load:
+            if uop.pending_squash:
+                # A failed Obl-Ld cannot commit; it will squash at its safe
+                # point.  (It cannot be *correct* to commit a poisoned value.)
+                return False
+            if uop.obl_state is not OblState.NONE and not uop.safe:
+                # An Obl-Ld retires only after its address untaints (its
+                # success flag must be checked at the visibility point).
+                return False
+            if uop.needs_validation and not uop.validation_done:
+                self.stats.bump("validation_stall_cycles")
+                return False
+        if uop.fp_predicted_fast and not uop.safe:
+            # A fast-predicted FP transmitter retires only once the static
+            # "normal operands" prediction has been checked at untaint.
+            return False
+        return True
+
+    def _do_commit(self, uop: DynInst) -> None:
+        inst = uop.inst
+        if uop.is_store:
+            self.committed.write_mem(uop.addr, uop.store_value)
+            self.hierarchy.store(uop.addr, self.cycle)
+            self.sq.remove(uop)
+        if uop.is_load:
+            self.lq.remove(uop)
+        if uop.old_dest_preg is not None and inst.rd != 0:
+            self.prf.free(uop.old_dest_preg)
+        elif uop.dest_preg is not None and inst.rd == 0:
+            self.prf.free(uop.dest_preg)
+        uop.state = UopState.RETIRED
+        self.protection.on_commit(uop)
+        self.stats.bump("instructions")
+        self._last_commit_cycle = self.cycle
+        if self._golden is not None:
+            self._check_against_golden(uop)
+        if inst.opcode is Opcode.HALT:
+            self.halted = True
+
+    def _check_against_golden(self, uop: DynInst) -> None:
+        golden_record = self._golden.step()
+        if golden_record.pc != uop.pc or golden_record.opcode != uop.inst.opcode:
+            raise GoldenModelMismatch(
+                f"commit stream diverged at #{golden_record.seq}: "
+                f"golden pc={golden_record.pc} {golden_record.opcode}, "
+                f"core pc={uop.pc} {uop.inst.opcode}"
+            )
+        core_result = uop.value if uop.is_load else uop.result
+        if uop.is_store:
+            core_result = None
+        golden_result = golden_record.result
+        if golden_result is not None and core_result != golden_result:
+            if not (
+                isinstance(golden_result, float)
+                and isinstance(core_result, float)
+                and golden_result != golden_result  # NaN == NaN case
+                and core_result != core_result
+            ):
+                raise GoldenModelMismatch(
+                    f"value diverged at pc={uop.pc} seq={uop.seq} "
+                    f"({uop.inst.opcode}): core={core_result!r} "
+                    f"golden={golden_result!r}"
+                )

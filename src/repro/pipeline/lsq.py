@@ -1,0 +1,97 @@
+"""Load and store queues.
+
+The store queue supports the disambiguation policy the core uses
+(conservative: a load issues only once every older store's address is
+known) and store-to-load forwarding (youngest older matching store wins).
+
+The load queue tracks in-flight and completed-but-uncommitted loads, which
+is where memory-consistency checks live: an invalidation of a line read by
+such a load may require a squash (Section V-C1).  For Obl-Lds the relevant
+twist is that a line read from *below* the L1 produces no invalidation at
+the core at all — the validation/exposure mechanism compensates.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.uop import DynInst
+
+
+class StoreQueue:
+    """Program-ordered window of in-flight stores."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: list[DynInst] = []  # fetch order
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def push(self, uop: DynInst) -> None:
+        if self.full:
+            raise RuntimeError("SQ overflow — dispatch must check capacity")
+        self._entries.append(uop)
+
+    def remove(self, uop: DynInst) -> None:
+        self._entries.remove(uop)
+
+    def squash_younger_than(self, seq: int) -> None:
+        self._entries = [u for u in self._entries if u.seq <= seq]
+
+    def all_addresses_known_before(self, seq: int) -> bool:
+        """True if every store older than ``seq`` has computed its address."""
+        for store in self._entries:
+            if store.seq >= seq:
+                break
+            if store.addr is None:
+                return False
+        return True
+
+    def forward_source(self, addr: int, seq: int) -> DynInst | None:
+        """Youngest store older than ``seq`` writing ``addr``, if any."""
+        best: DynInst | None = None
+        for store in self._entries:
+            if store.seq >= seq:
+                break
+            if store.addr == addr:
+                best = store
+        return best
+
+
+class LoadQueue:
+    """Program-ordered window of in-flight loads."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: list[DynInst] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def push(self, uop: DynInst) -> None:
+        if self.full:
+            raise RuntimeError("LQ overflow — dispatch must check capacity")
+        self._entries.append(uop)
+
+    def remove(self, uop: DynInst) -> None:
+        self._entries.remove(uop)
+
+    def squash_younger_than(self, seq: int) -> None:
+        self._entries = [u for u in self._entries if u.seq <= seq]
+
+    def loads_of_line(self, line: int) -> list[DynInst]:
+        """Executed loads that read ``line`` (consistency-check targets)."""
+        return [
+            u for u in self._entries
+            if u.line == line and u.issue_cycle >= 0
+        ]

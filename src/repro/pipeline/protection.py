@@ -1,0 +1,114 @@
+"""The hook interface between the pipeline and a protection scheme.
+
+The pipeline is substrate; Unsafe/STT/STT+SDO are policies over it.  A
+:class:`ProtectionScheme` decides, per uop:
+
+* how taint is assigned and propagated at rename,
+* whether a ready load may issue normally, must be delayed (STT), or should
+  issue as an oblivious load at some predicted level (SDO),
+* whether a ready FP transmitter may issue normally, must be delayed
+  (STT{ld+fp}), or issues on the statically predicted fast path (SDO),
+* whether a resolved branch may *apply* its resolution (STT's
+  resolution-based implicit channel rule), and
+* when a given taint root is safe (the untaint frontier).
+
+``UnsafeProtection`` is the do-nothing baseline ("an unmodified insecure
+processor", Table II).  STT lives in ``repro.stt``; SDO in ``repro.core``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.common.config import MemLevel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.pipeline.core import Core
+    from repro.pipeline.uop import DynInst
+
+
+class LoadIssueAction(enum.Enum):
+    NORMAL = "normal"
+    OBLIVIOUS = "oblivious"
+    DELAY = "delay"
+
+
+class FpIssueAction(enum.Enum):
+    NORMAL = "normal"
+    PREDICT_FAST = "predict_fast"
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class IssueDecision:
+    action: LoadIssueAction
+    predicted_level: MemLevel | None = None  # set iff action is OBLIVIOUS
+
+
+class ProtectionScheme:
+    """Base class: the insecure machine.  Subclasses override the hooks."""
+
+    name = "Unsafe"
+
+    def __init__(self) -> None:
+        self.core: "Core | None" = None
+
+    def attach(self, core: "Core") -> None:
+        """Called once by the core after construction."""
+        self.core = core
+
+    # --- taint ---------------------------------------------------------- #
+
+    def on_rename(self, uop: "DynInst") -> None:
+        """Assign taint roots to ``uop`` and its destination register."""
+
+    def is_root_safe(self, root_seq: int) -> bool:
+        """Has root ``root_seq`` reached its visibility point?"""
+        return True
+
+    def sources_tainted(self, uop: "DynInst") -> bool:
+        """Is any source operand of ``uop`` currently tainted?"""
+        return False
+
+    def output_safe(self, uop: "DynInst") -> bool:
+        """Is ``uop``'s own output untainted (event C for loads)?"""
+        return True
+
+    # --- issue policy ---------------------------------------------------- #
+
+    def load_issue_decision(self, uop: "DynInst") -> IssueDecision:
+        return IssueDecision(LoadIssueAction.NORMAL)
+
+    def fp_issue_decision(self, uop: "DynInst") -> FpIssueAction:
+        return FpIssueAction.NORMAL
+
+    # --- implicit channels ------------------------------------------------ #
+
+    def may_resolve_branch(self, uop: "DynInst") -> bool:
+        """May this branch's resolution (squash/predictor update) be applied
+        now?  STT delays it until the predicate is untainted."""
+        return True
+
+    # --- lifecycle notifications ------------------------------------------ #
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Called at the top of every cycle (frontier recomputation)."""
+
+    def on_complete(self, uop: "DynInst") -> None:
+        """A uop produced its result."""
+
+    def on_commit(self, uop: "DynInst") -> None:
+        """A uop retired."""
+
+    def on_squash(self, uop: "DynInst") -> None:
+        """A uop was squashed."""
+
+    def on_load_outcome(self, uop: "DynInst", actual_level: MemLevel) -> None:
+        """The true residence level of a protected load became known
+        (location-predictor training hook, Section V-C3)."""
+
+
+class UnsafeProtection(ProtectionScheme):
+    """Explicit alias for readability at call sites."""

@@ -1,0 +1,147 @@
+"""Dynamic instructions (uops) flowing through the pipeline.
+
+A :class:`DynInst` is one fetched instance of a static instruction.  It
+carries rename state, execution state, branch-prediction state, the load
+state machine used by STT/SDO (events A/B/C/D of Section V-C2), and taint
+bookkeeping.  ``seq`` is a globally unique, monotonically increasing fetch
+sequence number — program order on the current speculative path — and is the
+ordering every age comparison in the machine uses.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.config import MemLevel
+from repro.frontend.branch_predictor import BranchPrediction
+from repro.isa.instructions import Instruction
+from repro.memory.hierarchy import OblLoadResponse
+
+
+class UopState(enum.Enum):
+    FETCHED = "fetched"  # in the fetch/decode buffer
+    WAITING = "waiting"  # renamed, in the IQ, waiting for operands/policy
+    ISSUED = "issued"  # executing (in an FU or the memory system)
+    COMPLETED = "completed"  # result produced and forwarded
+    RETIRED = "retired"
+
+
+class OblState(enum.Enum):
+    """Obl-Ld state machine (Section V-C2).
+
+    Events: A = issued as Obl-Ld, B = all wait-buffer responses arrived,
+    C = load became safe (address untainted), D = validation completed.
+    """
+
+    NONE = "none"  # not an oblivious load
+    INFLIGHT = "inflight"  # A happened, waiting for responses
+    DONE = "done"  # B happened
+
+
+class DynInst:
+    """One in-flight dynamic instruction."""
+
+    __slots__ = (
+        "seq", "pc", "inst", "state", "squashed",
+        # rename
+        "src_pregs", "dest_preg", "old_dest_preg",
+        # execution
+        "issue_cycle", "complete_cycle", "result", "ready_cycle",
+        "delayed_cycles",
+        # branch state
+        "prediction", "predicted_taken", "predicted_next_pc",
+        "actual_taken", "actual_next_pc", "mispredicted",
+        "resolved", "resolution_pending",
+        # memory state
+        "addr", "line", "value", "sq_forward_seq", "store_value",
+        "translation_ok",
+        # Obl-Ld / SDO state (the load-queue fields of Section VI-A)
+        "obl_state", "obl_response", "safe", "needs_validation",
+        "use_exposure", "validation_done", "validation_complete_cycle",
+        "pending_squash", "obl_forwarded", "predicted_level", "actual_level",
+        "invalidated_while_inflight",
+        # FP SDO state
+        "fp_predicted_fast", "fp_actually_slow",
+        # taint
+        "taint_root", "src_taint_root",
+    )
+
+    def __init__(self, seq: int, pc: int, inst: Instruction) -> None:
+        self.seq = seq
+        self.pc = pc
+        self.inst = inst
+        self.state = UopState.FETCHED
+        self.squashed = False
+
+        self.src_pregs: tuple[int, ...] = ()
+        self.dest_preg: int | None = None
+        self.old_dest_preg: int | None = None
+
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.result: int | float | None = None
+        self.ready_cycle = -1  # when the uop entered the IQ
+        self.delayed_cycles = 0  # cycles spent ready-but-delayed by policy
+
+        self.prediction: BranchPrediction | None = None
+        self.predicted_taken = False
+        self.predicted_next_pc = pc + 1
+        self.actual_taken = False
+        self.actual_next_pc = pc + 1
+        self.mispredicted = False
+        self.resolved = False
+        self.resolution_pending = False
+
+        self.addr: int | None = None
+        self.line: int | None = None
+        self.value: int | float | None = None
+        self.sq_forward_seq: int | None = None
+        self.store_value: int | float | None = None
+        self.translation_ok = True
+
+        self.obl_state = OblState.NONE
+        self.obl_response: OblLoadResponse | None = None
+        self.safe = False
+        self.needs_validation = False
+        self.use_exposure = False
+        self.validation_done = False
+        self.validation_complete_cycle = -1
+        self.pending_squash = False
+        self.obl_forwarded = False
+        self.predicted_level: MemLevel | None = None
+        self.actual_level: MemLevel | None = None
+        self.invalidated_while_inflight = False
+
+        self.fp_predicted_fast = False
+        self.fp_actually_slow = False
+
+        self.taint_root: int | None = None
+        self.src_taint_root: int | None = None
+
+    # Convenience passthroughs -------------------------------------------------
+
+    @property
+    def is_load(self) -> bool:
+        return self.inst.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.inst.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return self.inst.is_branch
+
+    @property
+    def is_fp_transmitter(self) -> bool:
+        return self.inst.is_fp_transmitter
+
+    @property
+    def completed(self) -> bool:
+        return self.state in (UopState.COMPLETED, UopState.RETIRED)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynInst(seq={self.seq}, pc={self.pc}, {self.inst.opcode.mnemonic},"
+            f" state={self.state.value})"
+        )

@@ -1,0 +1,28 @@
+"""Security evaluation: attacks, receivers, and non-interference checks.
+
+Three tools:
+
+* :mod:`repro.security.spectre_v1` — the paper's penetration test: a
+  Spectre-V1 bounds-check-bypass gadget plus a flush+reload receiver.  The
+  Unsafe baseline must leak the secret; STT and every STT+SDO variant must
+  not.
+* :mod:`repro.security.channels` — the receiver side: a cache-timing
+  (flush+reload) probe built on the same hierarchy model the victim uses.
+* :mod:`repro.security.analyzer` — the Definition 2 checker: executes an
+  operation with two different operand assignments and asserts the recorded
+  resource-event traces are identical (non-interference).
+"""
+
+from repro.security.channels import CacheTimingReceiver
+from repro.security.analyzer import resource_trace_of, traces_equal, check_non_interference
+from repro.security.spectre_v1 import SpectreV1Result, build_spectre_v1, run_spectre_v1
+
+__all__ = [
+    "CacheTimingReceiver",
+    "SpectreV1Result",
+    "build_spectre_v1",
+    "check_non_interference",
+    "resource_trace_of",
+    "run_spectre_v1",
+    "traces_equal",
+]

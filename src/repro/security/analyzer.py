@@ -1,0 +1,58 @@
+"""Definition 2 (security) checking by trace comparison.
+
+``Obl-f_i(args)`` and ``Obl-f_i(args')`` must create the same hardware
+resource interference for any two operand assignments.  Rather than trust
+the implementation, we record every resource event the memory system emits
+(:class:`~repro.memory.observer.ResourceObserver`) and compare the full
+traces.  A data-oblivious operation yields *identical* traces for different
+addresses; the normal load path — by design — does not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.config import MachineConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.observer import ResourceObserver
+
+
+def resource_trace_of(
+    action: Callable[[MemoryHierarchy], None],
+    machine: MachineConfig | None = None,
+    prepare: Callable[[MemoryHierarchy], None] | None = None,
+) -> tuple:
+    """Run ``action`` against a fresh hierarchy and return the event trace.
+
+    ``prepare`` (e.g. cache warming) runs before observation starts, so
+    setup noise never reaches the comparison.
+    """
+    observer = ResourceObserver(enabled=False)
+    hierarchy = MemoryHierarchy(machine or MachineConfig(), observer)
+    if prepare is not None:
+        prepare(hierarchy)
+    observer.enabled = True
+    action(hierarchy)
+    return observer.normalized(base_cycle=0)
+
+
+def traces_equal(trace_a: tuple, trace_b: tuple) -> bool:
+    return trace_a == trace_b
+
+
+def check_non_interference(
+    make_action: Callable[[int], Callable[[MemoryHierarchy], None]],
+    operands: list[int],
+    machine: MachineConfig | None = None,
+    prepare: Callable[[MemoryHierarchy], None] | None = None,
+) -> tuple[bool, list[tuple]]:
+    """Run the same operation over many operands; True if all traces match.
+
+    Returns ``(ok, traces)`` so a failing test can diff the traces.
+    """
+    traces = [
+        resource_trace_of(make_action(operand), machine, prepare)
+        for operand in operands
+    ]
+    first = traces[0]
+    return all(t == first for t in traces[1:]), traces

@@ -1,0 +1,58 @@
+"""The attacker's receiver: a flush+reload cache-timing probe.
+
+The receiver shares the memory hierarchy with the victim (SameThread /
+CrossCore models).  ``flush`` evicts a set of monitored lines; after the
+victim runs, ``reload`` times an access to each line and classifies it as
+HIT (the victim touched it) or MISS.  The timing threshold sits between the
+L2 and L3 round-trip latencies, as in real flush+reload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    addr: int
+    latency: int
+    hit: bool
+
+
+class CacheTimingReceiver:
+    def __init__(self, hierarchy: MemoryHierarchy) -> None:
+        self.hierarchy = hierarchy
+        config = hierarchy.config
+        # Anything at L3-or-worse counts as "flushed"; private-cache hits
+        # count as "the victim touched this".
+        self.threshold = config.l1d.latency + config.l2.latency + config.l3.latency
+
+    def flush(self, addrs) -> None:
+        """Evict the monitored lines from every cache level (clflush)."""
+        for addr in addrs:
+            self.hierarchy.external_invalidate(addr)
+
+    def reload(self, addrs, now: int = 0) -> list[ProbeResult]:
+        """Time an access to each monitored line."""
+        results = []
+        cursor = now
+        for addr in addrs:
+            response = self.hierarchy.load(addr, cursor)
+            latency = response.complete_at - cursor
+            results.append(ProbeResult(addr, latency, latency < self.threshold))
+            cursor = response.complete_at + 1
+        return results
+
+    def recover_index(self, base: int, stride: int, count: int, now: int = 0) -> int | None:
+        """Flush+reload decode: which of ``count`` slots did the victim touch?
+
+        Returns the slot index with a hit, or None if no slot (or more than
+        one ambiguous slot) hit — i.e. no leak observed.
+        """
+        addrs = [base + stride * i for i in range(count)]
+        hits = [r for r in self.reload(addrs, now) if r.hit]
+        if len(hits) != 1:
+            return None
+        return (hits[0].addr - base) // stride

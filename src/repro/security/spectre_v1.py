@@ -1,0 +1,138 @@
+"""Spectre Variant 1 penetration test (paper, Section VIII-A).
+
+The victim is Figure 1 of the paper, compiled to the micro-ISA::
+
+    for round in range(TRAIN_ROUNDS + 1):
+        addr  = idx[round]           # attacker-controlled
+        limit = *limit_ptr           # bounds — evicted, so the check is slow
+        if addr < limit:             # mispredicted on the attack round
+            val = A[addr]            # the access: reads the secret when oob
+            tmp = B[val << 9]        # the transmitter
+
+The first ``TRAIN_ROUNDS`` iterations use in-bounds indices (value 0),
+training the branch predictor toward "in bounds".  The final round supplies
+an out-of-bounds index that makes ``A[addr]`` alias the secret.  The bound
+itself is flushed before the run so the bounds check resolves slowly,
+giving the transient window.  The attacker then flush+reloads the probe
+array ``B`` to recover ``val``.
+
+* **Unsafe**: the transient transmitter fills ``B[secret << 9]`` — the
+  receiver recovers the secret.
+* **STT / STT+SDO**: the transmitter's operand is tainted; it is delayed
+  (STT) or executed data-obliviously with no cache-state change (SDO) —
+  the receiver sees nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import AttackModel, MachineConfig
+from repro.isa.assembler import assemble
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import Core
+from repro.security.channels import CacheTimingReceiver
+from repro.sim.configs import EvaluatedConfig, config_by_name, make_protection
+
+TRAIN_ROUNDS = 12
+PROBE_STRIDE = 512  # val << 9
+PROBE_SLOTS = 16
+
+_IDX_BASE = 0x10000
+_LIMIT_ADDR = 0x20000
+_A_BASE = 0x40000
+_B_BASE = 0x200000
+_ARRAY_LEN = 8
+_SECRET_ADDR = 0x80008  # "behind" the array; never legally readable
+
+
+@dataclass(frozen=True)
+class SpectreV1Result:
+    secret: int
+    recovered: int | None
+    config: str
+
+    @property
+    def leaked(self) -> bool:
+        return self.recovered == self.secret
+
+
+def build_spectre_v1(secret: int):
+    """Assemble the victim and its memory image; returns (program, probe_base)."""
+    if not 1 <= secret < PROBE_SLOTS:
+        raise ValueError(f"secret must be in 1..{PROBE_SLOTS - 1} to be distinguishable")
+    memory: dict[int, int | float] = {_SECRET_ADDR: secret}
+    # One bound per round, each on its own (cold) line: every bounds check
+    # is a fresh miss, so it resolves slowly — the transient window.
+    for round_index in range(TRAIN_ROUNDS + 1):
+        memory[_LIMIT_ADDR + 64 * round_index] = _ARRAY_LEN
+    for i in range(_ARRAY_LEN):
+        memory[_A_BASE + 8 * i] = 0  # in-bounds values all decode to slot 0
+    for round_index in range(TRAIN_ROUNDS):
+        memory[_IDX_BASE + 8 * round_index] = round_index % _ARRAY_LEN
+    # The malicious index: A_BASE + 8*idx == SECRET_ADDR.
+    memory[_IDX_BASE + 8 * TRAIN_ROUNDS] = (_SECRET_ADDR - _A_BASE) // 8
+
+    source = f"""
+        li r1, 0
+        li r2, {TRAIN_ROUNDS + 1}
+        li r12, 3
+        li r13, 9
+        li r15, 6
+    loop:
+        shl r9, r1, r12
+        load r4, r9, {_IDX_BASE}     ; attacker-controlled index
+        shl r14, r1, r15
+        load r6, r14, {_LIMIT_ADDR}  ; the bound (slow: per-round cold line)
+        bge r4, r6, skip             ; bounds check — mispredicted last round
+        shl r10, r4, r12
+        load r7, r10, {_A_BASE}      ; access: reads the secret when oob
+        shl r8, r7, r13
+        load r11, r8, {_B_BASE}      ; transmit over the cache channel
+        add r3, r3, r11
+    skip:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """
+    return assemble(source, memory, name="spectre_v1"), _B_BASE
+
+
+def run_spectre_v1(
+    config: EvaluatedConfig | str = "Unsafe",
+    attack_model: AttackModel = AttackModel.SPECTRE,
+    secret: int = 5,
+    machine: MachineConfig | None = None,
+) -> SpectreV1Result:
+    """Run the attack end to end and report what the receiver recovered."""
+    if isinstance(config, str):
+        config = config_by_name(config)
+    machine = machine or MachineConfig()
+    machine = machine.with_protection(config.protection_config(attack_model))
+    program, probe_base = build_spectre_v1(secret)
+    hierarchy = MemoryHierarchy(machine)
+    core = Core(
+        program,
+        config=machine,
+        protection=make_protection(config, attack_model),
+        hierarchy=hierarchy,
+    )
+    receiver = CacheTimingReceiver(hierarchy)
+
+    # Attacker setup: flush the probe array, and warm the secret's line (the
+    # victim used it legitimately just before — the usual Spectre setup, and
+    # what makes the transient access fast enough to fit the window).
+    probe_addrs = [probe_base + PROBE_STRIDE * v for v in range(PROBE_SLOTS)]
+    receiver.flush(probe_addrs)
+    hierarchy.warm([_SECRET_ADDR, _A_BASE])
+
+    core.run(max_cycles=200_000)
+
+    # Slot 0 is polluted by the training rounds (in-bounds values are 0);
+    # scan slots 1.. for the transient leak.
+    recovered = receiver.recover_index(
+        probe_base + PROBE_STRIDE, PROBE_STRIDE, PROBE_SLOTS - 1, now=core.cycle
+    )
+    if recovered is not None:
+        recovered += 1
+    return SpectreV1Result(secret=secret, recovered=recovered, config=config.name)

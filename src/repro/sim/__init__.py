@@ -1,0 +1,25 @@
+"""Machine assembly and experiment running.
+
+:mod:`repro.sim.configs` defines the Table II design variants;
+:mod:`repro.sim.runner` builds a (core + hierarchy + protection) machine for
+a (workload, configuration, attack model) triple and runs it to completion,
+returning the metrics the evaluation harness consumes.
+"""
+
+from repro.sim.configs import (
+    EVALUATED_CONFIGS,
+    SDO_CONFIG_NAMES,
+    config_by_name,
+    make_protection,
+)
+from repro.sim.runner import RunMetrics, run_workload, run_suite
+
+__all__ = [
+    "EVALUATED_CONFIGS",
+    "RunMetrics",
+    "SDO_CONFIG_NAMES",
+    "config_by_name",
+    "make_protection",
+    "run_suite",
+    "run_workload",
+]

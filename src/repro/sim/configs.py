@@ -1,0 +1,123 @@
+"""The evaluated design variants (Table II).
+
+==============  ==============================================================
+Unsafe          an unmodified insecure processor
+STT{ld}         STT, delaying the execution of unsafe loads only
+STT{ld+fp}      STT, delaying unsafe loads and fmul/fdiv/fsqrt micro-ops
+Static L1/2/3   SDO with a predictor always predicting that cache level
+Hybrid          SDO with the hybrid location predictor (Section V-D)
+Perfect         SDO with an oracle predictor
+==============  ==============================================================
+
+Per Section VIII-A, every SDO configuration also protects FP transmitters by
+statically predicting normal inputs (Obl-FP), and handles virtual memory
+with the single L1-TLB DO variant.  Each configuration can be instantiated
+under either attack model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import (
+    AttackModel,
+    PredictorKind,
+    ProtectionConfig,
+    ProtectionKind,
+)
+from repro.core.predictors import make_predictor
+from repro.core.protection import SdoProtection
+from repro.pipeline.protection import ProtectionScheme, UnsafeProtection
+from repro.stt.protection import SttProtection
+
+
+@dataclass(frozen=True)
+class EvaluatedConfig:
+    """One Table II row."""
+
+    name: str
+    kind: ProtectionKind
+    predictor: PredictorKind | None = None
+    fp_transmitters: bool = False
+    description: str = ""
+
+    def protection_config(self, attack_model: AttackModel) -> ProtectionConfig:
+        return ProtectionConfig(
+            kind=self.kind,
+            attack_model=attack_model,
+            predictor=self.predictor,
+            fp_transmitters=self.fp_transmitters,
+        )
+
+
+EVALUATED_CONFIGS: tuple[EvaluatedConfig, ...] = (
+    EvaluatedConfig(
+        "Unsafe", ProtectionKind.UNSAFE,
+        description="An unmodified insecure processor",
+    ),
+    EvaluatedConfig(
+        "STT{ld}", ProtectionKind.STT,
+        description="STT, delaying the execution of unsafe loads only",
+    ),
+    EvaluatedConfig(
+        "STT{ld+fp}", ProtectionKind.STT, fp_transmitters=True,
+        description="STT, delaying unsafe loads and fmul/div/fsqrt micro-ops",
+    ),
+    EvaluatedConfig(
+        "Static L1", ProtectionKind.STT_SDO, PredictorKind.STATIC_L1,
+        fp_transmitters=True,
+        description="SDO with predictor always predicting L1 D-Cache",
+    ),
+    EvaluatedConfig(
+        "Static L2", ProtectionKind.STT_SDO, PredictorKind.STATIC_L2,
+        fp_transmitters=True,
+        description="SDO with predictor always predicting L2",
+    ),
+    EvaluatedConfig(
+        "Static L3", ProtectionKind.STT_SDO, PredictorKind.STATIC_L3,
+        fp_transmitters=True,
+        description="SDO with predictor always predicting L3",
+    ),
+    EvaluatedConfig(
+        "Hybrid", ProtectionKind.STT_SDO, PredictorKind.HYBRID,
+        fp_transmitters=True,
+        description="SDO with proposed hybrid location predictor",
+    ),
+    EvaluatedConfig(
+        "Perfect", ProtectionKind.STT_SDO, PredictorKind.PERFECT,
+        fp_transmitters=True,
+        description="SDO with oracle predictor always predicting correctly",
+    ),
+)
+
+#: The SDO rows of Table II (used by Figure 8 / Table III harnesses).
+SDO_CONFIG_NAMES: tuple[str, ...] = (
+    "Static L1", "Static L2", "Static L3", "Hybrid", "Perfect",
+)
+
+
+def config_by_name(name: str) -> EvaluatedConfig:
+    for config in EVALUATED_CONFIGS:
+        if config.name == name:
+            return config
+    raise KeyError(
+        f"no configuration named {name!r}; available: "
+        f"{[c.name for c in EVALUATED_CONFIGS]}"
+    )
+
+
+def make_protection(
+    config: EvaluatedConfig, attack_model: AttackModel
+) -> ProtectionScheme:
+    """Instantiate a fresh protection scheme for one run."""
+    if config.kind is ProtectionKind.UNSAFE:
+        return UnsafeProtection()
+    if config.kind is ProtectionKind.STT:
+        return SttProtection(
+            attack_model=attack_model, fp_transmitters=config.fp_transmitters
+        )
+    return SdoProtection(
+        make_predictor(config.predictor),
+        attack_model=attack_model,
+        fp_transmitters=config.fp_transmitters,
+    )

@@ -1,0 +1,125 @@
+"""Run (workload, configuration, attack model) triples and collect metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import AttackModel, MachineConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import Core
+from repro.sim.configs import EVALUATED_CONFIGS, EvaluatedConfig, make_protection
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Results of one simulation run."""
+
+    workload: str
+    config: str
+    attack_model: AttackModel
+    cycles: int
+    instructions: int
+    stats: dict[str, float] = field(repr=False, default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def normalized_to(self, baseline: "RunMetrics") -> float:
+        """Execution time normalized to a baseline run (Figure 6's metric).
+
+        Uses cycles-per-instruction so runs that committed slightly different
+        instruction counts (e.g. capped runs) stay comparable.
+        """
+        if self.instructions == 0 or baseline.instructions == 0:
+            raise ValueError("cannot normalize a run that committed nothing")
+        own = self.cycles / self.instructions
+        base = baseline.cycles / baseline.instructions
+        return own / base
+
+    @property
+    def squashes(self) -> float:
+        """SDO-induced squashes (Figure 8's x-axis): Obl-Ld fails + Obl-FP
+        fails + validation mismatches — branch mispredicts excluded, they
+        exist in every configuration."""
+        return (
+            self.stats.get("core.obl_fail_squashes", 0)
+            + self.stats.get("core.fp_fail_squashes", 0)
+            + self.stats.get("core.validation_mismatch_squashes", 0)
+        )
+
+    @property
+    def predictor_precision(self) -> float:
+        total = self.stats.get("stt.sdo.predictions", 0)
+        return self.stats.get("stt.sdo.precise", 0) / total if total else 0.0
+
+    @property
+    def predictor_accuracy(self) -> float:
+        total = self.stats.get("stt.sdo.predictions", 0)
+        return self.stats.get("stt.sdo.accurate", 0) / total if total else 0.0
+
+
+def run_workload(
+    workload: Workload,
+    config: EvaluatedConfig,
+    attack_model: AttackModel = AttackModel.SPECTRE,
+    machine: MachineConfig | None = None,
+    check_golden: bool = True,
+    max_instructions: int = 200_000,
+) -> RunMetrics:
+    """Simulate one workload under one configuration.
+
+    A fresh machine is built per run (no state leaks between
+    configurations); the workload's warm addresses are pre-loaded first.
+    """
+    machine = machine or MachineConfig()
+    machine = machine.with_protection(config.protection_config(attack_model))
+    protection = make_protection(config, attack_model)
+    hierarchy = MemoryHierarchy(machine)
+    core = Core(
+        workload.program,
+        config=machine,
+        protection=protection,
+        hierarchy=hierarchy,
+        check_golden=check_golden,
+    )
+    if workload.warm_addresses:
+        hierarchy.warm(workload.warm_addresses)
+    result = core.run(max_instructions=max_instructions, max_cycles=workload.max_cycles)
+    return RunMetrics(
+        workload=workload.name,
+        config=config.name,
+        attack_model=attack_model,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        stats=result.stats,
+    )
+
+
+def run_suite(
+    workloads,
+    configs=EVALUATED_CONFIGS,
+    attack_models=(AttackModel.SPECTRE, AttackModel.FUTURISTIC),
+    machine: MachineConfig | None = None,
+    check_golden: bool = True,
+    progress=None,
+) -> list[RunMetrics]:
+    """The full evaluation sweep.  ``progress`` is an optional callback
+    ``(workload_name, config_name, model) -> None`` for harness logging."""
+    results: list[RunMetrics] = []
+    for attack_model in attack_models:
+        for workload in workloads:
+            for config in configs:
+                if progress is not None:
+                    progress(workload.name, config.name, attack_model)
+                results.append(
+                    run_workload(
+                        workload,
+                        config,
+                        attack_model,
+                        machine=machine,
+                        check_golden=check_golden,
+                    )
+                )
+    return results

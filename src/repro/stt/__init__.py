@@ -1,0 +1,24 @@
+"""Speculative Taint Tracking (STT), the framework SDO builds on.
+
+Implements the protection of Yu et al., MICRO'19 (Section III of the SDO
+paper):
+
+* **taint** assignment at rename: the output of a speculative access
+  instruction (load) is tainted with the load's own sequence number as its
+  *youngest root of taint*; non-access outputs inherit the youngest root
+  among their sources;
+* **untaint** via a per-cycle squash frontier, with the *Spectre* model
+  (roots untaint when all older control-flow instructions have resolved) and
+  the *Futuristic* model (roots untaint when nothing older can squash at
+  all);
+* **explicit-channel rule**: a transmitter (load; plus fmul/fdiv/fsqrt under
+  ``STT{ld+fp}``) with tainted operands is delayed until they untaint;
+* **implicit-channel rule**: branch resolution (squash + predictor update)
+  is delayed until the branch's predicate untaints, and predictor state is
+  only ever updated with untainted data.
+"""
+
+from repro.stt.taint import UntaintFrontier
+from repro.stt.protection import SttProtection
+
+__all__ = ["SttProtection", "UntaintFrontier"]

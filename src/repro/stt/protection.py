@@ -1,0 +1,92 @@
+"""STT as a pipeline protection scheme (Table II: STT{ld}, STT{ld+fp})."""
+
+from __future__ import annotations
+
+from repro.common.config import AttackModel
+from repro.common.stats import StatGroup
+from repro.pipeline.protection import (
+    FpIssueAction,
+    IssueDecision,
+    LoadIssueAction,
+    ProtectionScheme,
+)
+from repro.pipeline.uop import DynInst
+from repro.stt.taint import UntaintFrontier
+
+
+class SttProtection(ProtectionScheme):
+    """Delay-execution STT.
+
+    * Tainted loads are delayed until their operands untaint (explicit
+      channel rule for the load transmitter).
+    * With ``fp_transmitters=True``, tainted fmul/fdiv/fsqrt are delayed too.
+    * Branch resolution is delayed while the predicate is tainted
+      (resolution-based implicit channel rule); predictor updates therefore
+      only ever see untainted outcomes.
+    """
+
+    def __init__(
+        self,
+        attack_model: AttackModel = AttackModel.SPECTRE,
+        fp_transmitters: bool = False,
+    ) -> None:
+        super().__init__()
+        self.attack_model = attack_model
+        self.fp_transmitters = fp_transmitters
+        self.frontier = UntaintFrontier(attack_model)
+        self.stats = StatGroup("stt")
+        self._cached_frontier: float = float("inf")
+        self.name = f"STT{{ld{'+fp' if fp_transmitters else ''}}}"
+
+    # --- taint ---------------------------------------------------------- #
+
+    def on_rename(self, uop: DynInst) -> None:
+        prf = self.core.prf
+        src_root = None
+        for preg in uop.src_pregs:
+            root = prf.taint_root[preg]
+            if root is not None and (src_root is None or root > src_root):
+                src_root = root
+        uop.src_taint_root = src_root
+        if uop.is_load:
+            # Access instruction: output tainted with its own seq as the
+            # youngest root of taint (it is younger than any source root).
+            uop.taint_root = uop.seq
+            self.stats.bump("access_taints")
+        else:
+            uop.taint_root = src_root
+        if uop.dest_preg is not None:
+            prf.taint_root[uop.dest_preg] = uop.taint_root
+        self.frontier.register(uop)
+
+    def begin_cycle(self, cycle: int) -> None:
+        self._cached_frontier = self.frontier.value()
+
+    def is_root_safe(self, root_seq: int | None) -> bool:
+        if root_seq is None:
+            return True
+        return self._cached_frontier >= root_seq
+
+    def sources_tainted(self, uop: DynInst) -> bool:
+        return not self.is_root_safe(uop.src_taint_root)
+
+    def output_safe(self, uop: DynInst) -> bool:
+        """Event C: the uop's operands (e.g. a load's address) untainted."""
+        return self.is_root_safe(uop.src_taint_root)
+
+    # --- issue policy ---------------------------------------------------- #
+
+    def load_issue_decision(self, uop: DynInst) -> IssueDecision:
+        if self.sources_tainted(uop):
+            return IssueDecision(LoadIssueAction.DELAY)
+        return IssueDecision(LoadIssueAction.NORMAL)
+
+    def fp_issue_decision(self, uop: DynInst) -> FpIssueAction:
+        if self.fp_transmitters and self.sources_tainted(uop):
+            return FpIssueAction.DELAY
+        return FpIssueAction.NORMAL
+
+    # --- implicit channels ------------------------------------------------ #
+
+    def may_resolve_branch(self, uop: DynInst) -> bool:
+        return not self.sources_tainted(uop)

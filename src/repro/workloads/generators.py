@@ -1,0 +1,559 @@
+"""Parameterised kernel generators.
+
+Each generator emits assembly for the micro-ISA plus an initial memory
+image and warm-up address list, wrapped in a :class:`Workload`.
+
+The generators are built around the access patterns that drive STT/SDO
+behaviour (see DESIGN.md §4 "shape targets"):
+
+* ``make_indirect_stream`` — the central pattern: a strided index load feeds
+  a scattered table load, and a branch tests the loaded value.  Under STT
+  the value branch keeps the next iteration's table load tainted, which
+  serialises what an insecure core overlaps (memory-level parallelism
+  collapse).  The ``table_words`` knob sets where the tainted loads hit
+  (L1/L2/L3/DRAM), which is exactly what the location predictor must learn.
+* ``make_pointer_chase`` — serial chasing: dataflow already serialises, so
+  STT overhead is moderate; models linked-list/tree traversal.
+* ``make_stream_kernel`` — sequential streaming: one L1 miss every
+  ``line_size/8`` accesses — the loop-predictor pattern (Section V-D #2).
+* ``make_hash_probe`` — hashed probes with compare-and-rehash branches.
+* ``make_fp_dense`` / ``make_fp_stream`` — FP transmitter (fmul/fdiv/fsqrt)
+  pressure with a controllable subnormal fraction (the Obl-FP fail knob).
+* ``make_compute_kernel`` — integer ILP with computed branches; the
+  no-memory-pressure control.
+* ``make_stride_reuse`` / ``make_mixed_kernel`` — blocked reuse and a
+  mixture, for the middle of the spectrum.
+
+All addresses are 8-byte-stride word addresses; a 64-byte line holds 8
+words.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.isa.assembler import assemble
+from repro.workloads.workload import Workload
+
+WORD = 8
+LINE_WORDS = 8  # 64B line / 8B word
+
+# Address-space layout bases (bytes), far apart so regions never collide.
+TABLE_BASE = 1 << 22
+INDEX_BASE = 1 << 26
+OUTPUT_BASE = 1 << 28
+AUX_BASE = 3 << 26
+
+#: A value below the subnormal threshold (see repro.isa.instructions).
+SUBNORMAL_VALUE = 1e-40
+
+
+def _warm_region(base: int, words: int) -> tuple[int, ...]:
+    """One address per line across a region."""
+    return tuple(base + WORD * i for i in range(0, words, LINE_WORDS))
+
+
+def _pad_block(pad_ops: int) -> str:
+    """Independent ALU work (ILP padding) to dilute memory-system effects.
+
+    Uses registers r20-r23, which no generator's main dataflow touches.
+    """
+    lines = ["        li r20, 17"]
+    for i in range(pad_ops):
+        reg = 21 + (i % 3)
+        lines.append(f"        mul r{reg}, r{reg}, r20")
+        lines.append(f"        addi r{reg}, r{reg}, {i + 1}")
+    return "\n".join(lines[1:]) if pad_ops else ""
+
+
+def make_indirect_stream(
+    name: str,
+    *,
+    table_words: int,
+    iterations: int,
+    branch_taken_prob: float = 0.5,
+    unroll: int = 1,
+    warm_table: bool = True,
+    pad_ops: int = 0,
+    seed: int = 0,
+    description: str = "",
+) -> Workload:
+    """idx -> table -> value-branch, the MLP-sensitive pattern.
+
+    ``table_words`` controls residence of the tainted loads: 2048 (16KB) is
+    L1-resident, 16384 (128KB) L2, 131072 (1MB) L3, and >=524288 (4MB) with
+    ``warm_table=False`` is effectively DRAM.  ``pad_ops`` adds independent
+    ALU work per iteration, diluting the memory-bound fraction (real
+    programs are not pure access loops).
+    """
+    rng = random.Random(seed)
+    memory: dict[int, int | float] = {}
+    threshold = int(branch_taken_prob * 1000)
+    total_indices = iterations * unroll
+    for i in range(total_indices):
+        memory[INDEX_BASE + WORD * i] = rng.randrange(table_words)
+    for i in range(0, table_words, 1):
+        memory[TABLE_BASE + WORD * i] = rng.randrange(1000)
+    # `unroll` independent indirect loads share one value branch: only a
+    # fraction of loads sit immediately behind a data-dependent branch, as
+    # in real code where compilers hoist and most branches are on clean
+    # induction state.
+    unrolled = []
+    for u in range(unroll):
+        index_base = INDEX_BASE + WORD * iterations * u
+        unrolled.append(f"""
+        shl r9, r1, r12
+        load r5, r9, {index_base}     ; idx[{u}*n + i] (strided, fast)
+        shl r10, r5, r12
+        load r6, r10, {TABLE_BASE}    ; table lookup (tainted under branches)
+        add r3, r3, r6""")
+    body = "".join(unrolled)
+    source = f"""
+        li r1, 0                 ; i
+        li r2, {iterations}
+        li r7, {threshold}
+        li r12, 3
+        li r20, 17
+    loop:{body}
+{_pad_block(pad_ops)}
+        blt r6, r7, taken        ; value-dependent branch (last lookup)
+        add r3, r3, r6
+        jmp merge
+    taken:
+        sub r3, r3, r6
+    merge:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        store r3, r0, {OUTPUT_BASE}
+        halt
+    """
+    warm = _warm_region(INDEX_BASE, total_indices)
+    if warm_table:
+        warm += _warm_region(TABLE_BASE, table_words)
+    return Workload(
+        name=name,
+        program=assemble(source, memory, name=name),
+        warm_addresses=warm,
+        description=description or f"indirect stream over {table_words} words",
+    )
+
+
+def make_pointer_chase(
+    name: str,
+    *,
+    nodes: int,
+    iterations: int,
+    value_branch: bool = True,
+    warm_table: bool = True,
+    pad_ops: int = 0,
+    seed: int = 0,
+    description: str = "",
+) -> Workload:
+    """Serial pointer chase: node = {value, next}, 16 bytes."""
+    rng = random.Random(seed)
+    permutation = list(range(nodes))
+    rng.shuffle(permutation)
+    memory: dict[int, int | float] = {}
+    node_addr = [TABLE_BASE + 16 * i for i in range(nodes)]
+    for i in range(nodes):
+        memory[node_addr[i]] = rng.randrange(1000)  # value
+        memory[node_addr[i] + 8] = node_addr[permutation[i]]  # next
+    branch_block = """
+        blt r5, r7, chase
+        add r3, r3, r5
+    chase:
+    """ if value_branch else ""
+    source = f"""
+        li r1, {node_addr[0]}
+        li r2, 0
+        li r4, {iterations}
+        li r7, 500
+        li r20, 17
+    loop:
+        load r5, r1, 0           ; node->value
+        {branch_block}
+        load r1, r1, 8           ; node->next (loop-carried chase)
+{_pad_block(pad_ops)}
+        addi r2, r2, 1
+        blt r2, r4, loop
+        store r1, r0, {OUTPUT_BASE}
+        halt
+    """
+    warm = tuple(a for i in range(0, nodes, 4) for a in (node_addr[i],)) if warm_table else ()
+    return Workload(
+        name=name,
+        program=assemble(source, memory, name=name),
+        warm_addresses=warm,
+        description=description or f"pointer chase over {nodes} nodes",
+    )
+
+
+def make_hash_probe(
+    name: str,
+    *,
+    buckets: int,
+    iterations: int,
+    warm_table: bool = True,
+    pad_ops: int = 0,
+    seed: int = 0,
+    description: str = "",
+) -> Workload:
+    """Hash probing: key (strided) -> hash -> bucket load -> compare."""
+    rng = random.Random(seed)
+    memory: dict[int, int | float] = {}
+    for i in range(iterations):
+        memory[INDEX_BASE + WORD * i] = rng.randrange(1 << 30)
+    for i in range(buckets):
+        memory[TABLE_BASE + WORD * i] = rng.randrange(1 << 30)
+    mask = buckets - 1
+    if buckets & mask:
+        raise ValueError("buckets must be a power of two")
+    source = f"""
+        li r1, 0
+        li r2, {iterations}
+        li r11, 2654435761
+        li r12, 3
+        li r20, 17
+    loop:
+        shl r9, r1, r12
+        load r5, r9, {INDEX_BASE}      ; key (strided)
+        mul r6, r5, r11                ; hash it (delays the address)
+        andi r6, r6, {mask}
+        shl r6, r6, r12
+        load r8, r6, {TABLE_BASE}      ; bucket probe (tainted)
+{_pad_block(pad_ops)}
+        beq r8, r5, hit                ; compare-with-key branch
+        addi r6, r6, 8
+        andi r6, r6, {mask * WORD}
+        load r8, r6, {TABLE_BASE}      ; rehash probe (tainted, dependent)
+        add r3, r3, r8
+    hit:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        store r3, r0, {OUTPUT_BASE}
+        halt
+    """
+    warm = _warm_region(INDEX_BASE, iterations)
+    if warm_table:
+        warm += _warm_region(TABLE_BASE, buckets)
+    return Workload(
+        name=name,
+        program=assemble(source, memory, name=name),
+        warm_addresses=warm,
+        description=description or f"hash probe over {buckets} buckets",
+    )
+
+
+def make_stream_kernel(
+    name: str,
+    *,
+    words: int,
+    iterations: int | None = None,
+    warm: bool = False,
+    description: str = "",
+) -> Workload:
+    """Sequential streaming: b[i] = a[i] + s — one L1 miss per 8 accesses."""
+    count = iterations if iterations is not None else words
+    memory: dict[int, int | float] = {
+        TABLE_BASE + WORD * i: i % 251 for i in range(words)
+    }
+    source = f"""
+        li r1, 0
+        li r2, {count}
+        li r12, 3
+    loop:
+        shl r9, r1, r12
+        load r5, r9, {TABLE_BASE}      ; a[i], strided
+        add r3, r3, r5
+        load r6, r5, {TABLE_BASE}      ; a[a[i]] — dependent, near-stride
+        blt r6, r3, skip               ; value branch keeps taint live
+        add r3, r3, r6
+    skip:
+        store r3, r9, {OUTPUT_BASE}
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """
+    warm_list = _warm_region(TABLE_BASE, min(words, 4096)) if warm else ()
+    return Workload(
+        name=name,
+        program=assemble(source, memory, name=name),
+        warm_addresses=warm_list,
+        description=description or f"stream over {words} words",
+    )
+
+
+def make_stride_reuse(
+    name: str,
+    *,
+    block_words: int,
+    passes: int,
+    stride: int = 7,
+    warm_table: bool = True,
+    pad_ops: int = 0,
+    seed: int = 0,
+    description: str = "",
+) -> Workload:
+    """Repeated passes over a block (L2-resident reuse, x264-like)."""
+    rng = random.Random(seed)
+    memory: dict[int, int | float] = {
+        TABLE_BASE + WORD * i: rng.randrange(block_words) for i in range(block_words)
+    }
+    source = f"""
+        li r1, 0
+        li r2, {passes}
+        li r12, 3
+        li r20, 17
+    outer:
+        li r4, 0
+        li r5, {block_words}
+    inner:
+        shl r9, r4, r12
+        load r6, r9, {TABLE_BASE}      ; block[j]
+        shl r10, r6, r12
+        load r8, r10, {TABLE_BASE}     ; block[block[j]] (tainted indirect)
+{_pad_block(pad_ops)}
+        blt r8, r6, skip
+        add r3, r3, r8
+    skip:
+        addi r4, r4, {stride}          ; word stride
+        blt r4, r5, inner
+        addi r1, r1, 1
+        blt r1, r2, outer
+        store r3, r0, {OUTPUT_BASE}
+        halt
+    """
+    warm = _warm_region(TABLE_BASE, block_words) if warm_table else ()
+    return Workload(
+        name=name,
+        program=assemble(source, memory, name=name),
+        warm_addresses=warm,
+        description=description or f"{passes} passes over {block_words}-word block",
+    )
+
+
+def make_fp_dense(
+    name: str,
+    *,
+    elems: int,
+    iterations: int,
+    companion_words: int = 16 * 1024,
+    subnormal_frac: float = 0.0,
+    seed: int = 0,
+    description: str = "",
+) -> Workload:
+    """FP-dense compute (namd-like).
+
+    The FP operand table is small (fast operand arrival) while the integer
+    companion table that feeds the value branch is ``companion_words`` big
+    (L2 by default), so branch resolution lags the FP operands — the window
+    in which fmul/fdiv are tainted-but-ready.  That is the case that
+    separates STT{ld} (no FP protection, near-zero overhead here) from
+    STT{ld+fp} (delays the FP ops) from SDO (predicts the fast path).
+    ``subnormal_frac`` of the operands take the slow FP path, which is also
+    the Obl-FP fail probability.
+    """
+    rng = random.Random(seed)
+    if elems & (elems - 1) or companion_words & (companion_words - 1):
+        raise ValueError("elems and companion_words must be powers of two")
+    memory: dict[int, int | float] = {}
+    for i in range(elems):
+        if rng.random() < subnormal_frac:
+            memory[TABLE_BASE + WORD * i] = SUBNORMAL_VALUE
+        else:
+            memory[TABLE_BASE + WORD * i] = 1.0 + rng.random()
+    for i in range(companion_words):
+        memory[AUX_BASE + WORD * i] = rng.randrange(1000)
+    for i in range(iterations):
+        memory[INDEX_BASE + WORD * i] = rng.randrange(companion_words)
+    source = f"""
+        li r1, 0
+        li r2, {iterations}
+        li r7, 150
+        li r12, 3
+        li r13, {elems - 1}
+        li r14, 547
+        li r15, {companion_words - 1}
+        fli f2, 1.0009765625
+        fli f3, 0.5
+    loop:
+        mul r5, r1, r14                ; prime word stride through companion
+        and r5, r5, r15
+        shl r10, r5, r12
+        load r6, r10, {AUX_BASE}       ; slow companion, CLEAN address
+        and r11, r1, r13
+        shl r11, r11, r12
+        fload f0, r11, {TABLE_BASE}    ; L1 fp operand, CLEAN address: issues
+                                       ; speculatively, output tainted
+        fmul f1, f0, f2                ; tainted-at-ready: the {{ld+fp}} case
+        fdiv f4, f1, f0                ; transmitter (slow if f0 subnormal)
+        fmul f5, f5, f2                ; loop-carried transmitter chain
+        fadd f5, f5, f4
+        blt r6, r7, skip               ; value branch on slow companion
+        fmul f5, f5, f3
+    skip:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        fstore f5, r0, {OUTPUT_BASE}
+        halt
+    """
+    warm = (
+        _warm_region(INDEX_BASE, iterations)
+        + _warm_region(TABLE_BASE, elems)
+        + _warm_region(AUX_BASE, companion_words)
+    )
+    return Workload(
+        name=name,
+        program=assemble(source, memory, name=name),
+        warm_addresses=warm,
+        description=description or f"fp-dense over {elems} elems",
+    )
+
+
+def make_fp_stream(
+    name: str,
+    *,
+    words: int,
+    iterations: int,
+    subnormal_frac: float = 0.001,
+    seed: int = 0,
+    description: str = "",
+) -> Workload:
+    """FP streaming with indirect coefficient lookup (bwaves-like).
+
+    a[i] streams; the coefficient c[k[i]] and the branch companion are
+    indirect into ``words``-sized (warmed) tables, so the tainted loads and
+    FP transmitters live under moderately slow branch windows.
+    """
+    rng = random.Random(seed)
+    companion_base = AUX_BASE << 1
+    memory: dict[int, int | float] = {}
+    for i in range(words):
+        value: int | float
+        if rng.random() < subnormal_frac:
+            value = SUBNORMAL_VALUE
+        else:
+            value = rng.random() + 0.1
+        memory[TABLE_BASE + WORD * i] = value
+        memory[AUX_BASE + WORD * i] = rng.randrange(words)
+        memory[companion_base + WORD * i] = rng.randrange(1000)
+    source = f"""
+        li r1, 0
+        li r2, {iterations}
+        li r7, 150
+        li r12, 3
+    loop:
+        shl r9, r1, r12
+        fload f0, r9, {TABLE_BASE}     ; a[i] streaming, CLEAN address
+        load r5, r9, {AUX_BASE}        ; coefficient index (strided)
+        shl r10, r5, r12
+        load r6, r10, {companion_base} ; indirect int (tainted) -> branch
+        fload f1, r10, {TABLE_BASE}    ; c[k[i]] (tainted indirect)
+        fmul f2, f0, f0                ; tainted-at-ready under {{ld+fp}}
+        fsqrt f4, f0                   ; transmitter on the clean stream
+        fadd f3, f3, f2
+        fadd f3, f3, f4
+        blt r6, r7, skip               ; value branch -> taint window
+        fmul f3, f3, f1                ; transmitter on the indirect value
+    skip:
+        fstore f3, r9, {OUTPUT_BASE}
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """
+    warm = (
+        _warm_region(AUX_BASE, words)
+        + _warm_region(companion_base, words)
+        + _warm_region(TABLE_BASE, words)
+    )
+    return Workload(
+        name=name,
+        program=assemble(source, memory, name=name),
+        warm_addresses=warm,
+        description=description or f"fp stream over {words} words",
+    )
+
+
+def make_compute_kernel(
+    name: str,
+    *,
+    iterations: int,
+    description: str = "",
+) -> Workload:
+    """Integer compute with computed branches; negligible memory traffic."""
+    source = f"""
+        li r1, 0
+        li r2, {iterations}
+        li r7, 7
+        li r8, 3
+    loop:
+        mul r3, r1, r7
+        add r3, r3, r8
+        andi r4, r3, 15
+        blt r4, r7, low
+        xor r5, r5, r3
+        jmp merge
+    low:
+        add r5, r5, r4
+    merge:
+        shr r6, r3, r8
+        add r5, r5, r6
+        addi r1, r1, 1
+        blt r1, r2, loop
+        store r5, r0, {OUTPUT_BASE}
+        halt
+    """
+    return Workload(
+        name=name,
+        program=assemble(source, {}, name=name),
+        warm_addresses=(),
+        description=description or "integer compute kernel",
+    )
+
+
+def make_mixed_kernel(
+    name: str,
+    *,
+    table_words: int,
+    iterations: int,
+    seed: int = 0,
+    description: str = "",
+) -> Workload:
+    """gcc-like mixture: stride loads, one indirect load, two branches."""
+    rng = random.Random(seed)
+    memory: dict[int, int | float] = {}
+    for i in range(table_words):
+        memory[TABLE_BASE + WORD * i] = rng.randrange(table_words)
+    for i in range(iterations):
+        memory[INDEX_BASE + WORD * i] = rng.randrange(1000)
+    source = f"""
+        li r1, 0
+        li r2, {iterations}
+        li r7, 300
+        li r11, {table_words - 1}
+        li r12, 3
+    loop:
+        shl r9, r1, r12
+        load r5, r9, {INDEX_BASE}      ; strided scalar
+        blt r5, r7, cold
+        and r6, r5, r11
+        shl r10, r6, r12
+        load r8, r10, {TABLE_BASE}     ; indirect (tainted)
+        add r3, r3, r8
+        jmp merge
+    cold:
+        mul r4, r5, r7
+        add r3, r3, r4
+    merge:
+        store r3, r9, {OUTPUT_BASE}
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """
+    warm = _warm_region(INDEX_BASE, iterations) + _warm_region(TABLE_BASE, table_words)
+    return Workload(
+        name=name,
+        program=assemble(source, memory, name=name),
+        warm_addresses=warm,
+        description=description or "mixed stride/indirect kernel",
+    )

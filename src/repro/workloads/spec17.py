@@ -1,0 +1,154 @@
+"""The named SPEC CPU2017-like suite used by the evaluation harness.
+
+Sizing notes (64B lines; L1 32KB = 4K words, L2 256KB = 32K words,
+L3 2MB = 256K words):
+
+* L1-resident tables: 2K words (16KB)
+* L2-resident tables: 16K words (128KB)
+* L3-resident tables: 96K words (768KB)
+* DRAM: 1M words (8MB), unwarmed
+
+Iteration counts are chosen so each run commits roughly 4k-10k instructions
+— enough for the predictors and branch predictor to train, small enough that
+the full Figure-6 sweep (8 configurations x 2 attack models x 10 workloads)
+completes in minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generators import (
+    make_compute_kernel,
+    make_fp_dense,
+    make_fp_stream,
+    make_hash_probe,
+    make_indirect_stream,
+    make_mixed_kernel,
+    make_pointer_chase,
+    make_stream_kernel,
+    make_stride_reuse,
+)
+from repro.workloads.workload import Workload
+
+_L1_WORDS = 2 * 1024
+_L2_WORDS = 16 * 1024
+_L3_WORDS = 96 * 1024
+_DRAM_WORDS = 1024 * 1024
+
+
+def _build_suite(scale: float = 1.0) -> tuple[Workload, ...]:
+    def n(iterations: int) -> int:
+        """Scale an iteration count (minimum kept high enough to train)."""
+        return max(60, int(iterations * scale))
+
+    return (
+        make_indirect_stream(
+            "mcf_like",
+            table_words=320 * 1024,  # 2.5MB warmed: ~3/4 L3, 1/4 DRAM
+            iterations=n(140),
+            branch_taken_prob=0.15,  # mostly predictable value branches
+            unroll=3,
+            pad_ops=6,
+            seed=11,
+            description="L3/DRAM indirect accesses under value branches "
+            "(MLP-bound; SDO limited by the no-DRAM-DO-variant rule)",
+        ),
+        make_pointer_chase(
+            "omnetpp_like",
+            nodes=6 * 1024,  # 96KB of nodes: L2-resident
+            iterations=n(700),
+            pad_ops=2,
+            seed=12,
+            description="L2-resident pointer chasing with value branches",
+        ),
+        make_hash_probe(
+            "xalancbmk_like",
+            buckets=_L2_WORDS,
+            iterations=n(550),
+            pad_ops=4,
+            seed=13,
+            description="hash-table probing, L2-resident buckets",
+        ),
+        make_mixed_kernel(
+            "gcc_like",
+            table_words=_L2_WORDS,
+            iterations=n(700),
+            seed=14,
+            description="mixed stride/indirect with data-dependent branches",
+        ),
+        make_indirect_stream(
+            "deepsjeng_like",
+            table_words=_L1_WORDS,
+            iterations=n(800),
+            branch_taken_prob=0.4,
+            unroll=1,
+            seed=15,
+            description="branchy search over an L1-resident table",
+        ),
+        make_stream_kernel(
+            "lbm_like",
+            words=32 * 1024,
+            iterations=n(900),
+            description="streaming: one L1 miss per 8 accesses (loop pattern)",
+        ),
+        make_stride_reuse(
+            "x264_like",
+            block_words=_L2_WORDS,
+            passes=1,
+            stride=13,
+            pad_ops=2,
+            seed=16,
+            description="strided block reuse, L2-resident",
+        ),
+        make_fp_dense(
+            "namd_like",
+            elems=_L1_WORDS,
+            iterations=n(600),
+            subnormal_frac=0.002,
+            seed=17,
+            description="FP-dense compute, L1-resident operands",
+        ),
+        make_fp_stream(
+            "bwaves_like",
+            words=_L2_WORDS,
+            iterations=n(600),
+            subnormal_frac=0.002,
+            seed=18,
+            description="FP streaming with indirect coefficients",
+        ),
+        make_compute_kernel(
+            "exchange2_like",
+            iterations=n(900),
+            description="integer compute, negligible memory traffic",
+        ),
+        make_indirect_stream(
+            "xz_like",
+            table_words=_L3_WORDS,
+            iterations=n(200),
+            branch_taken_prob=0.2,
+            unroll=3,
+            pad_ops=4,
+            seed=19,
+            description="L3-resident indirect accesses (match-finder-like)",
+        ),
+    )
+
+
+SPEC17_SUITE: tuple[Workload, ...] = _build_suite()
+
+
+def suite(scale: float = 1.0) -> tuple[Workload, ...]:
+    """The evaluation suite; ``scale`` shrinks iteration counts uniformly
+    (used by the CI-speed benchmark harness; 1.0 = the reported runs)."""
+    if scale == 1.0:
+        return SPEC17_SUITE
+    return _build_suite(scale)
+
+
+def workload_by_name(name: str) -> Workload:
+    for workload in SPEC17_SUITE:
+        if workload.name == name:
+            return workload
+    raise KeyError(
+        f"no workload named {name!r}; available: "
+        f"{[w.name for w in SPEC17_SUITE]}"
+    )

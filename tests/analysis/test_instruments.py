@@ -1,0 +1,133 @@
+"""Tests for the analysis instruments (timeline, taint window, MLP)."""
+
+import pytest
+
+from repro.analysis import MlpProbe, PipelineTimeline, TaintWindowProbe
+from repro.common.config import AttackModel, MemLevel
+from repro.core import SdoProtection
+from repro.core.predictors import StaticPredictor
+from repro.isa import assemble
+from repro.pipeline.core import Core
+from repro.stt import SttProtection
+
+
+SOURCE = """
+    li r1, 0
+    li r2, 12
+    li r6, 64
+    li r7, 1000000
+loop:
+    mul r8, r1, r6
+    load r5, r8, 1048576     ; cold loads -> misses
+    bge r5, r7, skip
+    load r3, r8, 4096
+    and r9, r3, r6
+    load r4, r9, 8192        ; dependent, tainted under the bge
+skip:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    store r4, r0, 9000
+    halt
+"""
+
+
+def fresh_core(protection=None):
+    return Core(assemble(SOURCE, {}), protection=protection)
+
+
+class TestPipelineTimeline:
+    def test_records_all_stages(self):
+        core = fresh_core()
+        timeline = PipelineTimeline(core)
+        core.run()
+        retired = timeline.retired_records()
+        assert len(retired) == core.stats["instructions"]
+        first = retired[0]
+        assert 0 <= first.fetched <= first.dispatched <= first.retired
+
+    def test_squashed_uops_marked(self):
+        core = fresh_core()
+        timeline = PipelineTimeline(core)
+        core.run()
+        if core.stats["squashes"] > 0:
+            assert any(r.squashed for r in timeline.records.values())
+
+    def test_render_produces_diagram(self):
+        core = fresh_core()
+        timeline = PipelineTimeline(core)
+        core.run()
+        diagram = timeline.render(count=10)
+        assert "R" in diagram
+        assert "cycles" in diagram
+
+    def test_observation_does_not_change_timing(self):
+        plain = fresh_core()
+        plain_result = plain.run()
+        observed = fresh_core()
+        PipelineTimeline(observed)
+        observed_result = observed.run()
+        assert plain_result.cycles == observed_result.cycles
+
+    def test_average_latency_positive(self):
+        core = fresh_core()
+        timeline = PipelineTimeline(core)
+        core.run()
+        assert timeline.average_latency() > 0
+
+    def test_capacity_bound(self):
+        core = fresh_core()
+        timeline = PipelineTimeline(core, capacity=5)
+        core.run()
+        assert len(timeline.records) <= 5
+
+
+class TestTaintWindowProbe:
+    def test_records_windows_under_stt(self):
+        core = fresh_core(SttProtection(AttackModel.SPECTRE))
+        probe = TaintWindowProbe(core)
+        core.run()
+        assert probe.windows.count > 0
+        assert probe.mean_window >= 0
+
+    def test_no_windows_without_protection_delays(self):
+        """Unsafe: loads are never watched, so no safe events fire."""
+        core = fresh_core()
+        probe = TaintWindowProbe(core)
+        core.run()
+        assert probe.windows.count == 0
+
+    def test_observation_does_not_change_timing(self):
+        plain = fresh_core(SttProtection(AttackModel.SPECTRE))
+        plain_cycles = plain.run().cycles
+        observed = fresh_core(SttProtection(AttackModel.SPECTRE))
+        TaintWindowProbe(observed)
+        assert observed.run().cycles == plain_cycles
+
+
+class TestMlpProbe:
+    def test_detects_overlapped_misses(self):
+        core = fresh_core()
+        probe = MlpProbe(core)
+        core.run()
+        assert probe.peak_mlp >= 1
+        assert probe.mean_mlp >= 1.0
+
+    def test_sdo_mlp_at_least_stt(self):
+        """On this dependent-miss kernel SDO should sustain at least as
+        much miss overlap as STT."""
+        stt_core = fresh_core(SttProtection(AttackModel.SPECTRE))
+        stt_probe = MlpProbe(stt_core)
+        stt_core.run()
+        sdo_core = fresh_core(
+            SdoProtection(StaticPredictor(MemLevel.L2), AttackModel.SPECTRE)
+        )
+        sdo_probe = MlpProbe(sdo_core)
+        sdo_core.run()
+        assert sdo_probe.peak_mlp >= stt_probe.peak_mlp * 0.5
+
+    def test_observation_does_not_change_timing(self):
+        plain = fresh_core()
+        plain_cycles = plain.run().cycles
+        observed = fresh_core()
+        MlpProbe(observed)
+        assert observed.run().cycles == plain_cycles

@@ -1,0 +1,94 @@
+"""Tests for the statistics plumbing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import Histogram, StatGroup
+
+
+class TestStatGroup:
+    def test_counters_default_to_zero(self):
+        stats = StatGroup("x")
+        assert stats["nothing"] == 0
+
+    def test_bump_and_set(self):
+        stats = StatGroup("x")
+        stats.bump("a")
+        stats.bump("a", 4)
+        stats.set("b", 7)
+        assert stats["a"] == 5
+        assert stats["b"] == 7
+
+    def test_nested_flattening(self):
+        stats = StatGroup("core")
+        stats.bump("cycles", 10)
+        stats.group("mem").bump("loads", 3)
+        stats.group("mem").group("l1").bump("hits", 2)
+        flat = stats.as_dict()
+        assert flat == {
+            "core.cycles": 10,
+            "core.mem.loads": 3,
+            "core.mem.l1.hits": 2,
+        }
+
+    def test_freeze_blocks_new_counters(self):
+        stats = StatGroup("x")
+        stats.bump("known")
+        stats.freeze()
+        stats.bump("known")  # existing counters still work
+        with pytest.raises(KeyError):
+            stats.bump("typo_counter")
+
+    def test_reset_clears_recursively(self):
+        stats = StatGroup("x")
+        stats.bump("a", 5)
+        stats.group("sub").bump("b", 6)
+        stats.reset()
+        assert stats["a"] == 0
+        assert stats.group("sub")["b"] == 0
+
+    def test_group_identity_is_stable(self):
+        stats = StatGroup("x")
+        assert stats.group("mem") is stats.group("mem")
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.percentile(0.5) == 0
+
+    def test_mean_and_total(self):
+        hist = Histogram()
+        for value in (1, 2, 3, 4):
+            hist.add(value)
+        assert hist.count == 4
+        assert hist.total == 10
+        assert hist.mean == 2.5
+
+    def test_weighted_add(self):
+        hist = Histogram()
+        hist.add(10, weight=3)
+        assert hist.count == 3
+        assert hist.mean == 10
+
+    def test_percentile_bounds_checked(self):
+        hist = Histogram()
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200))
+    def test_percentile_is_monotone_and_within_range(self, values):
+        hist = Histogram()
+        for value in values:
+            hist.add(value)
+        p25, p50, p99 = (hist.percentile(p) for p in (0.25, 0.5, 0.99))
+        assert min(values) <= p25 <= p50 <= p99 <= max(values)
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=100))
+    def test_mean_matches_reference(self, values):
+        hist = Histogram()
+        for value in values:
+            hist.add(value)
+        assert hist.mean == pytest.approx(sum(values) / len(values))

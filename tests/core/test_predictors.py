@@ -1,0 +1,159 @@
+"""Tests for the location predictors (Section V-D)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import MemLevel, PredictorKind
+from repro.core.predictors import (
+    GreedyPredictor,
+    HybridPredictor,
+    LoopPredictor,
+    PerfectPredictor,
+    StaticPredictor,
+    make_predictor,
+)
+
+L1, L2, L3, DRAM = MemLevel.L1, MemLevel.L2, MemLevel.L3, MemLevel.DRAM
+
+
+class TestStatic:
+    def test_constant_prediction(self):
+        predictor = StaticPredictor(L2)
+        for pc in (0, 5, 99):
+            assert predictor.predict(pc) is L2
+        predictor.update(0, L3)
+        assert predictor.predict(0) is L2
+
+    def test_dram_static_rejected(self):
+        with pytest.raises(ValueError, match="DRAM"):
+            StaticPredictor(DRAM)
+
+
+class TestGreedy:
+    def test_cold_predicts_l1(self):
+        assert GreedyPredictor().predict(7) is L1
+
+    def test_predicts_deepest_in_window(self):
+        """Pattern 1: coarse-grained level changes; greedy favours
+        imprecision over inaccuracy."""
+        predictor = GreedyPredictor(window=4)
+        for level in (L1, L3, L1, L1):
+            predictor.update(7, level)
+        assert predictor.predict(7) is L3
+        for _ in range(4):  # L3 ages out of the window
+            predictor.update(7, L1)
+        assert predictor.predict(7) is L1
+
+    def test_per_pc_isolation(self):
+        predictor = GreedyPredictor()
+        predictor.update(1, L3)
+        assert predictor.predict(2) is L1
+
+    def test_can_predict_dram(self):
+        predictor = GreedyPredictor()
+        predictor.update(1, DRAM)
+        assert predictor.predict(1) is DRAM  # -> protection turns into delay
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            GreedyPredictor(window=0)
+
+
+class TestLoop:
+    def test_learns_periodic_misses(self):
+        """Pattern 2: one L2 access every N L1 hits (stride streaming)."""
+        predictor = LoopPredictor()
+        # Train: period of 4 (3x L1 then L2), twice to gain confidence.
+        for _ in range(3):
+            for _ in range(3):
+                predictor.update(9, L1)
+            predictor.update(9, L2)
+        # Now predict through one period.
+        predictions = []
+        for step in range(4):
+            predictions.append(predictor.predict(9))
+            predictor.update(9, L1 if step < 3 else L2)
+        assert predictions[:3] == [L1, L1, L1]
+        assert predictions[3] is L2
+
+    def test_unstable_interval_stays_l1(self):
+        predictor = LoopPredictor()
+        for interval in (2, 5, 3, 7):
+            for _ in range(interval - 1):
+                predictor.update(9, L1)
+            predictor.update(9, L2)
+        assert predictor.predict(9) is L1  # never two equal intervals
+
+    def test_cold_predicts_l1(self):
+        assert LoopPredictor().predict(42) is L1
+
+
+class TestHybrid:
+    def test_chooser_moves_toward_loop_on_periodic_pattern(self):
+        predictor = HybridPredictor()
+        pc = 16
+        correct = 0
+        total = 0
+        # Long periodic pattern: loop component should win the chooser.
+        for round_index in range(25):
+            for step in range(4):
+                actual = L1 if step < 3 else L2
+                predicted = predictor.predict(pc)
+                predictor.update(pc, actual)
+                if round_index >= 15:
+                    total += 1
+                    correct += predicted is actual
+        assert correct / total > 0.7
+
+    def test_chooser_moves_toward_greedy_on_coarse_pattern(self):
+        predictor = HybridPredictor()
+        pc = 17
+        for _ in range(30):
+            predictor.update(pc, L3)
+        assert predictor.predict(pc) is L3
+
+    def test_score_ordering(self):
+        assert HybridPredictor._score(L2, L2) == 2  # precise
+        assert HybridPredictor._score(L3, L2) == 1  # accurate, imprecise
+        assert HybridPredictor._score(L1, L2) == 0  # inaccurate
+
+    def test_entries_power_of_two(self):
+        with pytest.raises(ValueError):
+            HybridPredictor(entries=1000)
+
+    @given(st.lists(st.sampled_from([L1, L2, L3, DRAM]), max_size=200))
+    def test_never_crashes_predictions_valid(self, levels):
+        predictor = HybridPredictor()
+        for level in levels:
+            prediction = predictor.predict(3)
+            assert prediction in (L1, L2, L3, DRAM)
+            predictor.update(3, level)
+
+
+class TestPerfect:
+    def test_passes_through_oracle(self):
+        predictor = PerfectPredictor()
+        assert predictor.predict(0, oracle_hint=L3) is L3
+        assert predictor.predict(0, oracle_hint=DRAM) is DRAM
+
+    def test_requires_hint(self):
+        with pytest.raises(ValueError):
+            PerfectPredictor().predict(0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            (PredictorKind.STATIC_L1, StaticPredictor),
+            (PredictorKind.STATIC_L2, StaticPredictor),
+            (PredictorKind.STATIC_L3, StaticPredictor),
+            (PredictorKind.HYBRID, HybridPredictor),
+            (PredictorKind.PERFECT, PerfectPredictor),
+        ],
+    )
+    def test_kinds(self, kind, expected):
+        assert isinstance(make_predictor(kind), expected)
+
+    def test_statics_point_at_their_level(self):
+        assert make_predictor(PredictorKind.STATIC_L3).level is L3

@@ -1,0 +1,174 @@
+"""Tests for the generic SDO framework (Section IV) via the FP example."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.sdo import (
+    DOVariant,
+    ResourceSignature,
+    SdoOperation,
+    StaticDOPredictor,
+    VariantResult,
+)
+from repro.isa.instructions import is_subnormal
+
+FAST_FP = ResourceSignature(latency=4, resources=("fp_unit",))
+
+
+def reference_square(x: float) -> float:
+    return x * x
+
+
+class FastSquare(DOVariant[float, float]):
+    """The 'normal operands' DO variant of the paper's FP example: succeeds
+    only when the input (and output) stay on the fast hardware path."""
+
+    def __init__(self) -> None:
+        super().__init__("fast-square", FAST_FP)
+
+    def _compute(self, args: float) -> tuple[bool, float | None]:
+        result = args * args
+        if is_subnormal(args) or is_subnormal(result):
+            return False, None
+        return True, result
+
+
+class TestDOVariant:
+    def test_success_returns_correct_result(self):
+        outcome = FastSquare().execute(3.0)
+        assert outcome.success
+        assert outcome.presult == 9.0
+
+    def test_fail_returns_undefined(self):
+        """Definition 1: on fail, presult is undefined (None here)."""
+        outcome = FastSquare().execute(1e-40)
+        assert not outcome.success
+        assert outcome.presult is None
+
+    def test_resource_signature_is_operand_independent(self):
+        """Definition 2, by construction: every execution reports the
+        declared signature regardless of operands."""
+        normal = FastSquare().execute(2.0)
+        subnormal = FastSquare().execute(1e-40)
+        assert normal.latency == subnormal.latency == 4
+        assert normal.resources == subnormal.resources == ("fp_unit",)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=64))
+    def test_definition1_functional_correctness(self, x):
+        """For all args: success implies presult == f(args)."""
+        outcome = FastSquare().execute(x)
+        if outcome.success:
+            assert outcome.presult == reference_square(x)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_definition2_constant_signature(self, x):
+        outcome = FastSquare().execute(x)
+        assert (outcome.latency, outcome.resources) == (4, ("fp_unit",))
+
+
+class TestStaticDOPredictor:
+    def test_always_predicts_the_same_index(self):
+        predictor = StaticDOPredictor(0)
+        assert all(predictor.predict(pc) == 0 for pc in range(10))
+
+    def test_update_is_a_noop(self):
+        predictor = StaticDOPredictor(0)
+        predictor.update(5, 0)
+        assert predictor.predict(5) == 0
+
+
+class TestSdoOperation:
+    def make_op(self):
+        return SdoOperation(reference_square, [FastSquare()], StaticDOPredictor(0))
+
+    def test_issue_forwards_unconditionally(self):
+        """Part 1 of Figure 2: the (possibly wrong) presult is forwarded."""
+        op = self.make_op()
+        issued = op.issue(pc=100, args=1e-40)
+        assert issued.presult is None  # fail forwarded as undefined
+        issued_ok = op.issue(pc=100, args=2.0)
+        assert issued_ok.presult == 4.0
+
+    def test_resolve_success_trains_and_keeps_result(self):
+        op = self.make_op()
+        issued = op.issue(100, 2.0)
+        outcome = op.resolve(100, 2.0, issued)
+        assert not outcome.squash
+        assert outcome.result == 4.0
+        assert op.fails == 0
+
+    def test_resolve_fail_demands_squash_with_correct_result(self):
+        """Part 2, lines 13-16: squash, return f(args)."""
+        op = self.make_op()
+        issued = op.issue(100, 1e-40)
+        outcome = op.resolve(100, 1e-40, issued)
+        assert outcome.squash
+        assert outcome.result == reference_square(1e-40)
+        assert op.fails == 1
+
+    def test_no_variants_rejected(self):
+        with pytest.raises(ValueError):
+            SdoOperation(reference_square, [], StaticDOPredictor(0))
+
+    def test_out_of_range_prediction_rejected(self):
+        op = SdoOperation(reference_square, [FastSquare()], StaticDOPredictor(7))
+        with pytest.raises(IndexError):
+            op.issue(0, 1.0)
+
+    @given(st.floats(min_value=-1e10, max_value=1e10, allow_nan=False))
+    def test_end_to_end_always_yields_correct_value(self, x):
+        """The construction's net effect: after resolve, the consumer always
+        holds f(args), whether via success-forwarding or squash-recompute."""
+        op = self.make_op()
+        issued = op.issue(0, x)
+        outcome = op.resolve(0, x, issued)
+        assert outcome.result == reference_square(x)
+
+    def test_issue_counter(self):
+        op = self.make_op()
+        for x in (1.0, 2.0, 3.0):
+            op.issue(0, x)
+        assert op.issues == 3
+
+
+class TestMultiVariantOperation:
+    """An N=2 operation whose predictor learns which variant succeeds."""
+
+    class SmallInput(DOVariant[int, int]):
+        def __init__(self):
+            super().__init__("small", ResourceSignature(latency=1))
+
+        def _compute(self, args):
+            return (args < 100, args + 1 if args < 100 else None)
+
+    class AnyInput(DOVariant[int, int]):
+        def __init__(self):
+            super().__init__("any", ResourceSignature(latency=10))
+
+        def _compute(self, args):
+            return True, args + 1
+
+    class CountingPredictor(StaticDOPredictor):
+        def __init__(self):
+            super().__init__(0)
+            self.history = []
+
+        def predict(self, inp):
+            return self.index
+
+        def update(self, inp, actual_index):
+            self.history.append(actual_index)
+            self.index = actual_index
+
+    def test_predictor_learns_from_fails(self):
+        predictor = self.CountingPredictor()
+        op = SdoOperation(
+            lambda x: x + 1, [self.SmallInput(), self.AnyInput()], predictor
+        )
+        issued = op.issue(0, 500)  # variant 0 fails on large input
+        outcome = op.resolve(0, 500, issued)
+        assert outcome.squash
+        assert predictor.index == 1  # trained toward the succeeding variant
+        issued = op.issue(0, 500)
+        outcome = op.resolve(0, 500, issued)
+        assert not outcome.squash

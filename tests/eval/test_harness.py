@@ -1,0 +1,151 @@
+"""Tests for the figure/table harnesses, using synthetic RunMetrics."""
+
+import pytest
+
+from repro.common.config import AttackModel
+from repro.eval import (
+    build_figure6,
+    build_figure7,
+    build_figure8,
+    render_table,
+    to_csv,
+)
+from repro.eval.report import geometric_mean
+from repro.eval.tables import table1_rows, table2_rows, table3_rows
+from repro.sim.runner import RunMetrics
+
+
+def metrics(workload, config, model=AttackModel.SPECTRE, cycles=1000,
+            instructions=1000, **stats):
+    return RunMetrics(
+        workload=workload, config=config, attack_model=model,
+        cycles=cycles, instructions=instructions, stats=stats,
+    )
+
+
+def synthetic_sweep():
+    """Unsafe + two configs over two workloads, one attack model."""
+    out = []
+    for workload in ("w1", "w2"):
+        out.append(metrics(workload, "Unsafe", cycles=1000))
+        out.append(
+            metrics(workload, "STT{ld}", cycles=1500,
+                    **{"core.load_delay_cycles": 400})
+        )
+        out.append(
+            metrics(
+                workload, "Hybrid", cycles=1200,
+                **{
+                    "core.obl_fail_squashes": 4,
+                    "core.sdo_squashed_uops": 80,
+                    "core.imprecision_cycles": 50,
+                    "core.validation_stall_cycles": 30,
+                    "stt.sdo.predictions": 100,
+                    "stt.sdo.precise": 80,
+                    "stt.sdo.accurate": 95,
+                },
+            )
+        )
+    return out
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [["x", 1.5], ["yyyy", 2.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.500" in text
+
+    def test_to_csv_quotes_commas(self):
+        csv = to_csv(["a"], [["x,y"]])
+        assert '"x,y"' in csv
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([0.0])
+
+
+class TestFigure6:
+    def test_normalization_and_average(self):
+        figure = build_figure6(synthetic_sweep())
+        model = AttackModel.SPECTRE
+        assert figure.data[model]["STT{ld}"]["w1"] == pytest.approx(1.5)
+        assert figure.average(model, "Hybrid") == pytest.approx(1.2)
+        assert figure.overhead(model, "STT{ld}") == pytest.approx(0.5)
+
+    def test_improvement_metric(self):
+        figure = build_figure6(synthetic_sweep())
+        improvement = figure.improvement_over(
+            AttackModel.SPECTRE, "Hybrid", "STT{ld}"
+        )
+        # (0.5 - 0.2) / 0.5 = 60%
+        assert improvement == pytest.approx(0.6)
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(ValueError):
+            build_figure6([metrics("w1", "Hybrid")])
+
+    def test_render_contains_rows(self):
+        figure = build_figure6(synthetic_sweep())
+        text = figure.render(AttackModel.SPECTRE)
+        assert "w1" in text and "average" in text
+
+
+class TestFigure7:
+    def test_components_partition_overhead(self):
+        figure = build_figure7(synthetic_sweep(), configs=("Hybrid",))
+        parts = figure.data[AttackModel.SPECTRE]["Hybrid"]
+        assert sum(parts.values()) == pytest.approx(1.0)
+        assert parts["imprecise prediction"] > 0
+        assert parts["validation stall"] > 0
+
+    def test_zero_overhead_attributes_nothing(self):
+        sweep = [
+            metrics("w", "Unsafe", cycles=1000),
+            metrics("w", "Hybrid", cycles=900,
+                    **{"core.imprecision_cycles": 50}),
+        ]
+        figure = build_figure7(sweep, configs=("Hybrid",))
+        assert figure.overhead_cycles[AttackModel.SPECTRE]["Hybrid"] == 0
+
+
+class TestFigure8:
+    def test_points_and_correlation(self):
+        figure = build_figure8(synthetic_sweep(), ("Hybrid",))
+        point = figure.by_config(AttackModel.SPECTRE)["Hybrid"]
+        assert point.squashes == pytest.approx(4.0)  # 4 per 1000 inst
+        assert point.normalized_time == pytest.approx(1.2)
+
+    def test_correlation_monotone_points(self):
+        sweep = []
+        for index, (squashes, cycles) in enumerate([(0, 1000), (5, 1300), (10, 1600)]):
+            config = f"C{index}"
+            sweep.append(metrics("w", "Unsafe"))
+            sweep.append(
+                metrics("w", config, cycles=cycles,
+                        **{"core.obl_fail_squashes": squashes})
+            )
+        figure = build_figure8(sweep, ("C0", "C1", "C2"))
+        assert figure.correlation(AttackModel.SPECTRE, exclude=()) > 0.99
+
+
+class TestTables:
+    def test_table1_row_names(self):
+        names = [name for name, _ in table1_rows()]
+        assert names[0] == "Pipeline"
+        assert "DRAM" in names
+
+    def test_table2_descriptions(self):
+        rows = dict(table2_rows())
+        assert "insecure" in rows["Unsafe"].lower()
+
+    def test_table3_aggregation(self):
+        rows = table3_rows(synthetic_sweep())
+        assert rows == [["Hybrid", 80.0, 95.0, "-", "-"]]
+
+    def test_table3_skips_prediction_free_runs(self):
+        rows = table3_rows([metrics("w", "STT{ld}")])
+        assert rows == []

@@ -1,0 +1,74 @@
+"""Tests for the sensitivity-sweep utilities."""
+
+import pytest
+
+from repro.common.config import AttackModel, MachineConfig
+from repro.eval.sweeps import (
+    MachineVariant,
+    dram_latency_variant,
+    l2_size_variant,
+    lq_variant,
+    rob_variant,
+    sweep,
+)
+from repro.workloads import make_indirect_stream
+
+WORKLOAD = make_indirect_stream("sweep_unit", table_words=2048, iterations=80, seed=6)
+
+
+class TestVariants:
+    def test_rob_variant_mutates_only_rob(self):
+        machine = rob_variant(64).build()
+        assert machine.core.rob_entries == 64
+        assert machine.core.lq_entries == MachineConfig().core.lq_entries
+
+    def test_lq_variant(self):
+        assert lq_variant(8).build().core.lq_entries == 8
+
+    def test_dram_variant_scales_row_hit(self):
+        machine = dram_latency_variant(200).build()
+        assert machine.dram.latency == 200
+        assert machine.dram.row_buffer_hit_latency < 200
+
+    def test_l2_variant_preserves_geometry_knobs(self):
+        machine = l2_size_variant(128).build()
+        assert machine.l2.size == 128 * 1024
+        assert machine.l2.assoc == MachineConfig().l2.assoc
+
+    def test_custom_variant(self):
+        variant = MachineVariant("id", lambda m: m)
+        assert variant.build().core.rob_entries == 192
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sweep(
+            WORKLOAD,
+            variants=[rob_variant(64), rob_variant(192)],
+            config_names=("STT{ld}", "Hybrid"),
+        )
+
+    def test_shape(self, result):
+        assert result.variants == ("ROB=64", "ROB=192")
+        assert set(result.table["ROB=64"]) == {"STT{ld}", "Hybrid"}
+
+    def test_each_variant_has_own_baseline(self, result):
+        base_64 = result.raw["ROB=64"]["Unsafe"]
+        base_192 = result.raw["ROB=192"]["Unsafe"]
+        assert base_64.cycles != base_192.cycles or base_64.cycles > 0
+
+    def test_normalized_at_least_one_ish(self, result):
+        for variant_row in result.table.values():
+            for value in variant_row.values():
+                assert value > 0.9
+
+    def test_render(self, result):
+        text = result.render()
+        assert "ROB=64" in text and "Hybrid" in text
+
+    def test_bigger_rob_does_not_hurt_baseline(self, result):
+        assert (
+            result.raw["ROB=192"]["Unsafe"].cycles
+            <= result.raw["ROB=64"]["Unsafe"].cycles * 1.05
+        )

@@ -1,0 +1,123 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.instructions import Opcode
+
+
+class TestBasicAssembly:
+    def test_simple_program(self):
+        program = assemble("""
+            li r1, 5
+            addi r1, r1, 1
+            halt
+        """)
+        assert len(program) == 3
+        assert program[0].opcode is Opcode.LI
+        assert program[0].imm == 5
+        assert program[2].opcode is Opcode.HALT
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            ; leading comment
+            li r1, 1   # trailing comment
+
+            halt       ; done
+        """)
+        assert len(program) == 2
+
+    def test_labels_resolve_forward_and_backward(self):
+        program = assemble("""
+        start:
+            beq r1, r2, end
+            jmp start
+        end:
+            halt
+        """)
+        assert program[0].target == 2
+        assert program[1].target == 0
+
+    def test_numeric_targets(self):
+        program = assemble("""
+            jmp 1
+            halt
+        """)
+        assert program[0].target == 1
+
+    def test_fp_registers_and_float_immediates(self):
+        program = assemble("""
+            fli f0, 1.5
+            fmul f1, f0, f0
+            halt
+        """)
+        assert program[0].imm == 1.5
+        assert program[1].rd == 101
+
+    def test_store_operand_order(self):
+        """store value, base, offset -> rs1=value, rs2=base."""
+        program = assemble("""
+            store r3, r4, 16
+            halt
+        """)
+        inst = program[0]
+        assert inst.rs1 == 3
+        assert inst.rs2 == 4
+        assert inst.imm == 16
+
+    def test_negative_and_hex_immediates(self):
+        program = assemble("""
+            li r1, -42
+            li r2, 0x10
+            halt
+        """)
+        assert program[0].imm == -42
+        assert program[1].imm == 16
+
+    def test_initial_memory_is_copied(self):
+        memory = {8: 7}
+        program = assemble("halt", initial_memory=memory)
+        memory[8] = 99
+        assert program.initial_memory[8] == 7
+
+
+class TestAssemblyErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2\nhalt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="takes 3 operands"):
+            assemble("add r1, r2\nhalt")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="no such integer register"):
+            assemble("li r99, 0\nhalt")
+
+    def test_fp_register_out_of_range(self):
+        with pytest.raises(AssemblyError, match="no such fp register"):
+            assemble("fli f16, 1.0\nhalt")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("x: nop\nx: halt")
+
+    def test_undefined_label_is_not_an_int(self):
+        with pytest.raises(AssemblyError):
+            assemble("jmp nowhere\nhalt")
+
+    def test_out_of_range_numeric_target(self):
+        with pytest.raises(AssemblyError, match="out of range"):
+            assemble("jmp 17\nhalt")
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("nop\nbogus r1\nhalt")
+        except AssemblyError as error:
+            assert error.line_no == 2
+        else:  # pragma: no cover
+            pytest.fail("expected AssemblyError")
+
+    def test_missing_halt_rejected_by_program(self):
+        with pytest.raises(ValueError, match="no HALT"):
+            assemble("nop")

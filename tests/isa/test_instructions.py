@@ -1,0 +1,102 @@
+"""Tests for instruction definitions and register helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import (
+    CONDITIONAL_BRANCHES,
+    FP_BASE,
+    FP_TRANSMIT_OPS,
+    Instruction,
+    Opcode,
+    OpClass,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    is_subnormal,
+    reg_name,
+)
+
+
+class TestRegisters:
+    def test_int_reg_range(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            int_reg(-1)
+
+    def test_fp_reg_offset(self):
+        assert fp_reg(0) == FP_BASE
+        assert fp_reg(15) == FP_BASE + 15
+        with pytest.raises(ValueError):
+            fp_reg(16)
+
+    def test_classification(self):
+        assert not is_fp_reg(int_reg(5))
+        assert is_fp_reg(fp_reg(5))
+
+    def test_names(self):
+        assert reg_name(int_reg(3)) == "r3"
+        assert reg_name(fp_reg(3)) == "f3"
+        assert reg_name(None) == "-"
+
+
+class TestSubnormal:
+    def test_zero_is_not_subnormal(self):
+        assert not is_subnormal(0.0)
+
+    def test_tiny_values_are(self):
+        assert is_subnormal(1e-40)
+        assert is_subnormal(-1e-40)
+
+    def test_normal_values_are_not(self):
+        assert not is_subnormal(1.0)
+        assert not is_subnormal(-3.5e10)
+
+    @given(st.floats(min_value=1e-30, max_value=1e30))
+    def test_normals_by_magnitude(self, value):
+        assert not is_subnormal(value)
+
+
+class TestOpcodes:
+    def test_fp_transmitters_match_table2(self):
+        """Table II: 'fmult/div/fsqrt micro-ops'."""
+        assert FP_TRANSMIT_OPS == {Opcode.FMUL, Opcode.FDIV, Opcode.FSQRT}
+        assert Opcode.FADD not in FP_TRANSMIT_OPS
+
+    def test_conditional_branches(self):
+        assert Opcode.JMP not in CONDITIONAL_BRANCHES
+        assert Opcode.BEQ in CONDITIONAL_BRANCHES
+
+    def test_classes(self):
+        assert Opcode.LOAD.op_class is OpClass.LOAD
+        assert Opcode.FLOAD.op_class is OpClass.LOAD
+        assert Opcode.STORE.op_class is OpClass.STORE
+        assert Opcode.MUL.op_class is OpClass.INT_MUL
+        assert Opcode.HALT.op_class is OpClass.SYSTEM
+
+
+class TestInstruction:
+    def test_sources_skips_none(self):
+        inst = Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5)
+        assert inst.sources() == (2,)
+
+    def test_store_reads_value_and_base(self):
+        inst = Instruction(Opcode.STORE, rs1=3, rs2=4, imm=8)
+        assert inst.sources() == (3, 4)
+        assert inst.is_store and inst.is_mem and not inst.is_load
+
+    def test_predicates(self):
+        branch = Instruction(Opcode.BLT, rs1=1, rs2=2, target=0)
+        assert branch.is_branch and branch.is_conditional_branch
+        jump = Instruction(Opcode.JMP, target=0)
+        assert jump.is_branch and not jump.is_conditional_branch
+        fdiv = Instruction(Opcode.FDIV, rd=101, rs1=102, rs2=103)
+        assert fdiv.is_fp_transmitter
+
+    def test_str_is_readable(self):
+        inst = Instruction(Opcode.LOAD, rd=1, rs1=2, imm=100)
+        assert "load" in str(inst)
+        assert "r1" in str(inst)

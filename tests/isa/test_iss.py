@@ -1,0 +1,198 @@
+"""Tests for the functional interpreter (the golden model)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.iss import ArchState, Interpreter, wrap64
+from repro.isa.instructions import fp_reg
+
+
+def run(source, memory=None, max_instructions=100_000):
+    interpreter = Interpreter(assemble(source, memory or {}))
+    trace = interpreter.run(max_instructions)
+    return interpreter, trace
+
+
+class TestWrap64:
+    def test_identity_in_range(self):
+        assert wrap64(12345) == 12345
+        assert wrap64(-12345) == -12345
+
+    def test_wraps_at_boundaries(self):
+        assert wrap64(2**63) == -(2**63)
+        assert wrap64(-(2**63) - 1) == 2**63 - 1
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    def test_always_in_signed_64_range(self, value):
+        wrapped = wrap64(value)
+        assert -(2**63) <= wrapped < 2**63
+        assert (wrapped - value) % (2**64) == 0
+
+
+class TestArchState:
+    def test_r0_reads_zero_and_ignores_writes(self):
+        state = ArchState()
+        state.write_reg(0, 77)
+        assert state.read_reg(0) == 0
+
+    def test_fp_registers_coerce_to_float(self):
+        state = ArchState()
+        state.write_reg(fp_reg(2), 3)
+        assert state.read_reg(fp_reg(2)) == 3.0
+        assert isinstance(state.read_reg(fp_reg(2)), float)
+
+    def test_memory_defaults_to_zero(self):
+        assert ArchState().read_mem(0xDEAD) == 0
+
+    def test_snapshot_is_independent(self):
+        state = ArchState()
+        state.write_reg(1, 5)
+        snap = state.snapshot()
+        state.write_reg(1, 9)
+        assert snap.read_reg(1) == 5
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        interpreter, _ = run("""
+            li r1, 6
+            li r2, 7
+            mul r3, r1, r2
+            sub r4, r3, r1
+            halt
+        """)
+        assert interpreter.state.read_reg(3) == 42
+        assert interpreter.state.read_reg(4) == 36
+
+    def test_logic_and_shifts(self):
+        interpreter, _ = run("""
+            li r1, 12
+            li r2, 10
+            and r3, r1, r2
+            or r4, r1, r2
+            xor r5, r1, r2
+            li r6, 2
+            shl r7, r1, r6
+            shr r8, r1, r6
+            slt r9, r2, r1
+            halt
+        """)
+        s = interpreter.state
+        assert s.read_reg(3) == 8
+        assert s.read_reg(4) == 14
+        assert s.read_reg(5) == 6
+        assert s.read_reg(7) == 48
+        assert s.read_reg(8) == 3
+        assert s.read_reg(9) == 1
+
+    def test_loop_with_memory(self):
+        memory = {1000 + 8 * i: i for i in range(10)}
+        interpreter, trace = run("""
+            li r1, 0
+            li r2, 10
+            li r12, 3
+        loop:
+            shl r9, r1, r12
+            load r4, r9, 1000
+            add r3, r3, r4
+            addi r1, r1, 1
+            blt r1, r2, loop
+            store r3, r0, 2000
+            halt
+        """, memory)
+        assert interpreter.state.read_mem(2000) == sum(range(10))
+        assert trace[-1].opcode.mnemonic == "halt"
+
+    def test_store_then_load_roundtrip(self):
+        interpreter, _ = run("""
+            li r1, 123
+            li r2, 512
+            store r1, r2, 8
+            load r3, r2, 8
+            halt
+        """)
+        assert interpreter.state.read_reg(3) == 123
+
+    def test_branch_taken_and_not_taken(self):
+        _, trace = run("""
+            li r1, 1
+            li r2, 2
+            blt r2, r1, never
+            beq r1, r1, always
+        never:
+            nop
+        always:
+            halt
+        """)
+        pcs = [record.pc for record in trace]
+        assert 4 not in pcs  # 'never: nop' skipped by the taken beq
+
+    def test_fp_pipeline(self):
+        interpreter, _ = run("""
+            fli f0, 2.0
+            fli f1, 8.0
+            fdiv f2, f1, f0
+            fsqrt f3, f1
+            fmul f4, f2, f3
+            fsub f5, f4, f0
+            halt
+        """)
+        s = interpreter.state
+        assert s.read_reg(fp_reg(2)) == 4.0
+        assert s.read_reg(fp_reg(3)) == pytest.approx(math.sqrt(8.0))
+        assert s.read_reg(fp_reg(5)) == pytest.approx(4.0 * math.sqrt(8.0) - 2.0)
+
+    def test_fp_division_by_zero_is_inf_not_trap(self):
+        interpreter, _ = run("""
+            fli f0, 1.0
+            fli f1, 0.0
+            fdiv f2, f0, f1
+            halt
+        """)
+        assert math.isinf(interpreter.state.read_reg(fp_reg(2)))
+
+    def test_fsqrt_of_negative_is_nan(self):
+        interpreter, _ = run("""
+            fli f0, -1.0
+            fsqrt f1, f0
+            halt
+        """)
+        assert math.isnan(interpreter.state.read_reg(fp_reg(1)))
+
+    def test_instruction_limit_stops_infinite_loop(self):
+        interpreter = Interpreter(assemble("spin: jmp spin\nhalt"))
+        trace = interpreter.run(max_instructions=50)
+        assert len(trace) == 50
+        assert not interpreter.halted
+
+    def test_step_after_halt_raises(self):
+        interpreter, _ = run("halt")
+        with pytest.raises(RuntimeError):
+            interpreter.step()
+
+    def test_trace_records_memory_addresses(self):
+        _, trace = run("""
+            li r1, 64
+            load r2, r1, 8
+            store r2, r1, 16
+            halt
+        """)
+        load_record = trace[1]
+        store_record = trace[2]
+        assert load_record.mem_addr == 72
+        assert store_record.mem_addr == 80
+
+
+class TestWrapAroundSemantics:
+    @given(st.integers(-(2**62), 2**62), st.integers(-(2**62), 2**62))
+    def test_add_matches_wrap64(self, a, b):
+        interpreter, _ = run(f"""
+            li r1, {a}
+            li r2, {b}
+            add r3, r1, r2
+            halt
+        """)
+        assert interpreter.state.read_reg(3) == wrap64(a + b)

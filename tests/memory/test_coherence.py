@@ -1,0 +1,112 @@
+"""Tests for the MESI directory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.coherence import CoherenceState, Directory
+
+
+class TestDirectoryBasics:
+    def test_first_read_grants_exclusive(self):
+        directory = Directory(4)
+        result = directory.read(0, line=10)
+        assert result.granted is CoherenceState.EXCLUSIVE
+        assert not result.invalidated_cores
+
+    def test_second_reader_shares(self):
+        directory = Directory(4)
+        directory.read(0, 10)
+        result = directory.read(1, 10)
+        assert result.granted is CoherenceState.SHARED
+        assert result.downgraded_core == 0  # E holder forced to share
+        assert directory.sharers_of(10) == {0, 1}
+
+    def test_write_invalidates_sharers(self):
+        directory = Directory(4)
+        directory.read(0, 10)
+        directory.read(1, 10)
+        directory.read(2, 10)
+        result = directory.write(3, 10)
+        assert result.granted is CoherenceState.MODIFIED
+        assert result.invalidated_cores == {0, 1, 2}
+        assert directory.sharers_of(10) == {3}
+
+    def test_writer_rereading_keeps_modified(self):
+        directory = Directory(2)
+        directory.write(0, 10)
+        result = directory.read(0, 10)
+        assert result.granted is CoherenceState.MODIFIED
+        assert not result.invalidated_cores
+
+    def test_read_from_modified_downgrades_owner(self):
+        directory = Directory(2)
+        directory.write(0, 10)
+        result = directory.read(1, 10)
+        assert result.downgraded_core == 0
+        assert directory.state_of(10) is CoherenceState.SHARED
+
+    def test_write_upgrade_from_shared(self):
+        directory = Directory(2)
+        directory.read(0, 10)
+        directory.read(1, 10)
+        result = directory.write(0, 10)
+        assert result.invalidated_cores == {1}
+
+    def test_evict_clears_and_garbage_collects(self):
+        directory = Directory(2)
+        directory.read(0, 10)
+        directory.evict(0, 10)
+        assert directory.state_of(10) is CoherenceState.INVALID
+        assert 10 not in directory._entries
+
+    def test_evict_unknown_line_is_noop(self):
+        Directory(2).evict(0, 999)
+
+    def test_core_id_validation(self):
+        directory = Directory(2)
+        with pytest.raises(ValueError):
+            directory.read(2, 0)
+        with pytest.raises(ValueError):
+            Directory(0)
+
+    def test_invalidation_counter(self):
+        directory = Directory(3)
+        directory.read(0, 5)
+        directory.read(1, 5)
+        directory.write(2, 5)
+        assert directory.invalidations_sent == 2
+
+
+class TestDirectoryInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["read", "write", "evict"]),
+                st.integers(0, 3),  # core
+                st.integers(0, 7),  # line
+            ),
+            max_size=200,
+        )
+    )
+    def test_single_writer_multiple_readers(self, operations):
+        """At any point, a line has either one owner and no sharers, or
+        any number of sharers and no owner (SWMR)."""
+        directory = Directory(4)
+        for op, core, line in operations:
+            getattr(directory, op)(core, line)
+            entry = directory._entries.get(line)
+            if entry is not None:
+                if entry.owner is not None:
+                    assert not entry.sharers
+                assert (entry.owner is None) or (0 <= entry.owner < 4)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 7)), min_size=1, max_size=100
+        )
+    )
+    def test_write_always_leaves_sole_ownership(self, writes):
+        directory = Directory(4)
+        for core, line in writes:
+            directory.write(core, line)
+            assert directory.sharers_of(line) == {core}

@@ -1,0 +1,196 @@
+"""Tests for the composed memory hierarchy: timing, state, oblivious path."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import MachineConfig, MemLevel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.observer import ResourceObserver
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(MachineConfig())
+
+
+class TestNormalPath:
+    def test_cold_load_goes_to_dram(self, hierarchy):
+        response = hierarchy.load(0x1000, 0)
+        assert response.level is MemLevel.DRAM
+        assert response.complete_at > MachineConfig().level_latency(MemLevel.L3)
+
+    def test_fill_promotes_to_l1(self, hierarchy):
+        first = hierarchy.load(0x1000, 0)
+        second = hierarchy.load(0x1000, first.complete_at + 1)
+        assert second.level is MemLevel.L1
+        latency = second.complete_at - (first.complete_at + 1)
+        assert latency <= MachineConfig().l1d.latency + 2  # +TLB
+
+    def test_latency_ordering_across_levels(self, hierarchy):
+        """Deeper residences must cost more."""
+        machine = MachineConfig()
+        # Put a line in each level by filling then selectively invalidating.
+        base = 0x40000
+        timings = {}
+        for level in (MemLevel.L1, MemLevel.L2, MemLevel.L3, MemLevel.DRAM):
+            h = MemoryHierarchy(machine)
+            addr = base
+            if level is not MemLevel.DRAM:
+                h.warm([addr])
+                if level >= MemLevel.L2:
+                    h.l1.array.invalidate(h.line_of(addr))
+                if level >= MemLevel.L3:
+                    h.l2.array.invalidate(h.line_of(addr))
+            response = h.load(addr, 0)
+            assert response.level is level
+            timings[level] = response.complete_at
+        assert (
+            timings[MemLevel.L1]
+            < timings[MemLevel.L2]
+            < timings[MemLevel.L3]
+            < timings[MemLevel.DRAM]
+        )
+
+    def test_line_granularity_sharing(self, hierarchy):
+        hierarchy.load(0x1000, 0)
+        response = hierarchy.load(0x1008, 500)  # same 64B line
+        assert response.level is MemLevel.L1
+
+    def test_store_is_write_allocate(self, hierarchy):
+        hierarchy.store(0x2000, 0)
+        assert hierarchy.residence_level(0x2000) is MemLevel.L1
+        assert hierarchy.l1.array.is_dirty(hierarchy.line_of(0x2000))
+
+    def test_bank_contention_serializes(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        line_size = 64
+        banks = hierarchy.l1.config.banks
+        # Two same-cycle hits to lines in the same bank.
+        addr_a = 0
+        addr_b = banks * line_size  # same bank (line % banks)
+        hierarchy.warm([addr_a, addr_b])
+        first = hierarchy.load(addr_a, 10)
+        second = hierarchy.load(addr_b, 10)
+        assert second.complete_at > first.complete_at
+
+    def test_same_line_request_while_fill_outstanding_is_fast(self, hierarchy):
+        """The timing model resolves requests eagerly: the first miss's fill
+        is visible immediately, so a same-line request right behind it hits
+        (the real-hardware equivalent is an MSHR merge — see MshrFile tests
+        for the structure itself)."""
+        first = hierarchy.load(0x9000, 0)
+        second = hierarchy.load(0x9008, 2)
+        assert second.complete_at <= first.complete_at
+
+    def test_dirty_l1_victim_written_back_to_l2(self):
+        machine = MachineConfig()
+        hierarchy = MemoryHierarchy(machine)
+        sets = machine.l1d.num_sets
+        assoc = machine.l1d.assoc
+        target = 0x5000
+        hierarchy.store(target, 0)
+        target_line = hierarchy.line_of(target)
+        # Evict it with assoc conflicting lines in the same set.
+        now = 1000
+        for way in range(1, assoc + 1):
+            conflict = (target_line + way * sets) * 64
+            response = hierarchy.load(conflict, now)
+            now = response.complete_at + 1
+        assert not hierarchy.l1.array.probe(target_line)
+        assert hierarchy.l2.array.probe(target_line)
+        assert hierarchy.stats["writebacks"] >= 1
+
+
+class TestObliviousPath:
+    def test_no_state_change(self, hierarchy):
+        before_l1 = hierarchy.l1.array.resident_lines()
+        response = hierarchy.oblivious_load(0x7000, MemLevel.L3, 0)
+        assert response.actual_level is MemLevel.DRAM
+        assert not response.success
+        assert hierarchy.l1.array.resident_lines() == before_l1
+        assert hierarchy.residence_level(0x7000) is MemLevel.DRAM
+
+    def test_success_iff_actual_at_or_above_prediction(self, hierarchy):
+        hierarchy.warm([0x3000])
+        hierarchy.l1.array.invalidate(hierarchy.line_of(0x3000))  # now L2
+        assert hierarchy.oblivious_load(0x3000, MemLevel.L1, 0).success is False
+        assert hierarchy.oblivious_load(0x3000, MemLevel.L2, 50).success is True
+        assert hierarchy.oblivious_load(0x3000, MemLevel.L3, 100).success is True
+
+    def test_responses_arrive_in_level_order(self, hierarchy):
+        response = hierarchy.oblivious_load(0x3000, MemLevel.L3, 0)
+        levels = [level for level, _, _ in response.responses]
+        cycles = [cycle for _, cycle, _ in response.responses]
+        assert levels == [MemLevel.L1, MemLevel.L2, MemLevel.L3]
+        assert cycles == sorted(cycles)
+
+    def test_dram_prediction_rejected(self, hierarchy):
+        with pytest.raises(ValueError, match="no DO variant"):
+            hierarchy.oblivious_load(0x3000, MemLevel.DRAM, 0)
+
+    def test_tlb_probe_miss_poisons_to_fail(self, hierarchy):
+        hierarchy.warm([0x3000])
+        hierarchy.tlb.flush()
+        response = hierarchy.oblivious_load(0x3000, MemLevel.L2, 0)
+        assert not response.tlb_hit
+        assert not response.success  # data present, but translation failed
+
+    def test_latency_depends_on_prediction_not_address(self, hierarchy):
+        """Two different addresses, same prediction: same response schedule."""
+        hierarchy.warm([0x3000, 0x10000])
+        r1 = hierarchy.oblivious_load(0x3000, MemLevel.L2, 100)
+        h2 = MemoryHierarchy(MachineConfig())
+        h2.warm([0x3000, 0x10000])
+        r2 = h2.oblivious_load(0x10000, MemLevel.L2, 100)
+        assert [c for _, c, _ in r1.responses] == [c for _, c, _ in r2.responses]
+
+    def test_obl_blocks_all_banks(self, hierarchy):
+        """A normal access right after an Obl-Ld waits for the all-banks
+        reservation, whatever its bank."""
+        hierarchy.warm([0x3000, 64 * 3])
+        hierarchy.oblivious_load(0x3000, MemLevel.L1, 100)
+        delayed = hierarchy.load(64 * 3, 100)
+        baseline = MemoryHierarchy(MachineConfig())
+        baseline.warm([0x3000, 64 * 3])
+        free = baseline.load(64 * 3, 100)
+        assert delayed.complete_at > free.complete_at
+
+    def test_first_success_cycle(self, hierarchy):
+        hierarchy.warm([0x3000])
+        response = hierarchy.oblivious_load(0x3000, MemLevel.L3, 0)
+        assert response.first_success_cycle() == response.responses[0][1]
+        miss = hierarchy.oblivious_load(0x999000, MemLevel.L2, 200)
+        assert miss.first_success_cycle() is None
+
+
+class TestExternalInvalidate:
+    def test_invalidation_removes_from_private_caches(self, hierarchy):
+        hierarchy.warm([0x4000])
+        assert hierarchy.external_invalidate(0x4000)
+        assert hierarchy.residence_level(0x4000) is MemLevel.DRAM
+
+    def test_invalidation_of_absent_line(self, hierarchy):
+        assert not hierarchy.external_invalidate(0xABC000)
+
+
+class TestWarm:
+    def test_warm_fills_all_levels(self, hierarchy):
+        hierarchy.warm([0x8000])
+        line = hierarchy.line_of(0x8000)
+        assert hierarchy.l1.array.probe(line)
+        assert hierarchy.l2.array.probe(line)
+        assert hierarchy.l3_slices[hierarchy.slice_of(line)].array.probe(line)
+
+    def test_warm_leaves_no_timing_residue(self, hierarchy):
+        hierarchy.warm([64 * i for i in range(1000)])
+        response = hierarchy.load(64 * 999, 0)  # most recent warm: L1 hit
+        assert response.level is MemLevel.L1
+        assert response.complete_at <= 8  # no queueing debt from warming
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_warm_then_residence_is_cached(self, addrs):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        hierarchy.warm(addrs)
+        for addr in addrs[-8:]:  # most-recent fills certainly still resident
+            assert hierarchy.residence_level(addr) is not MemLevel.DRAM

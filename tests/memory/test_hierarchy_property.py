@@ -1,0 +1,101 @@
+"""Property tests on the hierarchy: oblivious purity and LRU reference model."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import CacheConfig, MachineConfig, MemLevel
+from repro.memory.cache import CacheArray
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class ReferenceLru:
+    """An obviously-correct LRU cache model to check CacheArray against."""
+
+    def __init__(self, sets: int, assoc: int) -> None:
+        self.sets = sets
+        self.assoc = assoc
+        self.state: dict[int, OrderedDict[int, None]] = {
+            s: OrderedDict() for s in range(sets)
+        }
+
+    def access(self, line: int) -> bool:
+        entries = self.state[line % self.sets]
+        hit = line in entries
+        if hit:
+            entries.move_to_end(line)
+        else:
+            if len(entries) >= self.assoc:
+                entries.popitem(last=False)
+            entries[line] = None
+        return hit
+
+    def present(self, line: int) -> bool:
+        return line in self.state[line % self.sets]
+
+
+class TestCacheMatchesReference:
+    @given(st.lists(st.integers(0, 63), max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_hit_miss_stream_identical(self, lines):
+        cache = CacheArray(CacheConfig("T", 8 * 2 * 64, 64, 2, 1))
+        reference = ReferenceLru(sets=8, assoc=2)
+        for line in lines:
+            hit, _ = cache.access(line)
+            assert hit == reference.access(line)
+        for line in range(64):
+            assert cache.probe(line) == reference.present(line)
+
+
+class TestObliviousPurity:
+    @given(
+        warm=st.lists(st.integers(0, 1 << 16), max_size=40),
+        probes=st.lists(
+            st.tuples(
+                st.integers(0, 1 << 20),
+                st.sampled_from([MemLevel.L1, MemLevel.L2, MemLevel.L3]),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_oblivious_loads_never_change_residence(self, warm, probes):
+        """Any sequence of Obl-Lds leaves every line's residence level
+        exactly where it was — the no-state-change half of Definition 2."""
+        hierarchy = MemoryHierarchy(MachineConfig())
+        hierarchy.warm(warm)
+        observed = {addr: hierarchy.residence_level(addr) for addr in warm}
+        now = 100
+        for addr, level in probes:
+            response = hierarchy.oblivious_load(addr, level, now)
+            now = response.complete_at + 1
+        for addr, level in observed.items():
+            assert hierarchy.residence_level(addr) == level
+
+    @given(
+        warm=st.lists(st.integers(0, 1 << 16), max_size=30),
+        addr=st.integers(0, 1 << 20),
+        level=st.sampled_from([MemLevel.L1, MemLevel.L2, MemLevel.L3]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_success_flag_is_truthful(self, warm, addr, level):
+        """Definition 1: success iff the data really is at or above the
+        predicted level (given a TLB hit)."""
+        hierarchy = MemoryHierarchy(MachineConfig())
+        hierarchy.warm(warm + [addr])  # guarantee a TLB entry for addr
+        actual = hierarchy.residence_level(addr)
+        response = hierarchy.oblivious_load(addr, level, 100)
+        if response.tlb_hit:
+            assert response.success == (actual <= level)
+        else:
+            assert not response.success
+
+    @given(st.integers(0, 1 << 20))
+    @settings(max_examples=30, deadline=None)
+    def test_response_count_matches_prediction_depth(self, addr):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        for level, expected in ((MemLevel.L1, 1), (MemLevel.L2, 2), (MemLevel.L3, 3)):
+            response = hierarchy.oblivious_load(addr, level, 0)
+            assert len(response.responses) == expected

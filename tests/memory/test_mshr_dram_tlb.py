@@ -1,0 +1,138 @@
+"""Tests for MSHR file, DRAM row-buffer model, and TLB."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import DramConfig, TlbConfig
+from repro.memory.dram import Dram
+from repro.memory.mshr import MshrFile
+from repro.memory.tlb import Tlb
+
+
+class TestMshrFile:
+    def test_allocate_and_expire(self):
+        mshrs = MshrFile(2)
+        mshrs.allocate(1, now=0, release=10)
+        assert mshrs.outstanding(0) == 1
+        assert mshrs.outstanding(10) == 0
+
+    def test_merge_same_line(self):
+        mshrs = MshrFile(2)
+        mshrs.allocate(1, now=0, release=10)
+        result = mshrs.allocate(1, now=3, release=99)
+        assert result.merged
+        assert result.release == 10  # completes with the outstanding fill
+        assert mshrs.outstanding(3) == 1  # no new entry
+
+    def test_private_entries_never_merge(self):
+        """The Obl-Ld rule (Section VI-B2): every Obl-Ld allocates its own
+        MSHR, so occupancy depends only on the number of Obl-Lds in flight,
+        never on their addresses."""
+        mshrs = MshrFile(4)
+        mshrs.allocate(1, now=0, release=10, private=True)
+        result = mshrs.allocate(1, now=0, release=10, private=True)
+        assert not result.merged
+        assert mshrs.outstanding(0) == 2
+
+    def test_private_does_not_enable_future_merges(self):
+        mshrs = MshrFile(4)
+        mshrs.allocate(7, now=0, release=10, private=True)
+        result = mshrs.allocate(7, now=1, release=12)
+        assert not result.merged
+
+    def test_full_file_stalls_until_release(self):
+        mshrs = MshrFile(1)
+        mshrs.allocate(1, now=0, release=10)
+        result = mshrs.allocate(2, now=5, release=20)
+        assert result.granted_at == 10
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(1, 50)), max_size=100))
+    def test_outstanding_never_exceeds_capacity(self, requests):
+        mshrs = MshrFile(4)
+        now = 0
+        for line, duration in requests:
+            result = mshrs.allocate(line, now, now + duration)
+            now = max(now, result.granted_at) + 1
+            assert mshrs.outstanding(now - 1) <= 4
+
+
+class TestDram:
+    def test_row_buffer_hit_is_faster(self):
+        dram = Dram(DramConfig())
+        cold = dram.access(0)
+        warm = dram.access(1)  # same row (8KB row, 64B lines)
+        assert warm < cold
+
+    def test_row_conflict_pays_full_latency(self):
+        dram = Dram(DramConfig())
+        dram.access(0)
+        conflict = dram.access(dram.lines_per_row * dram.config.banks)  # same bank, new row
+        assert conflict == dram.config.latency
+
+    def test_banks_have_independent_rows(self):
+        dram = Dram(DramConfig())
+        dram.access(0)  # bank 0, row 0
+        dram.access(dram.lines_per_row)  # bank 1, row 1
+        assert dram.access(1) < dram.config.latency  # bank 0 row 0 still open
+
+    def test_hit_rate_accounting(self):
+        dram = Dram(DramConfig())
+        dram.access(0)
+        dram.access(1)
+        assert dram.row_hit_rate == pytest.approx(0.5)
+
+    def test_reset(self):
+        dram = Dram(DramConfig())
+        dram.access(0)
+        dram.reset()
+        assert dram.accesses == 0
+        assert dram.access(1) == dram.config.latency
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(TlbConfig())
+        hit, latency = tlb.access(0x1000)
+        assert not hit and latency == tlb.config.walk_latency
+        hit, latency = tlb.access(0x1000)
+        assert hit and latency == tlb.config.hit_latency
+
+    def test_same_page_shares_entry(self):
+        tlb = Tlb(TlbConfig())
+        tlb.access(0)
+        hit, _ = tlb.access(tlb.config.page_size - 1)
+        assert hit
+
+    def test_probe_is_oblivious(self):
+        """The DO TLB variant: no walk, no fill, no LRU update."""
+        tlb = Tlb(TlbConfig())
+        assert not tlb.probe(0x5000)
+        assert not tlb.probe(0x5000)  # still a miss: probe didn't fill
+        tlb.access(0x5000)
+        assert tlb.probe(0x5000)
+        assert tlb.hits + tlb.misses == 1  # probes don't count as accesses
+
+    def test_lru_within_set(self):
+        config = TlbConfig(entries=2, assoc=2, page_size=4096)
+        tlb = Tlb(config)
+        pages = [0, 1, 0, 2]  # single set; page 1 is LRU when 2 arrives
+        for page in pages:
+            tlb.access(page * 4096)
+        assert tlb.probe(0)
+        assert not tlb.probe(1 * 4096)
+
+    def test_flush(self):
+        tlb = Tlb(TlbConfig())
+        tlb.access(0)
+        tlb.flush()
+        assert not tlb.probe(0)
+
+    def test_hit_rate(self):
+        tlb = Tlb(TlbConfig())
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.hit_rate == pytest.approx(0.5)

@@ -1,0 +1,119 @@
+"""Tests for the shared-memory system (multi-agent coherence)."""
+
+import random
+
+import pytest
+
+from repro.common.config import AttackModel, MachineConfig, MemLevel
+from repro.core import SdoProtection
+from repro.core.predictors import StaticPredictor
+from repro.isa import assemble
+from repro.memory.multicore import SharedMemorySystem
+from repro.pipeline.core import Core
+
+
+class TestSharedMemorySystem:
+    def test_construction(self):
+        system = SharedMemorySystem(num_agents=3)
+        assert system.num_agents == 3
+        with pytest.raises(ValueError):
+            SharedMemorySystem(num_agents=0)
+
+    def test_remote_store_invalidates_sharers(self):
+        system = SharedMemorySystem(num_agents=2)
+        addr = 0x4000
+        system.agent_load(0, addr, now=0)  # agent 0 caches the line
+        assert system.hierarchy(0).residence_level(addr) is MemLevel.L1
+        invalidated = system.remote_store(1, addr, value=99, now=100)
+        assert invalidated == {0}
+        assert system.hierarchy(0).residence_level(addr) is MemLevel.DRAM
+        assert system.shared_memory[addr] == 99
+
+    def test_store_by_sole_owner_invalidates_nobody(self):
+        system = SharedMemorySystem(num_agents=2)
+        system.agent_load(1, 0x4000, now=0)
+        assert system.remote_store(1, 0x4000, 5) == frozenset()
+
+    def test_attach_core_requires_matching_hierarchy(self):
+        system = SharedMemorySystem(num_agents=2)
+        foreign = Core(assemble("halt"))
+        with pytest.raises(ValueError):
+            system.attach_core(0, foreign)
+
+    def test_attached_core_sees_remote_writes(self):
+        """A remote store lands in the shared image, so the victim's later
+        loads observe it (single serialization point)."""
+        system = SharedMemorySystem(num_agents=2)
+        program = assemble(
+            """
+                li r9, 16384
+                load r1, r9, 0
+                store r1, r0, 9000
+                halt
+            """,
+            {16384: 1},
+        )
+        core = Core(
+            program, hierarchy=system.hierarchy(0), check_golden=False
+        )
+        system.attach_core(0, core)
+        system.remote_store(1, 16384, 42)
+        core.run()
+        assert core.committed.read_mem(9000) == 42
+
+
+class TestConsistencyEndToEnd:
+    def test_remote_writer_and_obl_ld_victim_stay_consistent(self):
+        """A victim running Obl-Lds over a table while a remote agent
+        stores to it: validations catch stale forwards; the final committed
+        value reflects values that existed in the shared image."""
+        rng = random.Random(3)
+        table_base, entries = 1 << 20, 512
+        memory = {table_base + 8 * i: 1 for i in range(entries)}
+        iterations = 60
+        for i in range(iterations):
+            memory[4096 + 64 * i] = (rng.randrange(entries) * 8)
+        source = f"""
+            li r1, 0
+            li r2, {iterations}
+            li r6, 64
+            li r7, 1000000
+        loop:
+            mul r8, r1, r6
+            load r5, r8, 33554432    ; slow cold condition load
+            bge r5, r7, skip
+            load r3, r8, 4096
+            load r4, r3, {table_base} ; tainted -> Obl-Ld
+            add r10, r10, r4
+        skip:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            store r10, r0, 9000
+            halt
+        """
+        system = SharedMemorySystem(num_agents=2)
+        program = assemble(source, memory)
+        core = Core(
+            program,
+            hierarchy=system.hierarchy(0),
+            protection=SdoProtection(StaticPredictor(MemLevel.L2), AttackModel.SPECTRE),
+            check_golden=False,  # remote writes are outside the golden order
+        )
+        system.attach_core(0, core)
+        system.hierarchy(0).warm(
+            [table_base + 8 * i for i in range(0, entries, 8)]
+            + [4096 + 64 * i for i in range(iterations)]
+        )
+        writes = 0
+        while not core.halted and core.cycle < 400_000:
+            core.step()
+            if core.cycle % 30 == 11:
+                addr = table_base + 8 * rng.randrange(entries)
+                system.remote_store(1, addr, rng.choice([1, 2]), now=core.cycle)
+                writes += 1
+        assert core.halted
+        assert writes > 0
+        # Every table value ever present is 1 or 2, so any consistent
+        # interleaving sums within these bounds.
+        total = core.committed.read_mem(9000)
+        assert 0 < total <= 2 * iterations

@@ -1,0 +1,81 @@
+"""The paper's penetration test (Section VIII-A): 'all SDO design variants
+block the Spectre V1 attack, to which the Unsafe baseline is vulnerable.'"""
+
+import pytest
+
+from repro.common.config import AttackModel
+from repro.security.channels import CacheTimingReceiver
+from repro.security.spectre_v1 import build_spectre_v1, run_spectre_v1
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.common.config import MachineConfig
+
+PROTECTED = [
+    "STT{ld}", "STT{ld+fp}",
+    "Static L1", "Static L2", "Static L3", "Hybrid", "Perfect",
+]
+MODELS = [AttackModel.SPECTRE, AttackModel.FUTURISTIC]
+
+
+class TestSpectreV1:
+    def test_unsafe_leaks_the_secret(self):
+        result = run_spectre_v1("Unsafe", secret=5)
+        assert result.leaked
+        assert result.recovered == 5
+
+    @pytest.mark.parametrize("secret", [1, 7, 13])
+    def test_unsafe_leaks_arbitrary_secrets(self, secret):
+        result = run_spectre_v1("Unsafe", secret=secret)
+        assert result.recovered == secret
+
+    @pytest.mark.parametrize("config", PROTECTED)
+    @pytest.mark.parametrize("model", MODELS)
+    def test_protected_configs_block(self, config, model):
+        result = run_spectre_v1(config, model, secret=5)
+        assert not result.leaked
+        assert result.recovered is None
+
+    def test_secret_validation(self):
+        with pytest.raises(ValueError):
+            build_spectre_v1(secret=0)
+        with pytest.raises(ValueError):
+            build_spectre_v1(secret=99)
+
+    def test_victim_program_is_well_formed(self):
+        program, probe_base = build_spectre_v1(secret=3)
+        assert probe_base > 0
+        assert len(program) > 10
+
+
+class TestReceiver:
+    def test_flush_reload_distinguishes_touched_lines(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        receiver = CacheTimingReceiver(hierarchy)
+        addrs = [0x100000 + 512 * i for i in range(8)]
+        receiver.flush(addrs)
+        hierarchy.load(addrs[3], 0)  # the "victim" touches slot 3
+        assert receiver.recover_index(0x100000, 512, 8, now=1000) == 3
+
+    def test_no_touch_recovers_nothing(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        receiver = CacheTimingReceiver(hierarchy)
+        addrs = [0x100000 + 512 * i for i in range(8)]
+        receiver.flush(addrs)
+        assert receiver.recover_index(0x100000, 512, 8, now=1000) is None
+
+    def test_ambiguous_hits_recover_nothing(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        receiver = CacheTimingReceiver(hierarchy)
+        addrs = [0x100000 + 512 * i for i in range(8)]
+        receiver.flush(addrs)
+        hierarchy.load(addrs[1], 0)
+        hierarchy.load(addrs[6], 100)
+        assert receiver.recover_index(0x100000, 512, 8, now=1000) is None
+
+    def test_probe_latencies_reflect_residence(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        receiver = CacheTimingReceiver(hierarchy)
+        hierarchy.warm([0x100000])
+        results = receiver.reload([0x100000, 0x900000], now=0)
+        assert results[0].hit
+        assert not results[1].hit
+        assert results[0].latency < results[1].latency

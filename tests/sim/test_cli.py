@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table II" in out
+    assert "mcf_like" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "exchange2_like", "Unsafe"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC" in out
+
+
+def test_run_sdo_prints_predictor_stats(capsys):
+    assert main(["run", "deepsjeng_like", "Hybrid"]) == 0
+    out = capsys.readouterr().out
+    assert "precision" in out
+
+
+def test_spectre_command(capsys):
+    assert main(["spectre", "--secret", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "LEAKED" in out      # the Unsafe row
+    assert "blocked" in out     # every protected row
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError):
+        main(["run", "nope", "Unsafe"])

@@ -1,0 +1,110 @@
+"""Tests for the Table II configurations and the run harness."""
+
+import pytest
+
+from repro.common.config import AttackModel, MachineConfig, PredictorKind, ProtectionKind
+from repro.core.protection import SdoProtection
+from repro.pipeline.protection import UnsafeProtection
+from repro.sim import (
+    EVALUATED_CONFIGS,
+    SDO_CONFIG_NAMES,
+    config_by_name,
+    make_protection,
+    run_suite,
+    run_workload,
+)
+from repro.stt.protection import SttProtection
+from repro.workloads import make_indirect_stream
+
+WORKLOAD = make_indirect_stream("unit", table_words=512, iterations=60, seed=4)
+
+
+class TestConfigs:
+    def test_table2_has_eight_rows(self):
+        assert len(EVALUATED_CONFIGS) == 8
+
+    def test_lookup(self):
+        assert config_by_name("Hybrid").predictor is PredictorKind.HYBRID
+        with pytest.raises(KeyError):
+            config_by_name("bogus")
+
+    def test_sdo_names_subset(self):
+        names = {c.name for c in EVALUATED_CONFIGS}
+        assert set(SDO_CONFIG_NAMES) <= names
+
+    def test_make_protection_types(self):
+        assert isinstance(
+            make_protection(config_by_name("Unsafe"), AttackModel.SPECTRE),
+            UnsafeProtection,
+        )
+        stt = make_protection(config_by_name("STT{ld+fp}"), AttackModel.FUTURISTIC)
+        assert isinstance(stt, SttProtection)
+        assert stt.fp_transmitters
+        sdo = make_protection(config_by_name("Static L3"), AttackModel.SPECTRE)
+        assert isinstance(sdo, SdoProtection)
+
+    def test_all_sdo_configs_protect_fp(self):
+        """Section VIII-A: all SDO configurations protect subnormal FP
+        inputs via the static Obl-FP prediction."""
+        for name in SDO_CONFIG_NAMES:
+            assert config_by_name(name).fp_transmitters
+
+    def test_protection_config_roundtrip(self):
+        config = config_by_name("Hybrid")
+        protection_config = config.protection_config(AttackModel.FUTURISTIC)
+        assert protection_config.kind is ProtectionKind.STT_SDO
+        assert protection_config.attack_model is AttackModel.FUTURISTIC
+
+
+class TestRunner:
+    def test_run_workload_returns_metrics(self):
+        metrics = run_workload(WORKLOAD, config_by_name("Unsafe"))
+        assert metrics.cycles > 0
+        assert metrics.instructions > 100
+        assert 0 < metrics.ipc < 8
+        assert metrics.workload == "unit"
+        assert metrics.config == "Unsafe"
+
+    def test_normalization(self):
+        base = run_workload(WORKLOAD, config_by_name("Unsafe"))
+        assert base.normalized_to(base) == pytest.approx(1.0)
+        stt = run_workload(WORKLOAD, config_by_name("STT{ld}"))
+        assert stt.normalized_to(base) >= 0.9
+
+    def test_fresh_machine_per_run(self):
+        """Two identical runs must produce identical results (no state
+        leakage between configurations)."""
+        a = run_workload(WORKLOAD, config_by_name("Hybrid"))
+        b = run_workload(WORKLOAD, config_by_name("Hybrid"))
+        assert a.cycles == b.cycles
+        assert a.stats == b.stats
+
+    def test_run_suite_covers_grid(self):
+        results = run_suite(
+            [WORKLOAD],
+            configs=[config_by_name("Unsafe"), config_by_name("Hybrid")],
+            attack_models=(AttackModel.SPECTRE,),
+        )
+        assert len(results) == 2
+        assert {r.config for r in results} == {"Unsafe", "Hybrid"}
+
+    def test_progress_callback(self):
+        seen = []
+        run_suite(
+            [WORKLOAD],
+            configs=[config_by_name("Unsafe")],
+            attack_models=(AttackModel.SPECTRE,),
+            progress=lambda w, c, m: seen.append((w, c)),
+        )
+        assert seen == [("unit", "Unsafe")]
+
+    def test_squash_metric(self):
+        metrics = run_workload(WORKLOAD, config_by_name("Static L1"))
+        assert metrics.squashes >= 0
+
+    def test_predictor_metrics_only_for_sdo(self):
+        stt = run_workload(WORKLOAD, config_by_name("STT{ld}"))
+        assert stt.predictor_precision == 0.0
+        sdo = run_workload(WORKLOAD, config_by_name("Perfect"))
+        if sdo.stats.get("stt.sdo.predictions", 0):
+            assert sdo.predictor_precision == pytest.approx(1.0)

@@ -1,0 +1,99 @@
+"""Property tests on the untaint frontier: monotonicity per root.
+
+STT's correctness leans on an untaint being irreversible: once a root is
+declared safe, no later event may re-taint it (values may already have been
+revealed).  We drive the frontier with random sequences of register/resolve
+events and assert per-root monotonicity plus consistency with a brute-force
+reference ("no unfinished squash-capable uop strictly older than the root").
+"""
+
+import math
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import AttackModel
+from repro.isa.instructions import Instruction, Opcode
+from repro.pipeline.uop import DynInst, UopState
+from repro.stt.taint import UntaintFrontier
+
+
+def _branch(seq):
+    return DynInst(seq, seq, Instruction(Opcode.BLT, rs1=1, rs2=2, target=0))
+
+
+def _load(seq):
+    return DynInst(seq, seq, Instruction(Opcode.LOAD, rd=1, rs1=2, imm=0))
+
+
+@st.composite
+def event_scripts(draw):
+    """A random interleaving of register and finish events, program order
+    respected for registration (seq increases)."""
+    count = draw(st.integers(2, 30))
+    kinds = draw(st.lists(st.sampled_from(["branch", "load"]), min_size=count, max_size=count))
+    finish_order = draw(st.permutations(list(range(count))))
+    return kinds, finish_order
+
+
+class TestFrontierProperties:
+    @given(event_scripts(), st.sampled_from([AttackModel.SPECTRE, AttackModel.FUTURISTIC]))
+    @settings(max_examples=60, deadline=None)
+    def test_per_root_safety_is_monotone(self, script, model):
+        kinds, finish_order = script
+        frontier = UntaintFrontier(model)
+        uops = []
+        for seq, kind in enumerate(kinds):
+            uop = _branch(seq) if kind == "branch" else _load(seq)
+            uops.append(uop)
+            frontier.register(uop)
+        roots = list(range(len(uops) + 2))
+        ever_safe = {root: frontier.is_safe(root) for root in roots}
+        for index in finish_order:
+            uop = uops[index]
+            if uop.is_branch:
+                uop.resolved = True
+            else:
+                uop.state = UopState.COMPLETED
+            for root in roots:
+                safe_now = frontier.is_safe(root)
+                if ever_safe[root]:
+                    assert safe_now, f"root {root} re-tainted ({model})"
+                ever_safe[root] = ever_safe[root] or safe_now
+        # Everything finished: every root is safe.
+        assert all(frontier.is_safe(root) for root in roots)
+
+    @given(event_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_bruteforce_reference_spectre(self, script):
+        kinds, finish_order = script
+        frontier = UntaintFrontier(AttackModel.SPECTRE)
+        uops = []
+        for seq, kind in enumerate(kinds):
+            uop = _branch(seq) if kind == "branch" else _load(seq)
+            uops.append(uop)
+            frontier.register(uop)
+
+        def reference_safe(root):
+            return not any(
+                u.is_branch and not u.resolved and u.seq < root for u in uops
+            )
+
+        for index in finish_order:
+            uop = uops[index]
+            if uop.is_branch:
+                uop.resolved = True
+            else:
+                uop.state = UopState.COMPLETED
+            for root in range(len(uops) + 1):
+                assert frontier.is_safe(root) == reference_safe(root)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50))
+    @settings(max_examples=40, deadline=None)
+    def test_squashed_uops_never_block(self, seqs):
+        frontier = UntaintFrontier(AttackModel.FUTURISTIC)
+        for seq in sorted(set(seqs)):
+            uop = _load(seq)
+            uop.squashed = True
+            frontier.register(uop)
+        assert frontier.value() == math.inf

@@ -1,0 +1,190 @@
+"""Behavioural tests for STT on the live pipeline.
+
+These test the *semantics* STT promises: tainted transmitters do not issue
+while tainted, taint propagates through dataflow, untainting follows the
+attack model, and branch resolution is delayed while predicates are tainted.
+"""
+
+import pytest
+
+from repro.common.config import AttackModel
+from repro.isa import assemble
+from repro.pipeline.core import Core
+from repro.pipeline.protection import LoadIssueAction
+from repro.stt.protection import SttProtection
+
+
+def run(source, memory=None, model=AttackModel.SPECTRE, fp=False):
+    program = assemble(source, memory or {})
+    protection = SttProtection(attack_model=model, fp_transmitters=fp)
+    core = Core(program, protection=protection)
+    result = core.run()
+    return core, protection, result
+
+
+#: A kernel with a slow-resolving branch over a dependent load chain.  The
+#: second load's address comes from the first load, and an older branch is
+#: still unresolved when it becomes ready -> STT must delay it.
+TAINTED_KERNEL = """
+    li r1, 0
+    li r2, 20
+    li r6, 64
+    li r7, 1000000
+loop:
+    mul r8, r1, r6
+    load r5, r8, 65536      ; slow condition load (cold lines)
+    bge r5, r7, skip        ; branch unresolved while r5 in flight
+    load r3, r0, 4096       ; access under the branch (clean address)
+    and r3, r3, r6
+    load r4, r3, 4096       ; address depends on speculative data: TAINTED
+skip:
+    addi r1, r1, 1
+    blt r1, r2, loop
+    store r4, r0, 9000
+    halt
+"""
+
+
+class TestDelayedExecution:
+    def test_tainted_loads_are_delayed(self):
+        core, protection, result = run(TAINTED_KERNEL)
+        assert result.stats["core.load_delay_cycles"] > 0
+
+    def test_unsafe_runs_faster(self):
+        program = assemble(TAINTED_KERNEL)
+        unsafe = Core(program).run()
+        _, _, stt = run(TAINTED_KERNEL)
+        assert stt.cycles >= unsafe.cycles
+
+    def test_futuristic_delays_at_least_spectre(self):
+        _, _, spectre = run(TAINTED_KERNEL, model=AttackModel.SPECTRE)
+        _, _, futuristic = run(TAINTED_KERNEL, model=AttackModel.FUTURISTIC)
+        assert (
+            futuristic.stats["core.load_delay_cycles"]
+            >= spectre.stats["core.load_delay_cycles"]
+        )
+
+    def test_results_still_architecturally_correct(self):
+        core, _, _ = run(TAINTED_KERNEL)
+        assert core.halted  # golden check active throughout
+
+
+class TestTaintAssignment:
+    def test_load_output_gets_own_seq_as_root(self):
+        source = """
+            li r1, 64
+            load r2, r1, 0
+            add r3, r2, r1
+            halt
+        """
+        program = assemble(source, {64: 5})
+        protection = SttProtection()
+        core = Core(program, protection=protection)
+        # Step until the load has renamed.
+        for _ in range(20):
+            core.step()
+            if core.halted:
+                break
+        assert protection.stats["access_taints"] >= 1
+
+    def test_non_access_inherits_youngest_root(self):
+        protection = SttProtection()
+        source = """
+            li r1, 64
+            load r2, r1, 0
+            load r3, r1, 8
+            add r4, r2, r3
+            halt
+        """
+        core = Core(assemble(source, {}), protection=protection)
+        # Find the renamed uops after a few cycles.
+        for _ in range(6):
+            core.step()
+        uops = {u.pc: u for u in core.rob}
+        if 3 in uops and uops[3].src_taint_root is not None:
+            # add's root must be the younger of the two loads.
+            assert uops[3].src_taint_root == uops[2].taint_root
+
+    def test_untainted_sources_issue_normally(self):
+        protection = SttProtection()
+        decision_actions = []
+        source = """
+            li r1, 64
+            load r2, r1, 0
+            halt
+        """
+        core = Core(assemble(source, {}), protection=protection)
+        original = protection.load_issue_decision
+
+        def spy(uop):
+            decision = original(uop)
+            decision_actions.append(decision.action)
+            return decision
+
+        protection.load_issue_decision = spy
+        core.run()
+        assert all(a is LoadIssueAction.NORMAL for a in decision_actions)
+
+
+class TestImplicitChannelRule:
+    def test_tainted_branch_resolution_is_delayed(self):
+        source = """
+            li r1, 0
+            li r2, 12
+            li r6, 64
+            li r7, 1000000
+        loop:
+            mul r8, r1, r6
+            load r5, r8, 65536   ; slow load keeps bge unresolved
+            bge r5, r7, skip
+            load r3, r8, 4096    ; clean address: executes speculatively,
+                                 ; output tainted (root = itself)
+            blt r3, r6, skip     ; branch predicate TAINTED by r3
+            addi r4, r4, 1
+        skip:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """
+        _, _, result = run(source)
+        assert result.stats.get("core.delayed_resolutions", 0) > 0
+
+    def test_predictor_updates_only_after_resolution(self):
+        """The branch predictor's update count never exceeds resolved
+        branches (no tainted-outcome training)."""
+        core, _, result = run(TAINTED_KERNEL)
+        assert core.bpred.predictions >= core.bpred.mispredictions
+
+
+class TestFpTransmitters:
+    FP_KERNEL = """
+        li r1, 0
+        li r2, 15
+        li r6, 64
+        li r7, 1000000
+        fli f1, 1.5
+    loop:
+        mul r8, r1, r6
+        load r5, r8, 65536      ; slow condition load
+        bge r5, r7, skip        ; long window
+        fload f0, r8, 4096      ; clean address: issues under the branch
+        fmul f2, f0, f1         ; operand tainted -> {ld+fp} delays this
+        fadd f3, f3, f2
+    skip:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        fstore f3, r0, 9000
+        halt
+    """
+
+    def test_ld_config_never_delays_fp(self):
+        _, _, result = run(self.FP_KERNEL, fp=False)
+        assert result.stats.get("core.fp_delay_cycles", 0) == 0
+
+    def test_ldfp_config_delays_tainted_fp(self):
+        _, _, result = run(self.FP_KERNEL, fp=True)
+        assert result.stats["core.fp_delay_cycles"] > 0
+
+    def test_names(self):
+        assert SttProtection().name == "STT{ld}"
+        assert SttProtection(fp_transmitters=True).name == "STT{ld+fp}"
