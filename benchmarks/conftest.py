@@ -1,12 +1,16 @@
 """Shared fixtures for the benchmark/reproduction harness.
 
 The expensive part — sweeping every Table II configuration over the whole
-workload suite under both attack models — runs once per session and feeds
-every figure/table benchmark.
+workload suite under both attack models — runs once per session through the
+sweep engine (:class:`repro.sim.api.Session`) and feeds every figure/table
+benchmark.
 
 Scaling: by default the sweep uses ``suite(scale=0.35)`` so the whole
 ``pytest benchmarks/ --benchmark-only`` run finishes in minutes.  Set
-``REPRO_FULL_EVAL=1`` for the full-size runs reported in EXPERIMENTS.md.
+``REPRO_FULL_EVAL=1`` for the full-size runs reported in EXPERIMENTS.md,
+and ``REPRO_JOBS=N`` to fan the sweep out over N worker processes (default:
+one per CPU, capped at 8).  The result cache is left off so the printed
+sweep time stays an honest measure of simulator throughput.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import time
 
 import pytest
 
-from repro.sim import EVALUATED_CONFIGS, run_suite
+from repro.sim.api import Session
 from repro.workloads import suite
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -27,14 +31,28 @@ def _scale() -> float:
     return 1.0 if os.environ.get("REPRO_FULL_EVAL") else 0.35
 
 
+def _jobs() -> int:
+    configured = int(os.environ.get("REPRO_JOBS", "0"))
+    return configured if configured > 0 else max(1, min(8, os.cpu_count() or 1))
+
+
 @pytest.fixture(scope="session")
-def sweep_results():
+def sweep_session() -> Session:
+    """The engine session every benchmark shares (no cache: honest timing)."""
+    return Session(jobs=_jobs(), cache=False)
+
+
+@pytest.fixture(scope="session")
+def sweep_results(sweep_session):
     """Full evaluation sweep: every config x model x workload."""
     workloads = suite(scale=_scale())
     started = time.time()
-    results = run_suite(workloads)
+    results = sweep_session.sweep(workloads)
     elapsed = time.time() - started
-    print(f"\n[sweep] {len(results)} runs in {elapsed:.0f}s (scale={_scale()})")
+    print(
+        f"\n[sweep] {len(results)} runs in {elapsed:.0f}s "
+        f"(scale={_scale()}, jobs={_jobs()})"
+    )
     return results
 
 

@@ -17,7 +17,7 @@ from benchmarks.conftest import save_artifact
 from repro.common import AttackModel, MachineConfig
 from repro.common.config import TlbConfig
 from repro.eval import render_table
-from repro.sim import config_by_name, run_workload
+from repro.sim import RunRequest, config_by_name, execute
 from repro.workloads import make_indirect_stream
 
 _WORKLOAD = make_indirect_stream(
@@ -26,8 +26,13 @@ _WORKLOAD = make_indirect_stream(
 
 
 def _run(config_name, machine):
-    return run_workload(
-        _WORKLOAD, config_by_name(config_name), AttackModel.SPECTRE, machine=machine
+    return execute(
+        RunRequest(
+            workload=_WORKLOAD,
+            config=config_by_name(config_name),
+            attack_model=AttackModel.SPECTRE,
+            machine=machine,
+        )
     )
 
 
@@ -41,11 +46,8 @@ def test_ablation_early_forwarding(benchmark, artifact_dir):
                 config_by_name(config_name).protection_config(AttackModel.SPECTRE),
                 early_forwarding=False,
             )
-            without_fwd = run_workload(
-                _WORKLOAD,
-                config_by_name(config_name),
-                AttackModel.SPECTRE,
-                machine=base_machine.with_protection(protection),
+            without_fwd = _run(
+                config_name, base_machine.with_protection(protection)
             )
             rows.append(
                 [config_name, with_fwd.cycles, without_fwd.cycles,

@@ -8,7 +8,7 @@ intractable.
 import pytest
 
 from repro.common import AttackModel
-from repro.sim import config_by_name, run_workload
+from repro.sim import RunRequest, config_by_name, execute
 from repro.workloads import make_indirect_stream
 
 _WORKLOAD = make_indirect_stream(
@@ -18,23 +18,21 @@ _WORKLOAD = make_indirect_stream(
 
 @pytest.mark.parametrize("config_name", ["Unsafe", "STT{ld}", "Hybrid"])
 def test_simulation_throughput(benchmark, config_name):
-    config = config_by_name(config_name)
-    metrics = benchmark.pedantic(
-        run_workload,
-        args=(_WORKLOAD, config, AttackModel.SPECTRE),
-        rounds=3,
-        iterations=1,
+    request = RunRequest(
+        workload=_WORKLOAD,
+        config=config_by_name(config_name),
+        attack_model=AttackModel.SPECTRE,
     )
+    metrics = benchmark.pedantic(execute, args=(request,), rounds=3, iterations=1)
     assert metrics.instructions > 500
 
 
 def test_golden_check_cost(benchmark):
     """The ISS shadow check should not dominate simulation time."""
-    config = config_by_name("Unsafe")
-    benchmark.pedantic(
-        run_workload,
-        args=(_WORKLOAD, config, AttackModel.SPECTRE),
-        kwargs={"check_golden": False},
-        rounds=3,
-        iterations=1,
+    request = RunRequest(
+        workload=_WORKLOAD,
+        config=config_by_name("Unsafe"),
+        attack_model=AttackModel.SPECTRE,
+        check_golden=False,
     )
+    benchmark.pedantic(execute, args=(request,), rounds=3, iterations=1)

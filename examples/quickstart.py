@@ -14,7 +14,7 @@ Run:  python examples/quickstart.py
 
 from repro.common import AttackModel
 from repro.isa import assemble
-from repro.sim import config_by_name, run_workload
+from repro.sim import Session
 from repro.workloads import Workload
 
 
@@ -71,10 +71,12 @@ def main() -> None:
     workload = build_workload()
     print(f"workload: {workload.name} ({workload.static_instructions} static instructions)\n")
 
+    # The session owns the engine and the on-disk result cache: run this
+    # script twice and the second pass completes from .repro-cache/.
+    session = Session()
     baseline = None
     for config_name in ("Unsafe", "STT{ld}", "Hybrid", "Perfect"):
-        config = config_by_name(config_name)
-        metrics = run_workload(workload, config, AttackModel.SPECTRE)
+        metrics = session.run(workload, config_name, AttackModel.SPECTRE)
         if baseline is None:
             baseline = metrics
         normalized = metrics.normalized_to(baseline)

@@ -2,14 +2,20 @@
 """Regenerate every table and figure of the paper's evaluation.
 
 Runs the full sweep — every Table II design variant, both attack models,
-the whole workload suite — then renders Figure 6 (normalized execution
-time), Figure 7 (overhead breakdown), Figure 8 (squashes vs time),
-Table I, Table II and Table III, and writes CSVs next to the text output.
+the whole workload suite — through the parallel, cache-aware sweep engine,
+then renders Figure 6 (normalized execution time), Figure 7 (overhead
+breakdown), Figure 8 (squashes vs time), Table I, Table II and Table III,
+and writes CSVs next to the text output.
 
-Run:  python examples/reproduce_paper.py [--quick] [--out DIR]
+Run:  python examples/reproduce_paper.py [--quick] [--jobs N] [--out DIR]
 
 ``--quick`` scales workload iteration counts down ~4x (minutes instead of
 tens of minutes); the shapes survive, the exact numbers move a little.
+``--jobs N`` fans the runs out over N worker processes.  Results are cached
+under ``.repro-cache/`` keyed by their full inputs, so a re-run (or a
+different figure over the same sweep) completes from cache; pass
+``--no-cache`` to re-simulate, and ``--events FILE`` to capture the
+machine-readable run-lifecycle log.
 """
 
 import argparse
@@ -20,7 +26,7 @@ import time
 from repro.common import AttackModel
 from repro.eval import build_figure6, build_figure7, build_figure8, to_csv
 from repro.eval.tables import render_table1, render_table2, render_table3, table3_rows
-from repro.sim import EVALUATED_CONFIGS, SDO_CONFIG_NAMES, run_suite
+from repro.sim import SDO_CONFIG_NAMES, JsonlEventLog, ProgressLine, Session
 from repro.workloads import suite
 
 
@@ -28,28 +34,30 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="~4x smaller workloads")
     parser.add_argument("--out", default="results", help="output directory for CSVs")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write .repro-cache/")
+    parser.add_argument("--events", default=None, metavar="FILE",
+                        help="write a JSONL run-lifecycle event log")
     args = parser.parse_args(argv)
 
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     workloads = suite(scale=0.25 if args.quick else 1.0)
 
+    observers = [ProgressLine()]
+    event_log = JsonlEventLog(args.events) if args.events else None
+    if event_log is not None:
+        observers.append(event_log)
+    session = Session(jobs=args.jobs, cache=not args.no_cache, observers=observers)
+
     started = time.time()
-    total = len(workloads) * len(EVALUATED_CONFIGS) * 2
-    done = [0]
-
-    def progress(workload: str, config: str, model: AttackModel) -> None:
-        done[0] += 1
-        elapsed = time.time() - started
-        print(
-            f"\r[{done[0]:3d}/{total}] {elapsed:6.0f}s  {model.value:10s} "
-            f"{workload:18s} {config:12s}",
-            end="",
-            flush=True,
-        )
-
-    results = run_suite(workloads, progress=progress)
-    print(f"\nsweep finished in {time.time() - started:.0f}s\n")
+    try:
+        results = session.sweep(workloads)
+    finally:
+        if event_log is not None:
+            event_log.close()
+    print(f"sweep finished in {time.time() - started:.0f}s\n")
 
     print(render_table1())
     print(render_table2())

@@ -8,28 +8,37 @@ inventory, EXPERIMENTS.md for paper-vs-measured results.
 
 The most useful entry points:
 
->>> from repro import run_workload, config_by_name, suite, AttackModel
->>> metrics = run_workload(suite()[1], config_by_name("Hybrid"),
-...                        AttackModel.SPECTRE)      # doctest: +SKIP
+>>> from repro import Session, config_by_name, suite, AttackModel
+>>> session = Session(jobs=4)                        # doctest: +SKIP
+>>> metrics = session.run(suite()[1], "Hybrid",
+...                       AttackModel.SPECTRE)       # doctest: +SKIP
+>>> results = session.sweep(suite())                 # doctest: +SKIP
 >>> from repro.security import run_spectre_v1
 >>> run_spectre_v1("Unsafe").leaked                  # doctest: +SKIP
 True
+
+``run_workload``/``run_suite`` are deprecated shims over the same API.
 """
 
 from repro.common.config import AttackModel, MachineConfig, MemLevel
+from repro.sim.api import RunFailure, RunMetrics, RunRequest, Session, execute
 from repro.sim.configs import EVALUATED_CONFIGS, config_by_name
-from repro.sim.runner import RunMetrics, run_suite, run_workload
+from repro.sim.runner import run_suite, run_workload
 from repro.workloads.spec17 import suite
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttackModel",
     "EVALUATED_CONFIGS",
     "MachineConfig",
     "MemLevel",
+    "RunFailure",
     "RunMetrics",
+    "RunRequest",
+    "Session",
     "config_by_name",
+    "execute",
     "run_suite",
     "run_workload",
     "suite",

@@ -5,19 +5,25 @@ Commands:
 * ``info``     — print Table I (machine) and Table II (variants)
 * ``spectre``  — run the Spectre V1 penetration test across all configs
 * ``run``      — run one workload under one configuration and print metrics
+* ``sweep``    — the full evaluation sweep (Figures 6/7/8, Table III),
+                 parallel (``--jobs N``) and cached (``.repro-cache/``,
+                 disable with ``--no-cache``), with an optional JSONL
+                 event log (``--events``)
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from repro.common.config import AttackModel
-from repro.eval.report import render_table
+from repro.eval.report import render_table, to_csv
 from repro.eval.tables import render_table1, render_table2
-from repro.sim.configs import EVALUATED_CONFIGS, config_by_name
-from repro.sim.runner import run_workload
-from repro.workloads.spec17 import SPEC17_SUITE, workload_by_name
+from repro.sim.api import Session
+from repro.sim.configs import EVALUATED_CONFIGS, SDO_CONFIG_NAMES, config_by_name
+from repro.sim.events import JsonlEventLog, ProgressLine
+from repro.workloads.spec17 import SPEC17_SUITE, suite, workload_by_name
 
 
 def _cmd_info(_args) -> int:
@@ -41,10 +47,20 @@ def _cmd_spectre(args) -> int:
     return 0
 
 
+def _session_from(args, observers=()) -> Session:
+    return Session(
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        observers=observers,
+    )
+
+
 def _cmd_run(args) -> int:
     workload = workload_by_name(args.workload)
     config = config_by_name(args.config)
-    metrics = run_workload(workload, config, AttackModel(args.model))
+    session = _session_from(args)
+    metrics = session.run(workload, config, AttackModel(args.model))
     print(f"{workload.name} under {config.name} ({args.model}):")
     print(f"  cycles       {metrics.cycles}")
     print(f"  instructions {metrics.instructions}")
@@ -56,19 +72,146 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    from repro.eval.figure6 import build_figure6
+    from repro.eval.figure7 import build_figure7
+    from repro.eval.figure8 import build_figure8
+    from repro.eval.tables import render_table3, table3_rows
+
+    workloads = suite(scale=args.scale)
+    if args.workloads:
+        wanted = [name.strip() for name in args.workloads.split(",") if name.strip()]
+        by_name = {w.name: w for w in workloads}
+        missing = [name for name in wanted if name not in by_name]
+        if missing:
+            raise KeyError(f"unknown workloads: {missing}; available: {sorted(by_name)}")
+        workloads = tuple(by_name[name] for name in wanted)
+
+    if args.configs:
+        config_names = [name.strip() for name in args.configs.split(",") if name.strip()]
+    else:
+        config_names = [c.name for c in EVALUATED_CONFIGS]
+    if "Unsafe" not in config_names:  # every figure normalizes to Unsafe
+        config_names.insert(0, "Unsafe")
+    configs = [config_by_name(name) for name in config_names]
+
+    models = {
+        "spectre": (AttackModel.SPECTRE,),
+        "futuristic": (AttackModel.FUTURISTIC,),
+        "both": (AttackModel.SPECTRE, AttackModel.FUTURISTIC),
+    }[args.models]
+
+    observers = [ProgressLine()]
+    event_log = JsonlEventLog(args.events) if args.events else None
+    if event_log is not None:
+        observers.append(event_log)
+
+    session = _session_from(args, observers=observers)
+    try:
+        results = session.sweep(workloads, configs=configs, attack_models=models)
+    finally:
+        if event_log is not None:
+            event_log.close()
+
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+
+    figure6 = build_figure6(results)
+    for model in models:
+        print(figure6.render(model))
+        if out_dir is not None:
+            csv_rows = [
+                [workload]
+                + [figure6.data[model][config][workload] for config in figure6.configs]
+                for workload in figure6.workloads
+            ]
+            (out_dir / f"figure6_{model.value}.csv").write_text(
+                to_csv(["benchmark"] + list(figure6.configs), csv_rows)
+            )
+
+    sdo_present = tuple(n for n in SDO_CONFIG_NAMES if n in config_names)
+    if sdo_present:
+        figure7 = build_figure7(results, configs=sdo_present)
+        figure8 = build_figure8(results, sdo_present)
+        for model in models:
+            print(figure7.render(model))
+            print(figure8.render(model))
+        if table3_rows(results):
+            print(render_table3(results))
+
+    if event_log is not None:
+        print(f"event log written to {event_log.path}")
+    if out_dir is not None:
+        print(f"CSV artifacts written to {out_dir}/")
+    return 0
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation runs (default 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default .repro-cache/)",
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("info", help="print machine and variant tables")
+
     spectre = sub.add_parser("spectre", help="run the Spectre V1 penetration test")
     spectre.add_argument("--secret", type=int, default=5)
     spectre.add_argument("--model", choices=["spectre", "futuristic"], default="spectre")
+
     run = sub.add_parser("run", help="run one workload under one configuration")
     run.add_argument("workload")
     run.add_argument("config")
     run.add_argument("--model", choices=["spectre", "futuristic"], default="spectre")
+    _add_engine_options(run)
+
+    sweep = sub.add_parser(
+        "sweep", help="run the evaluation sweep and print Figures 6/7/8 + Table III"
+    )
+    sweep.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale workload iteration counts (e.g. 0.25 for a quick pass)",
+    )
+    sweep.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload names (default: the whole suite)",
+    )
+    sweep.add_argument(
+        "--configs", default=None,
+        help="comma-separated Table II config names (Unsafe is always added)",
+    )
+    sweep.add_argument(
+        "--models", choices=["spectre", "futuristic", "both"], default="both",
+    )
+    sweep.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="write a JSONL run-lifecycle event log (suffix: .events.jsonl)",
+    )
+    sweep.add_argument(
+        "--out", default=None, metavar="DIR", help="write CSV artifacts here",
+    )
+    _add_engine_options(sweep)
+
     args = parser.parse_args(argv)
-    return {"info": _cmd_info, "spectre": _cmd_spectre, "run": _cmd_run}[args.command](args)
+    handlers = {
+        "info": _cmd_info,
+        "spectre": _cmd_spectre,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+    }
+    return handlers[args.command](args)
 
 
 if __name__ == "__main__":

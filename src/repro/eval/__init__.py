@@ -10,16 +10,23 @@ One module per artifact:
 * :mod:`repro.eval.tables` — Table I (architecture), Table II (variants),
   and Table III (predictor precision/accuracy).
 
-All of them consume :class:`repro.sim.runner.RunMetrics` lists so a single
-simulation sweep can feed every artifact; ``repro.eval.report`` renders
-aligned text tables and CSV.
+All of them consume :class:`repro.sim.api.RunMetrics` lists so a single
+simulation sweep can feed every artifact; the ``*_from_session`` variants
+drive that sweep through a :class:`repro.sim.api.Session` (worker pool,
+result cache, event observers); ``repro.eval.report`` renders aligned text
+tables and CSV.
 """
 
 from repro.eval.report import render_table, to_csv
-from repro.eval.figure6 import Figure6, build_figure6
-from repro.eval.figure7 import Figure7, build_figure7
-from repro.eval.figure8 import Figure8, build_figure8
-from repro.eval.tables import table1_rows, table2_rows, table3_rows
+from repro.eval.figure6 import Figure6, build_figure6, figure6_from_session
+from repro.eval.figure7 import Figure7, build_figure7, figure7_from_session
+from repro.eval.figure8 import Figure8, build_figure8, figure8_from_session
+from repro.eval.tables import (
+    table1_rows,
+    table2_rows,
+    table3_from_session,
+    table3_rows,
+)
 
 __all__ = [
     "Figure6",
@@ -28,9 +35,13 @@ __all__ = [
     "build_figure6",
     "build_figure7",
     "build_figure8",
+    "figure6_from_session",
+    "figure7_from_session",
+    "figure8_from_session",
     "render_table",
     "table1_rows",
     "table2_rows",
+    "table3_from_session",
     "table3_rows",
     "to_csv",
 ]

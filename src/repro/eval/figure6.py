@@ -11,10 +11,16 @@ Futuristic model, and Perfect bounds the technique at ~51-66%.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 from repro.common.config import AttackModel
 from repro.eval.report import geometric_mean, render_table
-from repro.sim.runner import RunMetrics
+from repro.sim.api import RunMetrics
+from repro.sim.configs import EVALUATED_CONFIGS
+
+if TYPE_CHECKING:
+    from repro.sim.api import Session
+    from repro.workloads.workload import Workload
 
 
 @dataclass
@@ -88,3 +94,18 @@ def build_figure6(results: list[RunMetrics]) -> Figure6:
     figure.workloads = tuple(workloads)
     figure.configs = tuple(configs)
     return figure
+
+
+def figure6_from_session(
+    session: "Session",
+    workloads: Sequence["Workload"],
+    configs=EVALUATED_CONFIGS,
+    attack_models: Sequence[AttackModel] = (
+        AttackModel.SPECTRE,
+        AttackModel.FUTURISTIC,
+    ),
+) -> Figure6:
+    """Run the required sweep through ``session`` (parallel workers, result
+    cache, event observers) and assemble Figure 6 from it."""
+    results = session.sweep(workloads, configs=configs, attack_models=attack_models)
+    return build_figure6(results)

@@ -12,10 +12,16 @@ hardware-counter-based breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 from repro.common.config import AttackModel
 from repro.eval.report import render_table
-from repro.sim.runner import RunMetrics
+from repro.sim.api import RunMetrics
+from repro.sim.configs import SDO_CONFIG_NAMES, config_by_name
+
+if TYPE_CHECKING:
+    from repro.sim.api import Session
+    from repro.workloads.workload import Workload
 
 #: Cost model for attributing counters to cycles.  A squash costs roughly
 #: the refetch penalty plus re-execution of the squashed window; we charge
@@ -134,3 +140,19 @@ def build_figure7(results: list[RunMetrics], configs: tuple[str, ...] | None = N
         figure.data.setdefault(model, {})[config] = fractions
         figure.overhead_cycles.setdefault(model, {})[config] = total
     return figure
+
+
+def figure7_from_session(
+    session: "Session",
+    workloads: Sequence["Workload"],
+    configs: tuple[str, ...] = SDO_CONFIG_NAMES,
+    attack_models: Sequence[AttackModel] = (
+        AttackModel.SPECTRE,
+        AttackModel.FUTURISTIC,
+    ),
+) -> Figure7:
+    """Sweep (Unsafe + ``configs``) through ``session`` and attribute the
+    overhead; the Unsafe baseline is added automatically."""
+    run_configs = [config_by_name("Unsafe")] + [config_by_name(n) for n in configs]
+    results = session.sweep(workloads, configs=run_configs, attack_models=attack_models)
+    return build_figure7(results, configs=tuple(configs))

@@ -10,10 +10,16 @@ them in latency instead).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 from repro.common.config import AttackModel
 from repro.eval.report import geometric_mean, render_table
-from repro.sim.runner import RunMetrics
+from repro.sim.api import RunMetrics
+from repro.sim.configs import SDO_CONFIG_NAMES, config_by_name
+
+if TYPE_CHECKING:
+    from repro.sim.api import Session
+    from repro.workloads.workload import Workload
 
 
 @dataclass(frozen=True)
@@ -93,3 +99,19 @@ def build_figure8(
             )
         )
     return figure
+
+
+def figure8_from_session(
+    session: "Session",
+    workloads: Sequence["Workload"],
+    sdo_configs: tuple[str, ...] = SDO_CONFIG_NAMES,
+    attack_models: Sequence[AttackModel] = (
+        AttackModel.SPECTRE,
+        AttackModel.FUTURISTIC,
+    ),
+) -> Figure8:
+    """Sweep (Unsafe + ``sdo_configs``) through ``session`` and build the
+    squashes-vs-time points; the Unsafe baseline is added automatically."""
+    run_configs = [config_by_name("Unsafe")] + [config_by_name(n) for n in sdo_configs]
+    results = session.sweep(workloads, configs=run_configs, attack_models=attack_models)
+    return build_figure8(results, tuple(sdo_configs))

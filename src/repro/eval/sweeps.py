@@ -16,8 +16,7 @@ from typing import Callable, Sequence
 
 from repro.common.config import AttackModel, CacheConfig, CoreConfig, DramConfig, MachineConfig
 from repro.eval.report import render_table
-from repro.sim.configs import EvaluatedConfig, config_by_name
-from repro.sim.runner import RunMetrics, run_workload
+from repro.sim.api import RunMetrics, Session
 from repro.workloads.workload import Workload
 
 
@@ -103,29 +102,40 @@ def sweep(
     config_names: Sequence[str] = ("STT{ld}", "Hybrid", "Perfect"),
     attack_model: AttackModel = AttackModel.SPECTRE,
     check_golden: bool = False,
+    session: Session | None = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """Run ``workload`` under every (variant, config) pair.
 
     Each variant gets its own Unsafe baseline, so the normalized numbers
-    isolate the protection cost from the machine change itself.
+    isolate the protection cost from the machine change itself.  All
+    (variant, config) cells go through the sweep engine as one batch, so
+    ``jobs`` (or a ``session`` with workers/cache/observers) parallelizes
+    across variants as well as configs.
     """
-    table: dict[str, dict[str, float]] = {}
-    raw: dict[str, dict[str, RunMetrics]] = {}
-    for variant in variants:
-        machine = variant.build()
-        baseline = run_workload(
-            workload, config_by_name("Unsafe"), attack_model,
+    if session is None:
+        session = Session(jobs=jobs, cache=False, check_golden=check_golden)
+    per_variant = ("Unsafe", *config_names)
+    requests = [
+        session.request(
+            workload, name, attack_model,
             machine=machine, check_golden=check_golden,
         )
-        row: dict[str, float] = {}
+        for machine in (variant.build() for variant in variants)
+        for name in per_variant
+    ]
+    metrics = session.run_many(requests, strict=True)
+
+    table: dict[str, dict[str, float]] = {}
+    raw: dict[str, dict[str, RunMetrics]] = {}
+    for position, variant in enumerate(variants):
+        chunk = metrics[position * len(per_variant):(position + 1) * len(per_variant)]
+        baseline = chunk[0]
         row_raw: dict[str, RunMetrics] = {"Unsafe": baseline}
-        for name in config_names:
-            metrics = run_workload(
-                workload, config_by_name(name), attack_model,
-                machine=machine, check_golden=check_golden,
-            )
-            row[name] = metrics.normalized_to(baseline)
-            row_raw[name] = metrics
+        row: dict[str, float] = {}
+        for name, run in zip(config_names, chunk[1:]):
+            row[name] = run.normalized_to(baseline)
+            row_raw[name] = run
         table[variant.name] = row
         raw[variant.name] = row_raw
     return SweepResult(

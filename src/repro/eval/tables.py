@@ -7,10 +7,16 @@ Table III (predictor precision/accuracy) is measured from a sweep.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 from repro.common.config import AttackModel, MachineConfig
 from repro.eval.report import render_table
-from repro.sim.configs import EVALUATED_CONFIGS
-from repro.sim.runner import RunMetrics
+from repro.sim.api import RunMetrics
+from repro.sim.configs import EVALUATED_CONFIGS, SDO_CONFIG_NAMES, config_by_name
+
+if TYPE_CHECKING:
+    from repro.sim.api import Session
+    from repro.workloads.workload import Workload
 
 
 def table1_rows(machine: MachineConfig | None = None) -> list[list[str]]:
@@ -104,3 +110,18 @@ def render_table3(results: list[RunMetrics]) -> str:
         title="Table III: precision and accuracy of evaluated SDO predictors",
         float_format="{:.2f}",
     )
+
+
+def table3_from_session(
+    session: "Session",
+    workloads: Sequence["Workload"],
+    configs: tuple[str, ...] = SDO_CONFIG_NAMES,
+    attack_models: Sequence[AttackModel] = (
+        AttackModel.SPECTRE,
+        AttackModel.FUTURISTIC,
+    ),
+) -> list[list[object]]:
+    """Sweep the SDO configs through ``session`` and tabulate Table III."""
+    run_configs = [config_by_name(name) for name in configs]
+    results = session.sweep(workloads, configs=run_configs, attack_models=attack_models)
+    return table3_rows(results)

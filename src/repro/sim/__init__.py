@@ -1,24 +1,52 @@
 """Machine assembly and experiment running.
 
 :mod:`repro.sim.configs` defines the Table II design variants;
-:mod:`repro.sim.runner` builds a (core + hierarchy + protection) machine for
-a (workload, configuration, attack model) triple and runs it to completion,
-returning the metrics the evaluation harness consumes.
+:mod:`repro.sim.api` is the simulation API — a frozen
+:class:`~repro.sim.api.RunRequest` describes one (workload, configuration,
+attack model) run, :func:`~repro.sim.api.execute` simulates it on a freshly
+built machine, and a :class:`~repro.sim.api.Session` batches requests
+through :mod:`repro.sim.engine`'s worker pool, the content-addressed
+:mod:`repro.sim.cache`, and the :mod:`repro.sim.events` observer stream.
+
+:mod:`repro.sim.runner` keeps the deprecated ``run_workload``/``run_suite``
+shims.
 """
 
+from repro.sim.api import (
+    RunFailure,
+    RunMetrics,
+    RunRequest,
+    Session,
+    execute,
+)
+from repro.sim.cache import ResultCache, cache_key
 from repro.sim.configs import (
     EVALUATED_CONFIGS,
     SDO_CONFIG_NAMES,
+    EvaluatedConfig,
     config_by_name,
     make_protection,
 )
-from repro.sim.runner import RunMetrics, run_workload, run_suite
+from repro.sim.engine import SweepEngine
+from repro.sim.events import JsonlEventLog, ProgressLine, RunEvent
+from repro.sim.runner import run_suite, run_workload
 
 __all__ = [
     "EVALUATED_CONFIGS",
+    "EvaluatedConfig",
+    "JsonlEventLog",
+    "ProgressLine",
+    "ResultCache",
+    "RunEvent",
+    "RunFailure",
     "RunMetrics",
+    "RunRequest",
     "SDO_CONFIG_NAMES",
+    "Session",
+    "SweepEngine",
+    "cache_key",
     "config_by_name",
+    "execute",
     "make_protection",
     "run_suite",
     "run_workload",

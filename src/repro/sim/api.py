@@ -1,0 +1,378 @@
+"""The simulation API: :class:`RunRequest`, :class:`RunMetrics`,
+:class:`RunFailure`, and :class:`Session`.
+
+A :class:`RunRequest` is the frozen, self-contained description of one
+simulation — workload, Table II configuration, attack model, machine, and
+limits.  :func:`execute` turns a request into :class:`RunMetrics` by
+building a fresh (core + hierarchy + protection) machine; it is a pure
+function of the request, which is what makes sweeps embarrassingly parallel
+and results content-addressable.
+
+A :class:`Session` owns the pieces a sweep needs — worker pool size, the
+on-disk result cache, and event observers — and offers three entry points:
+
+>>> session = Session(jobs=4)                       # doctest: +SKIP
+>>> metrics = session.run(workload, "Hybrid")       # doctest: +SKIP
+>>> results = session.sweep(suite())                # doctest: +SKIP
+
+The legacy ``repro.sim.runner.run_workload``/``run_suite`` functions are
+deprecated shims over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence, Union
+
+from repro.common.config import AttackModel, MachineConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import Core
+from repro.sim.configs import (
+    EVALUATED_CONFIGS,
+    EvaluatedConfig,
+    config_by_name,
+    make_protection,
+)
+from repro.workloads.workload import Workload
+
+if TYPE_CHECKING:
+    from repro.sim.cache import ResultCache
+    from repro.sim.events import EventObserver
+
+#: Default commit budget per run (the seed harness's historical default).
+DEFAULT_MAX_INSTRUCTIONS = 200_000
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Results of one simulation run."""
+
+    workload: str
+    config: str
+    attack_model: AttackModel
+    cycles: int
+    instructions: int
+    stats: dict[str, float] = field(repr=False, default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def normalized_to(self, baseline: "RunMetrics") -> float:
+        """Execution time normalized to a baseline run (Figure 6's metric).
+
+        Uses cycles-per-instruction so runs that committed slightly different
+        instruction counts (e.g. capped runs) stay comparable.
+        """
+        if self.attack_model is not baseline.attack_model:
+            raise ValueError(
+                f"cannot normalize across attack models: {self.config}/"
+                f"{self.workload} ran under {self.attack_model.value!r} but "
+                f"the baseline {baseline.config}/{baseline.workload} ran "
+                f"under {baseline.attack_model.value!r}"
+            )
+        if self.instructions == 0 or baseline.instructions == 0:
+            raise ValueError("cannot normalize a run that committed nothing")
+        own = self.cycles / self.instructions
+        base = baseline.cycles / baseline.instructions
+        return own / base
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "attack_model": self.attack_model.value,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "stats": dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunMetrics":
+        return cls(
+            workload=payload["workload"],
+            config=payload["config"],
+            attack_model=AttackModel(payload["attack_model"]),
+            cycles=int(payload["cycles"]),
+            instructions=int(payload["instructions"]),
+            stats=dict(payload["stats"]),
+        )
+
+    @property
+    def squashes(self) -> float:
+        """SDO-induced squashes (Figure 8's x-axis): Obl-Ld fails + Obl-FP
+        fails + validation mismatches — branch mispredicts excluded, they
+        exist in every configuration."""
+        return (
+            self.stats.get("core.obl_fail_squashes", 0)
+            + self.stats.get("core.fp_fail_squashes", 0)
+            + self.stats.get("core.validation_mismatch_squashes", 0)
+        )
+
+    @property
+    def predictor_precision(self) -> float:
+        total = self.stats.get("stt.sdo.predictions", 0)
+        return self.stats.get("stt.sdo.precise", 0) / total if total else 0.0
+
+    @property
+    def predictor_accuracy(self) -> float:
+        total = self.stats.get("stt.sdo.predictions", 0)
+        return self.stats.get("stt.sdo.accurate", 0) / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """Everything needed to simulate one (workload, config, model) cell.
+
+    Frozen: a request is a value.  Two equal requests produce equal metrics
+    (simulation is deterministic), which is what the result cache keys on.
+    """
+
+    workload: Workload
+    config: EvaluatedConfig
+    attack_model: AttackModel = AttackModel.SPECTRE
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    check_golden: bool = True
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """A run that raised instead of completing.
+
+    The engine converts worker exceptions into these so one crashed cell
+    cannot kill a whole sweep; the traceback is captured as text because
+    exception objects do not reliably cross process boundaries.
+    """
+
+    workload: str
+    config: str
+    attack_model: AttackModel
+    error_type: str
+    message: str
+    traceback: str = field(default="", repr=False)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.workload}/{self.config} ({self.attack_model.value}): "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+#: What a sweep yields per cell.
+RunOutcome = Union[RunMetrics, RunFailure]
+
+
+def execute(request: RunRequest) -> RunMetrics:
+    """Simulate one request on a freshly built machine.
+
+    A fresh core + hierarchy is built per call (no state leaks between
+    runs); the workload's warm addresses are pre-loaded first.  The
+    ablation knobs on the request machine's protection (``dram_do_variant``,
+    ``early_forwarding``) survive the config-derived protection swap, so a
+    machine built for an ablation study keeps its meaning.
+    """
+    knobs = request.machine.protection
+    protection_config = replace(
+        request.config.protection_config(request.attack_model),
+        dram_do_variant=knobs.dram_do_variant,
+        early_forwarding=knobs.early_forwarding,
+    )
+    machine = request.machine.with_protection(protection_config)
+    protection = make_protection(
+        request.config, request.attack_model, dram_do_variant=knobs.dram_do_variant
+    )
+    hierarchy = MemoryHierarchy(machine)
+    core = Core(
+        request.workload.program,
+        config=machine,
+        protection=protection,
+        hierarchy=hierarchy,
+        check_golden=request.check_golden,
+    )
+    if request.workload.warm_addresses:
+        hierarchy.warm(request.workload.warm_addresses)
+    result = core.run(
+        max_instructions=request.max_instructions,
+        max_cycles=request.workload.max_cycles,
+    )
+    return RunMetrics(
+        workload=request.workload.name,
+        config=request.config.name,
+        attack_model=request.attack_model,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        stats=result.stats,
+    )
+
+
+class Session:
+    """Owns the sweep engine, the result cache, and the event observers.
+
+    Parameters
+    ----------
+    machine:
+        Default machine for requests built by this session (Table I if
+        omitted); per-request machines override it.
+    jobs:
+        Worker processes for batches.  ``1`` (default) runs in-process.
+    cache:
+        ``True`` → on-disk cache under ``cache_dir``; ``False``/``None`` →
+        no caching; or a ready-made :class:`~repro.sim.cache.ResultCache`.
+    cache_dir:
+        Cache root when ``cache=True`` (default ``.repro-cache/``).
+    observers:
+        Callables receiving every :class:`~repro.sim.events.RunEvent`.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig | None = None,
+        *,
+        jobs: int = 1,
+        cache: "bool | ResultCache | None" = True,
+        cache_dir: str | Path | None = None,
+        observers: Iterable["EventObserver"] = (),
+        check_golden: bool = True,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ) -> None:
+        # Imported lazily: engine/cache depend on the types defined above.
+        from repro.sim.cache import ResultCache
+        from repro.sim.engine import SweepEngine
+
+        self.machine = machine or MachineConfig()
+        self.check_golden = check_golden
+        self.max_instructions = max_instructions
+        if cache is True:
+            self.cache: ResultCache | None = ResultCache(cache_dir or ".repro-cache")
+        elif isinstance(cache, ResultCache):
+            # NB: not `elif cache:` — an *empty* ResultCache is falsy (__len__).
+            self.cache = cache
+        else:
+            self.cache = None
+        self.engine = SweepEngine(jobs=jobs, cache=self.cache, observers=observers)
+
+    def add_observer(self, observer: "EventObserver") -> None:
+        self.engine.add_observer(observer)
+
+    def request(
+        self,
+        workload: Workload,
+        config: EvaluatedConfig | str,
+        attack_model: AttackModel | str = AttackModel.SPECTRE,
+        *,
+        machine: MachineConfig | None = None,
+        check_golden: bool | None = None,
+        max_instructions: int | None = None,
+    ) -> RunRequest:
+        """Build a request against the session's defaults.  ``config`` and
+        ``attack_model`` accept their string names for convenience."""
+        if isinstance(config, str):
+            config = config_by_name(config)
+        if isinstance(attack_model, str):
+            attack_model = AttackModel(attack_model)
+        return RunRequest(
+            workload=workload,
+            config=config,
+            attack_model=attack_model,
+            machine=machine or self.machine,
+            check_golden=(
+                self.check_golden if check_golden is None else check_golden
+            ),
+            max_instructions=(
+                self.max_instructions if max_instructions is None else max_instructions
+            ),
+        )
+
+    def run(
+        self,
+        workload: Workload | RunRequest,
+        config: EvaluatedConfig | str | None = None,
+        attack_model: AttackModel | str = AttackModel.SPECTRE,
+        *,
+        machine: MachineConfig | None = None,
+    ) -> RunMetrics:
+        """Run one cell (through cache and observers) and return its metrics.
+
+        Accepts either a prebuilt :class:`RunRequest` or the
+        (workload, config, attack model) triple.  Raises if the run failed.
+        """
+        if isinstance(workload, RunRequest):
+            request = workload
+        else:
+            if config is None:
+                raise TypeError("run() needs a config unless given a RunRequest")
+            request = self.request(workload, config, attack_model, machine=machine)
+        [outcome] = self.run_many([request], strict=True)
+        return outcome
+
+    def run_many(
+        self, requests: Sequence[RunRequest], *, strict: bool = False
+    ) -> list[RunOutcome]:
+        """Run a batch; results keep request order.
+
+        With ``strict=False`` (default) crashed cells come back as
+        :class:`RunFailure` entries; with ``strict=True`` the first failure
+        raises ``RuntimeError`` after the whole batch has completed.
+        """
+        outcomes = self.engine.run(requests)
+        if strict:
+            failures = [o for o in outcomes if isinstance(o, RunFailure)]
+            if failures:
+                summary = "; ".join(str(f) for f in failures[:3])
+                if len(failures) > 3:
+                    summary += f"; … {len(failures) - 3} more"
+                raise RuntimeError(
+                    f"{len(failures)}/{len(outcomes)} runs failed: {summary}"
+                ) from None
+        return outcomes
+
+    def sweep(
+        self,
+        workloads: Sequence[Workload],
+        configs: Sequence[EvaluatedConfig] = EVALUATED_CONFIGS,
+        attack_models: Sequence[AttackModel] = (
+            AttackModel.SPECTRE,
+            AttackModel.FUTURISTIC,
+        ),
+        *,
+        machine: MachineConfig | None = None,
+        strict: bool = True,
+    ) -> list[RunOutcome]:
+        """The full evaluation grid: every (model, workload, config) cell.
+
+        Result order matches the legacy ``run_suite`` iteration order —
+        attack models outermost, then workloads, then configs — regardless
+        of ``jobs`` or cache hits.
+        """
+        requests = [
+            self.request(workload, config, attack_model, machine=machine)
+            for attack_model in attack_models
+            for workload in workloads
+            for config in configs
+        ]
+        return self.run_many(requests, strict=strict)
+
+
+def _rebrand(metrics: RunMetrics, request: RunRequest) -> RunMetrics:
+    """Stamp a cached result with the request's identity fields.
+
+    The cache is content-addressed on the *semantic* inputs (program, warm
+    set, configs…), so a renamed but otherwise identical workload hits the
+    same entry; the name on the returned metrics must come from the request,
+    not from whoever populated the cache.
+    """
+    if (
+        metrics.workload == request.workload.name
+        and metrics.config == request.config.name
+        and metrics.attack_model is request.attack_model
+    ):
+        return metrics
+    return replace(
+        metrics,
+        workload=request.workload.name,
+        config=request.config.name,
+        attack_model=request.attack_model,
+    )

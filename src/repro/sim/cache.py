@@ -1,0 +1,138 @@
+"""Content-addressed on-disk result cache.
+
+Simulation is a pure function of a :class:`~repro.sim.api.RunRequest`, so a
+result can be reused whenever the *semantic* inputs match: the workload's
+program, initial memory and warm set, the Table II configuration, the attack
+model, the machine, and the run limits.  :func:`cache_key` folds exactly
+those into a SHA-256 hex digest; names and descriptions are deliberately
+excluded, so a renamed but otherwise identical workload still hits.
+
+Entries live under ``<root>/v<SCHEMA_VERSION>/<key[:2]>/<key>.json`` and
+hold the serialized metrics.  ``SCHEMA_VERSION`` is part of the key
+material: bump it whenever the simulator's timing model changes in a way
+that should invalidate old results.  Unreadable or corrupt entries are
+treated as misses — the cache can always be rebuilt by re-running.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.sim.api import RunMetrics, RunRequest, _rebrand
+
+#: Bump when RunMetrics serialization or simulator timing semantics change.
+SCHEMA_VERSION = 1
+
+
+def _canonical(obj: object) -> object:
+    """Reduce configs/instructions to a JSON-stable structure.
+
+    Dataclasses become ``{field: value}`` (non-compare fields like
+    instruction labels are skipped), enums become their names, dicts become
+    sorted ``[key, value]`` pairs.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if f.compare
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.name
+    if isinstance(obj, dict):
+        return sorted([str(key), _canonical(value)] for key, value in obj.items())
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__} for cache key")
+
+
+def cache_key(request: RunRequest) -> str:
+    """Stable content hash of a request's semantic inputs."""
+    program = request.workload.program
+    material = {
+        "schema": SCHEMA_VERSION,
+        "instructions": _canonical(program.instructions),
+        "initial_memory": _canonical(program.initial_memory),
+        "warm_addresses": _canonical(request.workload.warm_addresses),
+        "max_cycles": request.workload.max_cycles,
+        "config": _canonical(request.config),
+        "attack_model": request.attack_model.name,
+        "machine": _canonical(request.machine),
+        "check_golden": request.check_golden,
+        "max_instructions": request.max_instructions,
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed map from :func:`cache_key` to :class:`RunMetrics`."""
+
+    def __init__(self, root: str | Path = ".repro-cache") -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"v{SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    def get(self, request: RunRequest) -> RunMetrics | None:
+        """The cached metrics for ``request``, or ``None`` on a miss.
+
+        Identity fields (workload/config names, attack model) are taken from
+        the request, since the key ignores them.
+        """
+        key = cache_key(request)
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("key") != key:
+                return None
+            metrics = RunMetrics.from_dict(payload["metrics"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return _rebrand(metrics, request)
+
+    def put(self, request: RunRequest, metrics: RunMetrics) -> Path:
+        """Store ``metrics`` for ``request``; atomic against readers."""
+        key = cache_key(request)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"key": key, "schema": SCHEMA_VERSION, "metrics": metrics.to_dict()}
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, request: RunRequest) -> bool:
+        return self.path_for(cache_key(request)).exists()
+
+    def __len__(self) -> int:
+        version_dir = self.root / f"v{SCHEMA_VERSION}"
+        if not version_dir.is_dir():
+            return 0
+        return sum(1 for _ in version_dir.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry of the current schema; returns the count."""
+        version_dir = self.root / f"v{SCHEMA_VERSION}"
+        removed = 0
+        if version_dir.is_dir():
+            for entry in version_dir.glob("*/*.json"):
+                entry.unlink(missing_ok=True)
+                removed += 1
+        return removed

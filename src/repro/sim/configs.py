@@ -96,20 +96,35 @@ SDO_CONFIG_NAMES: tuple[str, ...] = (
 )
 
 
+#: Name → config index, built once (``config_by_name`` is on the hot path of
+#: request construction for every sweep cell).
+_CONFIGS_BY_NAME: dict[str, EvaluatedConfig] = {c.name: c for c in EVALUATED_CONFIGS}
+
+
 def config_by_name(name: str) -> EvaluatedConfig:
-    for config in EVALUATED_CONFIGS:
-        if config.name == name:
-            return config
-    raise KeyError(
-        f"no configuration named {name!r}; available: "
-        f"{[c.name for c in EVALUATED_CONFIGS]}"
-    )
+    try:
+        return _CONFIGS_BY_NAME[name]
+    except KeyError:
+        import difflib
+
+        close = difflib.get_close_matches(name, _CONFIGS_BY_NAME, n=1, cutoff=0.5)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        raise KeyError(
+            f"no configuration named {name!r}{hint}; available: "
+            f"{[c.name for c in EVALUATED_CONFIGS]}"
+        ) from None
 
 
 def make_protection(
-    config: EvaluatedConfig, attack_model: AttackModel
+    config: EvaluatedConfig,
+    attack_model: AttackModel,
+    dram_do_variant: bool = False,
 ) -> ProtectionScheme:
-    """Instantiate a fresh protection scheme for one run."""
+    """Instantiate a fresh protection scheme for one run.
+
+    ``dram_do_variant`` is the Section VI-B2 ablation knob (a DO variant for
+    DRAM); the paper's evaluated designs all leave it off.
+    """
     if config.kind is ProtectionKind.UNSAFE:
         return UnsafeProtection()
     if config.kind is ProtectionKind.STT:
@@ -120,4 +135,5 @@ def make_protection(
         make_predictor(config.predictor),
         attack_model=attack_model,
         fp_transmitters=config.fp_transmitters,
+        dram_do_variant=dram_do_variant,
     )

@@ -1,0 +1,163 @@
+"""The parallel, cache-aware sweep engine.
+
+:class:`SweepEngine` takes a batch of :class:`~repro.sim.api.RunRequest`
+and returns one outcome per request, **in request order**, regardless of
+worker count or cache state:
+
+* cached results are resolved in the parent process without building a
+  single :class:`~repro.pipeline.core.Core`;
+* the remainder fans out over a ``concurrent.futures`` process pool
+  (``jobs > 1``) or runs in-process (``jobs == 1``);
+* a crashed run becomes a structured :class:`~repro.sim.api.RunFailure` in
+  its slot — one bad cell cannot kill a sweep;
+* every lifecycle step is narrated to the registered observers as
+  :class:`~repro.sim.events.RunEvent` records.
+
+Simulation is deterministic, so ``jobs=N`` produces results identical to
+``jobs=1`` — parallelism and caching are pure go-faster knobs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Iterable, Sequence
+
+from repro.sim.api import RunFailure, RunMetrics, RunOutcome, RunRequest, execute
+from repro.sim.cache import ResultCache
+from repro.sim.events import (
+    CACHE_HIT,
+    FAILED,
+    FINISHED,
+    QUEUED,
+    STARTED,
+    EventObserver,
+    RunEvent,
+)
+
+#: (error type name, message, formatted traceback) — exceptions are reduced
+#: to text in the worker because they do not reliably cross process pickling.
+_ErrorInfo = tuple[str, str, str]
+
+
+def _execute_indexed(
+    index: int, request: RunRequest
+) -> tuple[int, RunMetrics | None, _ErrorInfo | None, float]:
+    """Worker entry point: run one request, never raise."""
+    started = time.perf_counter()
+    try:
+        metrics = execute(request)
+    except Exception as exc:
+        info = (type(exc).__name__, str(exc), traceback.format_exc())
+        return index, None, info, time.perf_counter() - started
+    return index, metrics, None, time.perf_counter() - started
+
+
+def _pool_context():
+    """Prefer fork where available: cheap start-up, workloads shared by COW."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+class SweepEngine:
+    """Runs request batches through cache + worker pool + event stream."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        observers: Iterable[EventObserver] = (),
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.observers: list[EventObserver] = list(observers)
+
+    def add_observer(self, observer: EventObserver) -> None:
+        self.observers.append(observer)
+
+    def _emit(self, kind: str, index: int, request: RunRequest, **extra) -> None:
+        if not self.observers:
+            return
+        event = RunEvent(
+            kind=kind,
+            index=index,
+            workload=request.workload.name,
+            config=request.config.name,
+            model=request.attack_model.value,
+            **extra,
+        )
+        for observer in self.observers:
+            observer(event)
+
+    def run(self, requests: Sequence[RunRequest]) -> list[RunOutcome]:
+        """Execute a batch; the result list mirrors ``requests`` by index."""
+        requests = list(requests)
+        results: list[RunOutcome | None] = [None] * len(requests)
+        for index, request in enumerate(requests):
+            self._emit(QUEUED, index, request)
+
+        pending: list[int] = []
+        for index, request in enumerate(requests):
+            cached = self.cache.get(request) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                self._emit(CACHE_HIT, index, request, cycles=cached.cycles)
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_serial(requests, pending, results)
+            else:
+                self._run_parallel(requests, pending, results)
+
+        assert all(outcome is not None for outcome in results)
+        return results  # type: ignore[return-value]
+
+    def _run_serial(self, requests, pending, results) -> None:
+        for index in pending:
+            self._emit(STARTED, index, requests[index])
+            self._settle(requests, results, *_execute_indexed(index, requests[index]))
+
+    def _run_parallel(self, requests, pending, results) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            futures = []
+            for index in pending:
+                self._emit(STARTED, index, requests[index])
+                futures.append(pool.submit(_execute_indexed, index, requests[index]))
+            # Completion order is nondeterministic; slot order is not.
+            for future in as_completed(futures):
+                self._settle(requests, results, *future.result())
+
+    def _settle(self, requests, results, index, metrics, error, wall_time) -> None:
+        request = requests[index]
+        if error is not None:
+            error_type, message, trace = error
+            results[index] = RunFailure(
+                workload=request.workload.name,
+                config=request.config.name,
+                attack_model=request.attack_model,
+                error_type=error_type,
+                message=message,
+                traceback=trace,
+            )
+            self._emit(
+                FAILED, index, request,
+                wall_time=wall_time, error=f"{error_type}: {message}",
+            )
+            return
+        results[index] = metrics
+        if self.cache is not None:
+            self.cache.put(request, metrics)
+        self._emit(
+            FINISHED, index, request, wall_time=wall_time, cycles=metrics.cycles
+        )

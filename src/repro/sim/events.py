@@ -1,0 +1,150 @@
+"""Run-lifecycle events and observers.
+
+The sweep engine narrates every run through a stream of :class:`RunEvent`
+records — ``queued`` when a request enters a batch, ``cache_hit`` when the
+on-disk cache already holds its result, ``started`` when it is handed to a
+worker, and ``finished``/``failed`` when it completes (with wall time and,
+on success, committed cycles).  Observers are plain callables taking one
+event; this replaces the ad-hoc ``progress`` callback the old ``run_suite``
+took, and feeds both the terminal progress line and a machine-readable
+JSONL event log from the same stream.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Protocol, TextIO, runtime_checkable
+
+#: The five lifecycle stages, in the order a single run can traverse them.
+QUEUED = "queued"
+CACHE_HIT = "cache_hit"
+STARTED = "started"
+FINISHED = "finished"
+FAILED = "failed"
+
+#: Events that terminate a run (exactly one is emitted per request).
+TERMINAL_EVENTS = frozenset({CACHE_HIT, FINISHED, FAILED})
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One lifecycle event of one (workload, config, attack model) run.
+
+    ``index`` is the request's position in its batch — results keep batch
+    order, so the index ties out-of-order completion events back to their
+    slot.  ``model`` is the attack model's string value (``"spectre"`` /
+    ``"futuristic"``) so events serialize without enum baggage.
+    """
+
+    kind: str
+    index: int
+    workload: str
+    config: str
+    model: str
+    wall_time: float | None = None
+    cycles: int | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict; ``None`` fields are dropped."""
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+
+#: Anything callable with a single event is an observer.
+EventObserver = Callable[[RunEvent], None]
+
+
+@runtime_checkable
+class ClosableObserver(Protocol):
+    """Observers holding resources (files) additionally expose ``close``."""
+
+    def __call__(self, event: RunEvent) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class ProgressLine:
+    """Terminal progress: one carriage-returned line updated per completion.
+
+    Counts ``queued`` events to learn the batch size, then rewrites the line
+    on every terminal event, tagging cache hits and failures.  Writes to
+    stderr by default so piped stdout stays machine-readable.
+    """
+
+    _TAGS = {CACHE_HIT: "cached", FINISHED: "ok", FAILED: "FAILED"}
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.total = 0
+        self.done = 0
+        self.failures = 0
+        self.cache_hits = 0
+        self._started = time.time()
+
+    def __call__(self, event: RunEvent) -> None:
+        if event.kind == QUEUED:
+            self.total += 1
+            return
+        if event.kind not in TERMINAL_EVENTS:
+            return
+        self.done += 1
+        if event.kind == FAILED:
+            self.failures += 1
+        elif event.kind == CACHE_HIT:
+            self.cache_hits += 1
+        elapsed = time.time() - self._started
+        self.stream.write(
+            f"\r[{self.done:4d}/{self.total}] {elapsed:6.0f}s  "
+            f"{event.model:10s} {event.workload:18s} {event.config:12s} "
+            f"{self._TAGS[event.kind]:6s}"
+        )
+        if self.done >= self.total:
+            self.stream.write(
+                f"\n({self.cache_hits} cached, {self.failures} failed)\n"
+                if (self.cache_hits or self.failures)
+                else "\n"
+            )
+        self.stream.flush()
+
+
+class JsonlEventLog:
+    """Machine-readable event log: one JSON object per line.
+
+    Each record is the event's fields plus a monotonically increasing
+    ``seq`` and a wall-clock ``ts``, e.g.::
+
+        {"config": "Hybrid", "cycles": 81234, "index": 3, "kind": "finished",
+         "model": "spectre", "seq": 9, "ts": 1754400000.25,
+         "wall_time": 1.93, "workload": "mcf_like"}
+
+    The conventional file suffix is ``.events.jsonl`` (gitignored).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: TextIO | None = self.path.open("w")
+        self._seq = 0
+
+    def __call__(self, event: RunEvent) -> None:
+        if self._fh is None:
+            return
+        record: dict[str, object] = {"seq": self._seq, "ts": round(time.time(), 6)}
+        record.update(event.to_dict())
+        self._seq += 1
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,63 +1,34 @@
-"""Run (workload, configuration, attack model) triples and collect metrics."""
+"""Deprecated run harness — thin shims over :mod:`repro.sim.api`.
+
+``run_workload`` and ``run_suite`` predate the :class:`~repro.sim.api.Session`
+API; they are kept so existing scripts and notebooks keep working, but new
+code should build a :class:`~repro.sim.api.RunRequest` and hand it to a
+session, which adds the worker pool, the on-disk result cache, and the
+run-lifecycle event stream the old functions never had:
+
+>>> from repro.sim.api import Session            # doctest: +SKIP
+>>> Session(jobs=4).sweep(workloads)             # doctest: +SKIP
+
+:class:`RunMetrics` is re-exported from here for backward compatibility;
+it now lives in :mod:`repro.sim.api`.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
 from repro.common.config import AttackModel, MachineConfig
-from repro.memory.hierarchy import MemoryHierarchy
-from repro.pipeline.core import Core
-from repro.sim.configs import EVALUATED_CONFIGS, EvaluatedConfig, make_protection
+from repro.sim.api import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    RunMetrics,
+    RunRequest,
+    Session,
+    execute,
+)
+from repro.sim.configs import EVALUATED_CONFIGS, EvaluatedConfig
 from repro.workloads.workload import Workload
 
-
-@dataclass(frozen=True)
-class RunMetrics:
-    """Results of one simulation run."""
-
-    workload: str
-    config: str
-    attack_model: AttackModel
-    cycles: int
-    instructions: int
-    stats: dict[str, float] = field(repr=False, default_factory=dict)
-
-    @property
-    def ipc(self) -> float:
-        return self.instructions / self.cycles if self.cycles else 0.0
-
-    def normalized_to(self, baseline: "RunMetrics") -> float:
-        """Execution time normalized to a baseline run (Figure 6's metric).
-
-        Uses cycles-per-instruction so runs that committed slightly different
-        instruction counts (e.g. capped runs) stay comparable.
-        """
-        if self.instructions == 0 or baseline.instructions == 0:
-            raise ValueError("cannot normalize a run that committed nothing")
-        own = self.cycles / self.instructions
-        base = baseline.cycles / baseline.instructions
-        return own / base
-
-    @property
-    def squashes(self) -> float:
-        """SDO-induced squashes (Figure 8's x-axis): Obl-Ld fails + Obl-FP
-        fails + validation mismatches — branch mispredicts excluded, they
-        exist in every configuration."""
-        return (
-            self.stats.get("core.obl_fail_squashes", 0)
-            + self.stats.get("core.fp_fail_squashes", 0)
-            + self.stats.get("core.validation_mismatch_squashes", 0)
-        )
-
-    @property
-    def predictor_precision(self) -> float:
-        total = self.stats.get("stt.sdo.predictions", 0)
-        return self.stats.get("stt.sdo.precise", 0) / total if total else 0.0
-
-    @property
-    def predictor_accuracy(self) -> float:
-        total = self.stats.get("stt.sdo.predictions", 0)
-        return self.stats.get("stt.sdo.accurate", 0) / total if total else 0.0
+__all__ = ["RunMetrics", "run_suite", "run_workload"]
 
 
 def run_workload(
@@ -66,34 +37,25 @@ def run_workload(
     attack_model: AttackModel = AttackModel.SPECTRE,
     machine: MachineConfig | None = None,
     check_golden: bool = True,
-    max_instructions: int = 200_000,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
 ) -> RunMetrics:
-    """Simulate one workload under one configuration.
-
-    A fresh machine is built per run (no state leaks between
-    configurations); the workload's warm addresses are pre-loaded first.
-    """
-    machine = machine or MachineConfig()
-    machine = machine.with_protection(config.protection_config(attack_model))
-    protection = make_protection(config, attack_model)
-    hierarchy = MemoryHierarchy(machine)
-    core = Core(
-        workload.program,
-        config=machine,
-        protection=protection,
-        hierarchy=hierarchy,
-        check_golden=check_golden,
+    """Deprecated: build a :class:`RunRequest` and :func:`execute` it (or use
+    :meth:`Session.run` to get caching and parallel sweeps)."""
+    warnings.warn(
+        "run_workload() is deprecated; use repro.sim.api.Session.run() "
+        "or execute(RunRequest(...))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if workload.warm_addresses:
-        hierarchy.warm(workload.warm_addresses)
-    result = core.run(max_instructions=max_instructions, max_cycles=workload.max_cycles)
-    return RunMetrics(
-        workload=workload.name,
-        config=config.name,
-        attack_model=attack_model,
-        cycles=result.cycles,
-        instructions=result.instructions,
-        stats=result.stats,
+    return execute(
+        RunRequest(
+            workload=workload,
+            config=config,
+            attack_model=attack_model,
+            machine=machine or MachineConfig(),
+            check_golden=check_golden,
+            max_instructions=max_instructions,
+        )
     )
 
 
@@ -104,22 +66,31 @@ def run_suite(
     machine: MachineConfig | None = None,
     check_golden: bool = True,
     progress=None,
+    jobs: int = 1,
 ) -> list[RunMetrics]:
-    """The full evaluation sweep.  ``progress`` is an optional callback
-    ``(workload_name, config_name, model) -> None`` for harness logging."""
-    results: list[RunMetrics] = []
-    for attack_model in attack_models:
-        for workload in workloads:
-            for config in configs:
-                if progress is not None:
-                    progress(workload.name, config.name, attack_model)
-                results.append(
-                    run_workload(
-                        workload,
-                        config,
-                        attack_model,
-                        machine=machine,
-                        check_golden=check_golden,
-                    )
-                )
-    return results
+    """Deprecated: the full evaluation sweep, now a ``Session.sweep`` shim.
+
+    ``progress`` is the legacy callback ``(workload_name, config_name,
+    model) -> None``; it is adapted onto the event stream.  Unlike a real
+    session, no result cache is used, matching the old behavior exactly.
+    """
+    warnings.warn(
+        "run_suite() is deprecated; use repro.sim.api.Session.sweep(), "
+        "which adds caching, parallelism (jobs=N) and event observers",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    observers = []
+    if progress is not None:
+        def adapter(event) -> None:
+            if event.kind == "started":
+                progress(event.workload, event.config, AttackModel(event.model))
+        observers.append(adapter)
+    session = Session(
+        machine=machine,
+        jobs=jobs,
+        cache=False,
+        observers=observers,
+        check_golden=check_golden,
+    )
+    return session.sweep(workloads, configs=configs, attack_models=attack_models)

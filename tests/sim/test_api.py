@@ -1,0 +1,155 @@
+"""Tests for the Session/RunRequest API and the deprecated shims."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import AttackModel, MachineConfig
+from repro.sim import run_suite, run_workload
+from repro.sim.api import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    RunMetrics,
+    RunRequest,
+    Session,
+    execute,
+)
+from repro.sim.configs import config_by_name
+from repro.workloads import make_indirect_stream
+
+WORKLOAD = make_indirect_stream("api_unit", table_words=512, iterations=60, seed=4)
+
+
+class TestRunRequest:
+    def test_defaults(self):
+        request = RunRequest(WORKLOAD, config_by_name("Unsafe"))
+        assert request.attack_model is AttackModel.SPECTRE
+        assert request.machine == MachineConfig()
+        assert request.check_golden is True
+        assert request.max_instructions == DEFAULT_MAX_INSTRUCTIONS
+
+    def test_frozen(self):
+        request = RunRequest(WORKLOAD, config_by_name("Unsafe"))
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.check_golden = False
+
+    def test_equal_requests_compare_equal(self):
+        a = RunRequest(WORKLOAD, config_by_name("Hybrid"))
+        b = RunRequest(WORKLOAD, config_by_name("Hybrid"))
+        assert a == b
+
+
+class TestExecute:
+    def test_is_deterministic(self):
+        request = RunRequest(WORKLOAD, config_by_name("Hybrid"))
+        assert execute(request) == execute(request)
+
+    def test_preserves_ablation_knobs(self):
+        """A machine carrying early_forwarding=False must keep it even after
+        the config-derived protection swap (the Section V-C2 ablation)."""
+        base = MachineConfig()
+        knobbed = base.with_protection(
+            dataclasses.replace(base.protection, early_forwarding=False)
+        )
+        request = RunRequest(WORKLOAD, config_by_name("Hybrid"), machine=knobbed)
+        default = execute(RunRequest(WORKLOAD, config_by_name("Hybrid")))
+        ablated = execute(request)
+        # Disabling early forwarding can only slow things down.
+        assert ablated.cycles >= default.cycles
+
+
+class TestRunMetrics:
+    def make(self, model=AttackModel.SPECTRE, cycles=1000, instructions=500,
+             config="Hybrid"):
+        return RunMetrics(
+            workload="w", config=config, attack_model=model,
+            cycles=cycles, instructions=instructions,
+            stats={"stt.sdo.predictions": 4.0, "stt.sdo.precise": 3.0},
+        )
+
+    def test_normalized_to(self):
+        base = self.make(cycles=1000, config="Unsafe")
+        other = self.make(cycles=1500)
+        assert other.normalized_to(base) == pytest.approx(1.5)
+
+    def test_normalized_to_rejects_cross_model(self):
+        spectre = self.make(model=AttackModel.SPECTRE)
+        futuristic = self.make(model=AttackModel.FUTURISTIC, config="Unsafe")
+        with pytest.raises(ValueError, match="cannot normalize across attack models"):
+            spectre.normalized_to(futuristic)
+
+    def test_dict_roundtrip(self):
+        metrics = self.make()
+        payload = metrics.to_dict()
+        assert payload["attack_model"] == "spectre"
+        import json
+
+        assert RunMetrics.from_dict(json.loads(json.dumps(payload))) == metrics
+
+
+class TestSession:
+    def test_run_accepts_string_names(self):
+        session = Session(cache=False)
+        metrics = session.run(WORKLOAD, "Unsafe", "spectre")
+        assert metrics.config == "Unsafe"
+        assert metrics.attack_model is AttackModel.SPECTRE
+
+    def test_run_accepts_prebuilt_request(self):
+        session = Session(cache=False)
+        request = session.request(WORKLOAD, "Unsafe")
+        assert session.run(request) == session.run(WORKLOAD, "Unsafe")
+
+    def test_run_requires_config_without_request(self):
+        session = Session(cache=False)
+        with pytest.raises(TypeError):
+            session.run(WORKLOAD)
+
+    def test_unknown_config_suggests_a_name(self):
+        session = Session(cache=False)
+        with pytest.raises(KeyError, match="did you mean 'Hybrid'"):
+            session.run(WORKLOAD, "hybird")
+
+    def test_session_defaults_flow_into_requests(self):
+        session = Session(check_golden=False, max_instructions=1234, cache=False)
+        request = session.request(WORKLOAD, "Unsafe")
+        assert request.check_golden is False
+        assert request.max_instructions == 1234
+        # explicit per-request values win over session defaults
+        override = session.request(WORKLOAD, "Unsafe", check_golden=True)
+        assert override.check_golden is True
+
+
+class TestDeprecatedShims:
+    def test_run_workload_warns_and_matches_execute(self):
+        config = config_by_name("Unsafe")
+        with pytest.warns(DeprecationWarning, match="run_workload"):
+            legacy = run_workload(WORKLOAD, config)
+        assert legacy == execute(RunRequest(WORKLOAD, config))
+
+    def test_run_suite_warns_and_matches_sweep(self):
+        configs = [config_by_name("Unsafe"), config_by_name("Hybrid")]
+        with pytest.warns(DeprecationWarning, match="run_suite"):
+            legacy = run_suite(
+                [WORKLOAD], configs, attack_models=(AttackModel.SPECTRE,)
+            )
+        session = Session(cache=False)
+        assert legacy == session.sweep(
+            [WORKLOAD], configs, attack_models=(AttackModel.SPECTRE,)
+        )
+
+    def test_run_suite_progress_callback_still_fires(self):
+        seen = []
+        with pytest.warns(DeprecationWarning):
+            run_suite(
+                [WORKLOAD],
+                [config_by_name("Unsafe")],
+                attack_models=(AttackModel.SPECTRE,),
+                progress=lambda w, c, m: seen.append((w, c, m)),
+            )
+        assert seen == [("api_unit", "Unsafe", AttackModel.SPECTRE)]
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.Session is Session
+        assert repro.RunRequest is RunRequest
+        assert repro.execute is execute

@@ -1,0 +1,179 @@
+"""Tests for the content-addressed on-disk result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.config import AttackModel, MachineConfig
+from repro.sim.api import RunMetrics, RunRequest
+from repro.sim.cache import ResultCache, cache_key
+from repro.sim.configs import config_by_name
+from repro.workloads import make_indirect_stream
+from repro.workloads.workload import Workload
+
+
+def make_workload(name="cache_unit", **overrides):
+    params = dict(table_words=512, iterations=60, seed=4)
+    params.update(overrides)
+    return make_indirect_stream(name, **params)
+
+
+def make_request(**overrides) -> RunRequest:
+    params = dict(
+        workload=make_workload(),
+        config=config_by_name("Hybrid"),
+        attack_model=AttackModel.SPECTRE,
+        machine=MachineConfig(),
+        check_golden=True,
+        max_instructions=200_000,
+    )
+    params.update(overrides)
+    return RunRequest(**params)
+
+
+def metrics_for(request: RunRequest, cycles=1234) -> RunMetrics:
+    return RunMetrics(
+        workload=request.workload.name,
+        config=request.config.name,
+        attack_model=request.attack_model,
+        cycles=cycles,
+        instructions=777,
+        stats={"stt.sdo.predictions": 10, "core.obl_fail_squashes": 2.0},
+    )
+
+
+class TestCacheKey:
+    def test_same_inputs_same_key(self):
+        assert cache_key(make_request()) == cache_key(make_request())
+
+    def test_key_is_hex_sha256(self):
+        key = cache_key(make_request())
+        assert len(key) == 64
+        int(key, 16)  # must parse as hex
+
+    def test_workload_name_and_description_excluded(self):
+        """Content-addressed: a renamed but identical workload hits."""
+        renamed = make_workload(name="something_else")
+        assert cache_key(make_request()) == cache_key(make_request(workload=renamed))
+
+    def test_any_field_change_changes_key(self):
+        base = cache_key(make_request())
+        variations = {
+            "config": make_request(config=config_by_name("Perfect")),
+            "attack_model": make_request(attack_model=AttackModel.FUTURISTIC),
+            "check_golden": make_request(check_golden=False),
+            "max_instructions": make_request(max_instructions=100_000),
+            "program": make_request(workload=make_workload(iterations=61)),
+            "warm_set": make_request(
+                workload=dataclasses.replace(
+                    make_workload(), warm_addresses=(0x1000,)
+                )
+            ),
+            "max_cycles": make_request(
+                workload=dataclasses.replace(make_workload(), max_cycles=999_999)
+            ),
+            "machine": make_request(
+                machine=dataclasses.replace(
+                    MachineConfig(),
+                    core=dataclasses.replace(MachineConfig().core, rob_entries=64),
+                )
+            ),
+        }
+        keys = {field: cache_key(request) for field, request in variations.items()}
+        for field, key in keys.items():
+            assert key != base, f"changing {field} must change the key"
+        assert len(set(keys.values())) == len(keys), "variations must not collide"
+
+    def test_instruction_labels_excluded(self):
+        """Labels are compare=False metadata and must not affect the key."""
+        workload = make_workload()
+        relabeled_program = dataclasses.replace(
+            workload.program,
+            instructions=[
+                dataclasses.replace(inst, label="x") for inst in workload.program.instructions
+            ],
+        )
+        relabeled = Workload(
+            workload.name, relabeled_program,
+            warm_addresses=workload.warm_addresses, max_cycles=workload.max_cycles,
+        )
+        assert cache_key(make_request()) == cache_key(make_request(workload=relabeled))
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(make_request()) is None
+        assert len(cache) == 0
+
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        request = make_request()
+        stored = metrics_for(request)
+        cache.put(request, stored)
+        assert len(cache) == 1
+        assert request in cache
+        loaded = cache.get(request)
+        assert loaded == stored
+        assert loaded.stats == stored.stats
+
+    def test_hit_rebrands_to_request_identity(self, tmp_path):
+        """A renamed identical workload hits, with the new name stamped on."""
+        cache = ResultCache(tmp_path)
+        request = make_request()
+        cache.put(request, metrics_for(request))
+        renamed = make_request(workload=make_workload(name="other_name"))
+        loaded = cache.get(renamed)
+        assert loaded is not None
+        assert loaded.workload == "other_name"
+        assert loaded.cycles == 1234
+
+    def test_different_config_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        request = make_request()
+        cache.put(request, metrics_for(request))
+        assert cache.get(make_request(config=config_by_name("Perfect"))) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        request = make_request()
+        cache.put(request, metrics_for(request))
+        path = cache.path_for(cache_key(request))
+        path.write_text("{not json")
+        assert cache.get(request) is None
+
+    def test_wrong_key_in_payload_is_a_miss(self, tmp_path):
+        """A file landing under the wrong name must not be trusted."""
+        cache = ResultCache(tmp_path)
+        request = make_request()
+        cache.put(request, metrics_for(request))
+        path = cache.path_for(cache_key(request))
+        payload = json.loads(path.read_text())
+        payload["key"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        assert cache.get(request) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        request = make_request()
+        cache.put(request, metrics_for(request))
+        assert cache.clear() == 1
+        assert cache.get(request) is None
+        assert len(cache) == 0
+
+    def test_metrics_roundtrip_preserves_numbers_exactly(self, tmp_path):
+        """The JSON round trip must not perturb cycles/stats (byte-identical
+        figure output on cache hits depends on this)."""
+        cache = ResultCache(tmp_path)
+        request = make_request()
+        stored = RunMetrics(
+            workload=request.workload.name,
+            config=request.config.name,
+            attack_model=request.attack_model,
+            cycles=987654321,
+            instructions=123456,
+            stats={"a": 0.1 + 0.2, "b": 3, "c": 1e-17},
+        )
+        cache.put(request, stored)
+        assert cache.get(request) == stored

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -13,15 +15,24 @@ def test_info(capsys):
 
 
 def test_run_command(capsys):
-    assert main(["run", "exchange2_like", "Unsafe"]) == 0
+    assert main(["run", "exchange2_like", "Unsafe", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "IPC" in out
 
 
 def test_run_sdo_prints_predictor_stats(capsys):
-    assert main(["run", "deepsjeng_like", "Hybrid"]) == 0
+    assert main(["run", "deepsjeng_like", "Hybrid", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "precision" in out
+
+
+def test_run_uses_cache_dir(capsys, tmp_path):
+    args = ["run", "exchange2_like", "Unsafe", "--cache-dir", str(tmp_path)]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert any(tmp_path.rglob("*.json")), "run should populate the cache"
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
 
 
 def test_spectre_command(capsys):
@@ -38,4 +49,41 @@ def test_unknown_command_rejected():
 
 def test_unknown_workload_raises():
     with pytest.raises(KeyError):
-        main(["run", "nope", "Unsafe"])
+        main(["run", "nope", "Unsafe", "--no-cache"])
+
+
+def test_unknown_config_suggests_close_match():
+    with pytest.raises(KeyError, match="did you mean 'Hybrid'"):
+        main(["run", "exchange2_like", "hybird", "--no-cache"])
+
+
+def test_sweep_command(capsys, tmp_path):
+    events = tmp_path / "sweep.events.jsonl"
+    out_dir = tmp_path / "csv"
+    assert main([
+        "sweep",
+        "--workloads", "exchange2_like",
+        "--configs", "STT{ld},Hybrid",
+        "--models", "spectre",
+        "--scale", "0.05",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--events", str(events),
+        "--out", str(out_dir),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "Figure 7" in out  # Hybrid is an SDO config
+    assert (out_dir / "figure6_spectre.csv").exists()
+    records = [json.loads(line) for line in events.read_text().splitlines()]
+    # 3 configs (Unsafe auto-inserted) x 1 workload x 1 model, 3 events each
+    kinds = [r["kind"] for r in records]
+    assert kinds.count("queued") == 3
+    assert kinds.count("finished") == 3
+
+
+def test_sweep_unknown_workload_rejected(tmp_path):
+    with pytest.raises(KeyError, match="unknown workloads"):
+        main([
+            "sweep", "--workloads", "nope", "--scale", "0.05",
+            "--cache-dir", str(tmp_path),
+        ])
