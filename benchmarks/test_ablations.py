@@ -11,7 +11,6 @@
 
 import dataclasses
 
-import pytest
 
 from benchmarks.conftest import save_artifact
 from repro.common import AttackModel, MachineConfig

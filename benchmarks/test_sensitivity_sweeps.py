@@ -4,7 +4,6 @@ Not a paper figure — the extension a reviewer would ask for.  Artifacts are
 written next to the other reproduction outputs.
 """
 
-import pytest
 
 from benchmarks.conftest import save_artifact
 from repro.eval.sweeps import dram_latency_variant, rob_variant, sweep

@@ -20,7 +20,7 @@ import sys
 from repro.common.config import AttackModel
 from repro.eval.report import render_table, to_csv
 from repro.eval.tables import render_table1, render_table2
-from repro.sim.api import Session
+from repro.sim.api import Instrumentation, Session
 from repro.sim.configs import EVALUATED_CONFIGS, SDO_CONFIG_NAMES, config_by_name
 from repro.sim.events import JsonlEventLog, ProgressLine
 from repro.workloads.spec17 import SPEC17_SUITE, suite, workload_by_name
@@ -56,11 +56,60 @@ def _session_from(args, observers=()) -> Session:
     )
 
 
+def _instrumentation_from(args) -> Instrumentation | None:
+    """Build the run's :class:`Instrumentation` from ``--trace``/``--profile``."""
+    trace_jsonl = trace_konata = None
+    if args.trace:
+        base = args.trace
+        if args.trace_format in ("jsonl", "both"):
+            trace_jsonl = base + ".jsonl" if args.trace_format == "both" else base
+        if args.trace_format in ("konata", "both"):
+            trace_konata = base + ".konata" if args.trace_format == "both" else base
+    if trace_jsonl is None and trace_konata is None and not args.profile:
+        return None
+    return Instrumentation(
+        trace_jsonl=trace_jsonl, trace_konata=trace_konata, profile=args.profile
+    )
+
+
+def _print_stall_breakdown(metrics) -> None:
+    stall = {
+        key[len("core.stall."):]: int(value)
+        for key, value in metrics.stats.items()
+        if key.startswith("core.stall.")
+    }
+    if not stall:
+        return
+    active = int(metrics.stats.get("core.commit_active_cycles", 0))
+    print(f"  commit-active cycles {active} / {metrics.cycles}")
+    print("  stall attribution (cycles the ROB head kept commit idle):")
+    for reason, cycles in sorted(stall.items(), key=lambda kv: -kv[1]):
+        if cycles:
+            print(f"    {reason:<16s} {cycles:>10d}  ({cycles / metrics.cycles:.1%})")
+
+
+def _print_profile(metrics) -> None:
+    phases = {
+        key[len("profile."):]: value
+        for key, value in metrics.stats.items()
+        if key.startswith("profile.")
+    }
+    if not phases:
+        return
+    print("  host-side profile:")
+    for name, value in sorted(phases.items()):
+        unit = "s" if name.endswith("_s") else ""
+        print(f"    {name:<16s} {value:>12.3f}{unit}")
+
+
 def _cmd_run(args) -> int:
     workload = workload_by_name(args.workload)
     config = config_by_name(args.config)
     session = _session_from(args)
-    metrics = session.run(workload, config, AttackModel(args.model))
+    instrumentation = _instrumentation_from(args)
+    metrics = session.run(
+        workload, config, AttackModel(args.model), instrumentation=instrumentation
+    )
     print(f"{workload.name} under {config.name} ({args.model}):")
     print(f"  cycles       {metrics.cycles}")
     print(f"  instructions {metrics.instructions}")
@@ -69,6 +118,12 @@ def _cmd_run(args) -> int:
         print(f"  precision    {metrics.predictor_precision:.1%}")
         print(f"  accuracy     {metrics.predictor_accuracy:.1%}")
         print(f"  SDO squashes {metrics.squashes:.0f}")
+    _print_stall_breakdown(metrics)
+    _print_profile(metrics)
+    if instrumentation is not None and instrumentation.traced:
+        for path in (instrumentation.trace_jsonl, instrumentation.trace_konata):
+            if path is not None:
+                print(f"trace written to {path}")
     return 0
 
 
@@ -175,6 +230,18 @@ def main(argv=None) -> int:
     run.add_argument("workload")
     run.add_argument("config")
     run.add_argument("--model", choices=["spectre", "futuristic"], default="spectre")
+    run.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record a cycle trace to FILE (instrumented runs bypass the cache)",
+    )
+    run.add_argument(
+        "--trace-format", choices=["jsonl", "konata", "both"], default="jsonl",
+        help="trace format; 'both' writes FILE.jsonl and FILE.konata",
+    )
+    run.add_argument(
+        "--profile", action="store_true",
+        help="measure wall time per phase and print profile.* stats",
+    )
     _add_engine_options(run)
 
     sweep = sub.add_parser(

@@ -12,11 +12,29 @@ express:
 * :class:`MlpProbe` — overlapped-miss statistics, the memory-level
   parallelism that STT's delays destroy and SDO recovers.
 
+The observability layer proper lives beside them:
+
+* :class:`CycleTracer` — the core-integrated cycle trace recorder with
+  bounded memory, exporting JSONL and/or Konata pipeline-viewer logs;
+* :class:`PhaseProfiler` — opt-in wall-time phase profiling surfaced as
+  ``profile.*`` stats on :class:`~repro.sim.api.RunMetrics`.
+
 All instruments are observation-only: attaching them never changes timing
 (verified by test).
 """
 
+from repro.analysis.profiler import PhaseProfiler
 from repro.analysis.timeline import PipelineTimeline, UopRecord
 from repro.analysis.probes import MlpProbe, TaintWindowProbe
+from repro.analysis.trace import CycleTracer, TraceRecord, render_konata
 
-__all__ = ["MlpProbe", "PipelineTimeline", "TaintWindowProbe", "UopRecord"]
+__all__ = [
+    "CycleTracer",
+    "MlpProbe",
+    "PhaseProfiler",
+    "PipelineTimeline",
+    "TaintWindowProbe",
+    "TraceRecord",
+    "UopRecord",
+    "render_konata",
+]

@@ -14,7 +14,7 @@ do:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.config import MemLevel
 from repro.common.stats import Histogram

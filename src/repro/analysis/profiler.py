@@ -1,0 +1,52 @@
+"""Lightweight wall-time phase profiling for simulation runs.
+
+A :class:`PhaseProfiler` accumulates ``time.perf_counter`` deltas per named
+phase (build / warm / simulate / finalize in ``execute()``).  It is opt-in:
+``execute()`` only creates one when the request's
+:class:`~repro.sim.api.Instrumentation` asks for profiling, so ordinary
+runs pay nothing.
+
+The resulting numbers are merged into ``RunMetrics.stats`` under the
+``profile.`` prefix — wall seconds per phase plus derived throughput
+(kilo-cycles and kilo-instructions simulated per wall-second).  Profile
+stats are deliberately excluded from cached results and golden fixtures:
+they measure the host machine, not the simulated one.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class PhaseProfiler:
+    """Accumulates wall time per named phase."""
+
+    def __init__(self) -> None:
+        self.phase_seconds: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def as_stats(self, cycles: int = 0, instructions: int = 0) -> dict[str, float]:
+        """Flatten to ``profile.*`` keys for merging into ``RunMetrics.stats``."""
+        stats: dict[str, float] = {}
+        for name, seconds in sorted(self.phase_seconds.items()):
+            stats[f"profile.{name}_s"] = round(seconds, 6)
+        total = self.total_seconds
+        stats["profile.total_s"] = round(total, 6)
+        if total > 0:
+            stats["profile.kcycles_per_sec"] = round(cycles / total / 1e3, 3)
+            stats["profile.kinstr_per_sec"] = round(instructions / total / 1e3, 3)
+        return stats

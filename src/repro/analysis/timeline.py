@@ -12,7 +12,7 @@ Legend: F fetch, D dispatch/rename, I issue, C complete, R retire; a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.pipeline.core import Core
 from repro.pipeline.uop import DynInst

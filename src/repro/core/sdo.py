@@ -35,7 +35,7 @@ Definition 2 is enforced rather than assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generic, Sequence, TypeVar
+from typing import Callable, Generic, Sequence, TypeVar
 
 Args = TypeVar("Args")
 Result = TypeVar("Result")

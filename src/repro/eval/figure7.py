@@ -82,7 +82,12 @@ def _attribute(metrics: RunMetrics, baseline: RunMetrics) -> tuple[float, dict[s
     )
     inaccurate = max(0.0, squash_cost)
     imprecise = stats.get("core.imprecision_cycles", 0)
-    validation = stats.get("core.validation_stall_cycles", 0)
+    # Prefer the per-cycle stall attribution (core.stall.validation_wait,
+    # measured at the ROB head) over the legacy estimate; fall back for
+    # results produced before the observability layer existed (old caches).
+    validation = stats.get(
+        "core.stall.validation_wait", stats.get("core.validation_stall_cycles", 0)
+    )
     tlb = stats.get("mem.obl_tlb_fails", 0) * _SQUASH_REDIRECT_COST
     attributed = inaccurate + imprecise + validation + tlb
     if overhead_cycles == 0:

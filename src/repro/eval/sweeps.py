@@ -14,7 +14,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.common.config import AttackModel, CacheConfig, CoreConfig, DramConfig, MachineConfig
+from repro.common.config import AttackModel, CacheConfig, MachineConfig
 from repro.eval.report import render_table
 from repro.sim.api import RunMetrics, Session
 from repro.workloads.workload import Workload

@@ -25,7 +25,7 @@ Two access paths:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.config import CacheConfig, MachineConfig, MemLevel
 from repro.common.stats import StatGroup

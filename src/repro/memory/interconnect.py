@@ -16,7 +16,6 @@ Two properties matter to SDO:
 
 from __future__ import annotations
 
-from repro.common.config import MachineConfig
 
 
 class Mesh:

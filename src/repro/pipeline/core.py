@@ -16,6 +16,16 @@ not policy.
 Committed state is checked against the functional golden model
 (:class:`~repro.isa.iss.Interpreter`) instruction by instruction: any
 divergence raises :class:`GoldenModelMismatch` immediately.
+
+Observability: every cycle is attributed either to productive commit
+(``core.commit_active_cycles``) or to exactly one stall reason keyed off
+the ROB head (``core.stall.*`` — frontend starvation, operand waits,
+execution/memory latency, STT delay, DO-variant wait, validation wait…),
+so the stall counters sum exactly to the non-committing cycles.  Per-stage
+occupancy integrals (``core.occ.*``) and structure peaks ride along.  An
+optional :class:`~repro.analysis.trace.CycleTracer` can be attached as
+``core.tracer``; when it is ``None`` (the default) the hooks cost one
+attribute check per pipeline event.
 """
 
 from __future__ import annotations
@@ -35,6 +45,8 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.observer import ResourceObserver
 from repro.pipeline.lsq import LoadQueue, StoreQueue
 from repro.pipeline.protection import (
+    FP_DECISION_COUNTERS,
+    LOAD_DECISION_COUNTERS,
     FpIssueAction,
     LoadIssueAction,
     ProtectionScheme,
@@ -167,6 +179,25 @@ class Core:
         self._stores_awaiting_data: list[DynInst] = []
 
         self.stats = StatGroup("core")
+        self._stall_stats = self.stats.group("stall")
+
+        # Per-cycle accounting, kept in plain ints (folded into ``stats`` at
+        # the end of ``run()``) so the always-on cost per cycle is a handful
+        # of integer adds.
+        self.commit_active_cycles = 0
+        self._issue_active_cycles = 0
+        self._dispatch_active_cycles = 0
+        self._occ_rob = 0
+        self._occ_iq = 0
+        self._occ_lq = 0
+        self._occ_sq = 0
+        self._occ_decode = 0
+        self._stall_counts: dict[str, int] = {}
+
+        #: Optional :class:`~repro.analysis.trace.CycleTracer`; ``None`` by
+        #: default — the per-event hook is a single ``is not None`` check.
+        self.tracer = None
+
         self.protection.attach(self)
 
     # ------------------------------------------------------------------ #
@@ -185,11 +216,13 @@ class Core:
                     f"no commit since cycle {self._last_commit_cycle} "
                     f"(now {self.cycle}); ROB head: {self.rob.head!r}"
                 )
+        self._fold_cycle_accounting()
         merged = dict(self.stats.as_dict())
         merged.update(self.hierarchy.stats.as_dict())
         protection_stats = getattr(self.protection, "stats", None)
         if protection_stats is not None:
             merged.update(protection_stats.as_dict())
+        merged.update(self.protection.decision_stats.as_dict(prefix="protection."))
         merged["core.bpred_mispredict_rate"] = self.bpred.mispredict_rate
         return SimulationResult(
             cycles=self.cycle,
@@ -203,11 +236,88 @@ class Core:
         self.protection.begin_cycle(self.cycle)
         self._process_pending_resolutions()
         self._process_safe_transitions()
-        self._commit()
-        self._issue()
-        self._dispatch()
+        committed = self._commit()
+        issued = self._issue()
+        dispatched = self._dispatch()
         self._fetch()
+        # Per-cycle accounting (the observability layer's always-on half),
+        # inlined and reading the queues' backing stores directly so the
+        # per-cycle cost stays a handful of C-level operations.  Every cycle
+        # is either *productive* (at least one commit) or charged to exactly
+        # one ``core.stall.<reason>`` counter, so
+        #
+        #     cycles == commit_active_cycles + sum(core.stall.*)
+        #
+        # holds as an exact invariant (asserted in the test suite).  Stall
+        # reasons land in a plain dict folded into stats after the run.
+        self._occ_rob += len(self.rob._entries)
+        self._occ_iq += len(self.iq)
+        self._occ_lq += len(self.lq._entries)
+        self._occ_sq += len(self.sq._entries)
+        self._occ_decode += len(self._decode_queue)
+        if committed:
+            self.commit_active_cycles += 1
+        else:
+            reason = self._stall_reason()
+            counts = self._stall_counts
+            counts[reason] = counts.get(reason, 0) + 1
+        if issued:
+            self._issue_active_cycles += 1
+        if dispatched:
+            self._dispatch_active_cycles += 1
         self.cycle += 1
+
+    def _stall_reason(self) -> str:
+        """Attribute a zero-commit cycle to the ROB head's blocking cause."""
+        head = self.rob.head
+        if head is None:
+            return "frontend"
+        if head.is_branch and head.completed:
+            # Resolution scheduled (or held by STT's implicit-channel rule).
+            return "branch_hold" if head.resolution_pending else "exec"
+        if not head.completed:
+            state = head.state
+            if state is UopState.WAITING:
+                if head.delayed_cycles > 0:
+                    return "stt_delay"
+                ready = self.prf.ready
+                for preg in head.src_pregs:
+                    if not ready[preg]:
+                        return "operands"
+                return "disambiguation" if head.is_load else "issue_width"
+            if state is UopState.ISSUED:
+                if head.obl_state is OblState.INFLIGHT:
+                    return "do_variant_wait"
+                return "memory" if head.is_load else "exec"
+            return "frontend"  # FETCHED head cannot happen; be safe
+        if head.is_load:
+            if head.pending_squash:
+                return "do_fail_wait"
+            if head.obl_state is not OblState.NONE and not head.safe:
+                return "do_safe_wait"
+            if head.needs_validation and not head.validation_done:
+                return "validation_wait"
+        if head.fp_predicted_fast and not head.safe:
+            return "do_safe_wait"
+        # Head became ready after the commit stage already ran this cycle.
+        return "commit_skew"
+
+    def _fold_cycle_accounting(self) -> None:
+        """Publish the plain-int per-cycle accumulators as stats counters."""
+        for reason, count in self._stall_counts.items():
+            self._stall_stats.set(reason, count)
+        self.stats.set("commit_active_cycles", self.commit_active_cycles)
+        self.stats.set("issue_active_cycles", self._issue_active_cycles)
+        self.stats.set("dispatch_active_cycles", self._dispatch_active_cycles)
+        occ = self.stats.group("occ")
+        occ.set("rob", self._occ_rob)
+        occ.set("iq", self._occ_iq)
+        occ.set("lq", self._occ_lq)
+        occ.set("sq", self._occ_sq)
+        occ.set("decode", self._occ_decode)
+        occ.set("rob_peak", self.rob.peak_occupancy)
+        occ.set("lq_peak", self.lq.peak_occupancy)
+        occ.set("sq_peak", self.sq.peak_occupancy)
 
     def speculative_read(self, addr: int, seq: int) -> int | float:
         """Memory view of a load at ``seq``: SQ forwarding over committed
@@ -291,6 +401,8 @@ class Core:
             self._decode_queue.append(uop)
             self._decode_ready[uop.seq] = self.cycle + self.config.core.fetch_to_decode_latency
             self.stats.bump("fetched")
+            if self.tracer is not None:
+                self.tracer.on_fetch(uop, self.cycle)
             self.fetch_pc = next_pc
             rooms -= 1
             if inst.opcode is Opcode.HALT:
@@ -305,28 +417,29 @@ class Core:
     # Dispatch / rename
     # ------------------------------------------------------------------ #
 
-    def _dispatch(self) -> None:
+    def _dispatch(self) -> int:
         width = self.config.core.decode_width
+        dispatched = 0
         while width > 0 and self._decode_queue:
             uop = self._decode_queue[0]
             if self._decode_ready.get(uop.seq, 0) > self.cycle:
-                return
+                break
             if self.rob.full:
                 self.stats.bump("rob_full_stalls")
-                return
+                break
             if uop.is_load and self.lq.full:
                 self.stats.bump("lq_full_stalls")
-                return
+                break
             if uop.is_store and self.sq.full:
                 self.stats.bump("sq_full_stalls")
-                return
+                break
             needs_iq = uop.inst.op_class is not OpClass.SYSTEM
             if needs_iq and len(self.iq) >= self.config.core.iq_entries:
                 self.stats.bump("iq_full_stalls")
-                return
+                break
             if not self._rename(uop):
                 self.stats.bump("no_preg_stalls")
-                return
+                break
             self._decode_queue.popleft()
             self._decode_ready.pop(uop.seq, None)
             self.rob.push(uop)
@@ -341,7 +454,11 @@ class Core:
             else:
                 uop.state = UopState.COMPLETED
                 uop.complete_cycle = self.cycle
+            if self.tracer is not None:
+                self.tracer.on_dispatch(uop, self.cycle)
+            dispatched += 1
             width -= 1
+        return dispatched
 
     def _rename(self, uop: DynInst) -> bool:
         inst = uop.inst
@@ -358,7 +475,7 @@ class Core:
     # Issue / execute
     # ------------------------------------------------------------------ #
 
-    def _issue(self) -> None:
+    def _issue(self) -> int:
         slots = self.config.core.issue_width
         core_cfg = self.config.core
         fu_free = {
@@ -405,6 +522,7 @@ class Core:
         if issued:
             issued_set = set(id(u) for u in issued)
             self.iq = [u for u in self.iq if id(u) not in issued_set]
+        return len(issued)
 
     def _execute(self, uop: DynInst) -> _ExecView:
         """Functionally execute ``uop`` with renamed operands."""
@@ -431,6 +549,8 @@ class Core:
         else:
             self._schedule(self.cycle + latency, "complete", uop)
         self.stats.bump("issued")
+        if self.tracer is not None:
+            self.tracer.on_issue(uop, self.cycle)
 
     def _latency_of(self, uop: DynInst) -> int:
         op = uop.inst.opcode
@@ -471,6 +591,8 @@ class Core:
         else:
             self._stores_awaiting_data.append(uop)
         self.stats.bump("issued")
+        if self.tracer is not None:
+            self.tracer.on_issue(uop, self.cycle)
 
     def _capture_store_data(self) -> None:
         if not self._stores_awaiting_data:
@@ -509,6 +631,7 @@ class Core:
             # would be wrong — retry next cycle.
             return False
         decision = self.protection.load_issue_decision(uop)
+        self.protection.decision_stats.bump(LOAD_DECISION_COUNTERS[decision.action])
         if decision.action is LoadIssueAction.DELAY:
             uop.delayed_cycles += 1
             self.stats.bump("load_delay_cycles")
@@ -527,6 +650,8 @@ class Core:
         else:
             self._issue_load_oblivious(uop, forward, decision.predicted_level)
         self.stats.bump("issued")
+        if self.tracer is not None:
+            self.tracer.on_issue(uop, self.cycle)
         return True
 
     def _issue_load_normal(self, uop: DynInst, forward: DynInst | None) -> None:
@@ -682,6 +807,8 @@ class Core:
         if uop.is_store:
             uop.state = UopState.COMPLETED
             uop.complete_cycle = self.cycle
+            if self.tracer is not None:
+                self.tracer.on_complete(uop, self.cycle)
             return
         self._writeback(uop, uop.result)
 
@@ -694,6 +821,8 @@ class Core:
             self.prf.mark_ready(uop.dest_preg, 0)
         uop.state = UopState.COMPLETED
         uop.complete_cycle = self.cycle
+        if self.tracer is not None:
+            self.tracer.on_complete(uop, self.cycle)
         self.protection.on_complete(uop)
 
     # ------------------------------------------------------------------ #
@@ -711,6 +840,7 @@ class Core:
                 uop.resolution_pending = True
                 self._pending_resolutions.append(uop)
                 self.stats.bump("delayed_resolutions")
+                self.protection.decision_stats.bump("branch_hold")
             return
         self._apply_branch_resolution(uop)
 
@@ -895,6 +1025,7 @@ class Core:
 
     def _try_issue_fp_transmitter(self, uop: DynInst) -> bool:
         action = self.protection.fp_issue_decision(uop)
+        self.protection.decision_stats.bump(FP_DECISION_COUNTERS[action])
         if action is FpIssueAction.DELAY:
             uop.delayed_cycles += 1
             self.stats.bump("fp_delay_cycles")
@@ -916,6 +1047,8 @@ class Core:
             latency = _FP_FAST_LATENCY[uop.inst.opcode] + (FP_SLOW_EXTRA if slow else 0)
         self._schedule(self.cycle + latency, "complete", uop)
         self.stats.bump("issued")
+        if self.tracer is not None:
+            self.tracer.on_issue(uop, self.cycle)
         return True
 
     # ------------------------------------------------------------------ #
@@ -944,10 +1077,14 @@ class Core:
                 oldest_snapshot_seq = uop.seq
             self.protection.on_squash(uop)
             self.stats.bump("squashed_uops")
+            if self.tracer is not None:
+                self.tracer.on_squash(uop, self.cycle)
         for uop in self._decode_queue:
             if uop.seq > seq:
                 uop.squashed = True
                 self._decode_ready.pop(uop.seq, None)
+                if self.tracer is not None:
+                    self.tracer.on_squash(uop, self.cycle)
                 if uop.prediction is not None and (
                     oldest_snapshot_seq is None or uop.seq < oldest_snapshot_seq
                 ):
@@ -975,17 +1112,20 @@ class Core:
     # Commit
     # ------------------------------------------------------------------ #
 
-    def _commit(self) -> None:
+    def _commit(self) -> int:
         width = self.config.core.commit_width
+        committed = 0
         while width > 0:
             head = self.rob.head
             if head is None:
-                return
+                break
             if not self._commit_ready(head):
-                return
+                break
             self.rob.pop_head()
             self._do_commit(head)
+            committed += 1
             width -= 1
+        return committed
 
     def _commit_ready(self, uop: DynInst) -> bool:
         if uop.is_branch:
@@ -1023,6 +1163,8 @@ class Core:
         elif uop.dest_preg is not None and inst.rd == 0:
             self.prf.free(uop.dest_preg)
         uop.state = UopState.RETIRED
+        if self.tracer is not None:
+            self.tracer.on_commit(uop, self.cycle)
         self.protection.on_commit(uop)
         self.stats.bump("instructions")
         self._last_commit_cycle = self.cycle

@@ -21,6 +21,7 @@ class StoreQueue:
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
+        self.peak_occupancy = 0
         self._entries: list[DynInst] = []  # fetch order
 
     def __len__(self) -> int:
@@ -34,6 +35,8 @@ class StoreQueue:
         if self.full:
             raise RuntimeError("SQ overflow — dispatch must check capacity")
         self._entries.append(uop)
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
 
     def remove(self, uop: DynInst) -> None:
         self._entries.remove(uop)
@@ -66,6 +69,7 @@ class LoadQueue:
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
+        self.peak_occupancy = 0
         self._entries: list[DynInst] = []
 
     def __len__(self) -> int:
@@ -82,6 +86,8 @@ class LoadQueue:
         if self.full:
             raise RuntimeError("LQ overflow — dispatch must check capacity")
         self._entries.append(uop)
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
 
     def remove(self, uop: DynInst) -> None:
         self._entries.remove(uop)

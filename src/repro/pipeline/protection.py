@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.common.config import MemLevel
+from repro.common.stats import StatGroup
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.pipeline.core import Core
@@ -47,13 +48,36 @@ class IssueDecision:
     predicted_level: MemLevel | None = None  # set iff action is OBLIVIOUS
 
 
+#: Decision-counter names, precomputed so the hot path pays one dict lookup.
+LOAD_DECISION_COUNTERS = {
+    LoadIssueAction.NORMAL: "load_normal",
+    LoadIssueAction.OBLIVIOUS: "load_oblivious",
+    LoadIssueAction.DELAY: "load_delay",
+}
+FP_DECISION_COUNTERS = {
+    FpIssueAction.NORMAL: "fp_normal",
+    FpIssueAction.PREDICT_FAST: "fp_predict_fast",
+    FpIssueAction.DELAY: "fp_delay",
+}
+
+
 class ProtectionScheme:
-    """Base class: the insecure machine.  Subclasses override the hooks."""
+    """Base class: the insecure machine.  Subclasses override the hooks.
+
+    Every scheme carries ``decision_stats``, a counter bag the core bumps
+    with the *outcome* of each policy consultation (one bump per issue
+    attempt, so a load delayed for N cycles counts N ``load_delay``
+    decisions — the same convention as ``core.load_delay_cycles``).  The
+    counters surface in ``RunMetrics.stats`` under ``protection.decisions.*``
+    and let the observability layer attribute issue-stage behaviour to the
+    policy without re-deriving it from timing.
+    """
 
     name = "Unsafe"
 
     def __init__(self) -> None:
         self.core: "Core | None" = None
+        self.decision_stats = StatGroup("decisions")
 
     def attach(self, core: "Core") -> None:
         """Called once by the core after construction."""

@@ -13,6 +13,7 @@ class ReorderBuffer:
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
+        self.peak_occupancy = 0
         self._entries: deque[DynInst] = deque()
 
     def __len__(self) -> int:
@@ -33,6 +34,8 @@ class ReorderBuffer:
         if self.full:
             raise RuntimeError("ROB overflow — dispatch must check capacity")
         self._entries.append(uop)
+        if len(self._entries) > self.peak_occupancy:
+            self.peak_occupancy = len(self._entries)
 
     def pop_head(self) -> DynInst:
         return self._entries.popleft()

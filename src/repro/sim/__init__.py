@@ -13,6 +13,7 @@ shims.
 """
 
 from repro.sim.api import (
+    Instrumentation,
     RunFailure,
     RunMetrics,
     RunRequest,
@@ -28,12 +29,13 @@ from repro.sim.configs import (
     make_protection,
 )
 from repro.sim.engine import SweepEngine
-from repro.sim.events import JsonlEventLog, ProgressLine, RunEvent
+from repro.sim.events import JsonlEventLog, ProgressLine, RunEvent, read_events
 from repro.sim.runner import run_suite, run_workload
 
 __all__ = [
     "EVALUATED_CONFIGS",
     "EvaluatedConfig",
+    "Instrumentation",
     "JsonlEventLog",
     "ProgressLine",
     "ResultCache",
@@ -48,6 +50,7 @@ __all__ = [
     "config_by_name",
     "execute",
     "make_protection",
+    "read_events",
     "run_suite",
     "run_workload",
 ]

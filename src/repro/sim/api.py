@@ -21,6 +21,7 @@ deprecated shims over this module.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence, Union
@@ -42,6 +43,33 @@ if TYPE_CHECKING:
 
 #: Default commit budget per run (the seed harness's historical default).
 DEFAULT_MAX_INSTRUCTIONS = 200_000
+
+
+@dataclass(frozen=True)
+class Instrumentation:
+    """Opt-in observability for a single run.
+
+    ``trace_jsonl``/``trace_konata`` name output files for the cycle trace
+    (either or both); ``profile`` turns on wall-time phase profiling whose
+    numbers land in ``RunMetrics.stats`` under ``profile.*``.  An *active*
+    instrumentation makes the run side-effecting and host-dependent, so the
+    engine bypasses the result cache for it in both directions — an
+    instrumented run is never served from cache (the trace files must be
+    produced) and never stored (profile stats describe this machine only).
+    """
+
+    trace_jsonl: str | Path | None = None
+    trace_konata: str | Path | None = None
+    trace_buffer: int = 4096
+    profile: bool = False
+
+    @property
+    def traced(self) -> bool:
+        return self.trace_jsonl is not None or self.trace_konata is not None
+
+    @property
+    def active(self) -> bool:
+        return self.traced or self.profile
 
 
 @dataclass(frozen=True)
@@ -136,6 +164,10 @@ class RunRequest:
     machine: MachineConfig = field(default_factory=MachineConfig)
     check_golden: bool = True
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+    #: Optional tracing/profiling.  Deliberately NOT part of the cache key
+    #: (see ``repro.sim.cache.cache_key``) — it never changes the simulated
+    #: outcome; instrumented runs bypass the cache entirely instead.
+    instrumentation: Instrumentation | None = None
 
 
 @dataclass(frozen=True)
@@ -173,38 +205,75 @@ def execute(request: RunRequest) -> RunMetrics:
     ablation knobs on the request machine's protection (``dram_do_variant``,
     ``early_forwarding``) survive the config-derived protection swap, so a
     machine built for an ablation study keeps its meaning.
+
+    If the request carries an active :class:`Instrumentation`, the run is
+    additionally traced (cycle trace → JSONL and/or Konata files) and/or
+    profiled (``profile.*`` wall-time stats merged into the result).
     """
-    knobs = request.machine.protection
-    protection_config = replace(
-        request.config.protection_config(request.attack_model),
-        dram_do_variant=knobs.dram_do_variant,
-        early_forwarding=knobs.early_forwarding,
-    )
-    machine = request.machine.with_protection(protection_config)
-    protection = make_protection(
-        request.config, request.attack_model, dram_do_variant=knobs.dram_do_variant
-    )
-    hierarchy = MemoryHierarchy(machine)
-    core = Core(
-        request.workload.program,
-        config=machine,
-        protection=protection,
-        hierarchy=hierarchy,
-        check_golden=request.check_golden,
-    )
-    if request.workload.warm_addresses:
-        hierarchy.warm(request.workload.warm_addresses)
-    result = core.run(
-        max_instructions=request.max_instructions,
-        max_cycles=request.workload.max_cycles,
-    )
+    instrumentation = request.instrumentation
+    profiler = None
+    if instrumentation is not None and instrumentation.profile:
+        from repro.analysis.profiler import PhaseProfiler
+
+        profiler = PhaseProfiler()
+    tracer = None
+
+    def timed(name):
+        if profiler is None:
+            return nullcontext()
+        return profiler.phase(name)
+
+    with timed("build"):
+        knobs = request.machine.protection
+        protection_config = replace(
+            request.config.protection_config(request.attack_model),
+            dram_do_variant=knobs.dram_do_variant,
+            early_forwarding=knobs.early_forwarding,
+        )
+        machine = request.machine.with_protection(protection_config)
+        protection = make_protection(
+            request.config, request.attack_model, dram_do_variant=knobs.dram_do_variant
+        )
+        hierarchy = MemoryHierarchy(machine)
+        core = Core(
+            request.workload.program,
+            config=machine,
+            protection=protection,
+            hierarchy=hierarchy,
+            check_golden=request.check_golden,
+        )
+        if instrumentation is not None and instrumentation.traced:
+            from repro.analysis.trace import CycleTracer
+
+            tracer = CycleTracer(
+                jsonl_path=instrumentation.trace_jsonl,
+                konata_path=instrumentation.trace_konata,
+                buffer_capacity=instrumentation.trace_buffer,
+            ).attach(core)
+    with timed("warm"):
+        if request.workload.warm_addresses:
+            hierarchy.warm(request.workload.warm_addresses)
+    try:
+        with timed("simulate"):
+            result = core.run(
+                max_instructions=request.max_instructions,
+                max_cycles=request.workload.max_cycles,
+            )
+    finally:
+        if tracer is not None:
+            with timed("finalize"):
+                tracer.close()
+    stats = result.stats
+    if profiler is not None:
+        stats = dict(stats)
+        stats.update(profiler.as_stats(result.cycles, result.instructions))
     return RunMetrics(
         workload=request.workload.name,
         config=request.config.name,
         attack_model=request.attack_model,
         cycles=result.cycles,
         instructions=result.instructions,
-        stats=result.stats,
+        stats=stats,
     )
 
 
@@ -266,6 +335,7 @@ class Session:
         machine: MachineConfig | None = None,
         check_golden: bool | None = None,
         max_instructions: int | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> RunRequest:
         """Build a request against the session's defaults.  ``config`` and
         ``attack_model`` accept their string names for convenience."""
@@ -284,6 +354,7 @@ class Session:
             max_instructions=(
                 self.max_instructions if max_instructions is None else max_instructions
             ),
+            instrumentation=instrumentation,
         )
 
     def run(
@@ -293,6 +364,7 @@ class Session:
         attack_model: AttackModel | str = AttackModel.SPECTRE,
         *,
         machine: MachineConfig | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> RunMetrics:
         """Run one cell (through cache and observers) and return its metrics.
 
@@ -301,10 +373,18 @@ class Session:
         """
         if isinstance(workload, RunRequest):
             request = workload
+            if instrumentation is not None:
+                request = replace(request, instrumentation=instrumentation)
         else:
             if config is None:
                 raise TypeError("run() needs a config unless given a RunRequest")
-            request = self.request(workload, config, attack_model, machine=machine)
+            request = self.request(
+                workload,
+                config,
+                attack_model,
+                machine=machine,
+                instrumentation=instrumentation,
+            )
         [outcome] = self.run_many([request], strict=True)
         return outcome
 

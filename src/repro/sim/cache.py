@@ -55,7 +55,13 @@ def _canonical(obj: object) -> object:
 
 
 def cache_key(request: RunRequest) -> str:
-    """Stable content hash of a request's semantic inputs."""
+    """Stable content hash of a request's semantic inputs.
+
+    ``request.instrumentation`` is deliberately absent: tracing/profiling
+    never changes the simulated outcome.  The engine instead bypasses the
+    cache entirely for instrumented requests (the trace files must actually
+    be produced, and host-dependent ``profile.*`` stats must not be stored).
+    """
     program = request.workload.program
     material = {
         "schema": SCHEMA_VERSION,

@@ -20,6 +20,7 @@ Simulation is deterministic, so ``jobs=N`` produces results identical to
 from __future__ import annotations
 
 import multiprocessing
+import sys
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -77,6 +78,7 @@ class SweepEngine:
         self.jobs = jobs
         self.cache = cache
         self.observers: list[EventObserver] = list(observers)
+        self._muted_observers: set[int] = set()
 
     def add_observer(self, observer: EventObserver) -> None:
         self.observers.append(observer)
@@ -93,7 +95,27 @@ class SweepEngine:
             **extra,
         )
         for observer in self.observers:
-            observer(event)
+            # Observers are diagnostics; a broken one must not kill the runs
+            # it is narrating.  First failure per observer warns, later ones
+            # are silent so a sweep is not drowned in repeats.
+            try:
+                observer(event)
+            except Exception as exc:
+                if id(observer) not in self._muted_observers:
+                    self._muted_observers.add(id(observer))
+                    print(
+                        f"warning: event observer {observer!r} raised "
+                        f"{type(exc).__name__}: {exc} (further errors from it "
+                        "are suppressed)",
+                        file=sys.stderr,
+                    )
+
+    @staticmethod
+    def _cacheable(request: RunRequest) -> bool:
+        """Instrumented runs bypass the cache in both directions: a cache
+        hit would skip producing the trace files, and profile stats must
+        never be stored (they describe the host, not the simulation)."""
+        return request.instrumentation is None or not request.instrumentation.active
 
     def run(self, requests: Sequence[RunRequest]) -> list[RunOutcome]:
         """Execute a batch; the result list mirrors ``requests`` by index."""
@@ -104,10 +126,17 @@ class SweepEngine:
 
         pending: list[int] = []
         for index, request in enumerate(requests):
-            cached = self.cache.get(request) if self.cache is not None else None
+            cached = (
+                self.cache.get(request)
+                if self.cache is not None and self._cacheable(request)
+                else None
+            )
             if cached is not None:
                 results[index] = cached
-                self._emit(CACHE_HIT, index, request, cycles=cached.cycles)
+                self._emit(
+                    CACHE_HIT, index, request,
+                    cycles=cached.cycles, instructions=cached.instructions,
+                )
             else:
                 pending.append(index)
 
@@ -156,8 +185,10 @@ class SweepEngine:
             )
             return
         results[index] = metrics
-        if self.cache is not None:
+        if self.cache is not None and self._cacheable(request):
             self.cache.put(request, metrics)
         self._emit(
-            FINISHED, index, request, wall_time=wall_time, cycles=metrics.cycles
+            FINISHED, index, request,
+            wall_time=wall_time, cycles=metrics.cycles,
+            instructions=metrics.instructions,
         )

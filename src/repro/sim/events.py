@@ -12,6 +12,7 @@ JSONL event log from the same stream.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import sys
 import time
@@ -47,11 +48,19 @@ class RunEvent:
     model: str
     wall_time: float | None = None
     cycles: int | None = None
+    instructions: int | None = None
     error: str | None = None
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready dict; ``None`` fields are dropped."""
         return {k: v for k, v in asdict(self).items() if v is not None}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunEvent":
+        """Inverse of :meth:`to_dict`; tolerates the ``seq``/``ts`` bookkeeping
+        keys :class:`JsonlEventLog` adds and any future extras."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
 
 
 #: Anything callable with a single event is an observer.
@@ -148,3 +157,15 @@ class JsonlEventLog:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+def read_events(path: str | Path) -> list[RunEvent]:
+    """Parse a :class:`JsonlEventLog` file back into events (blank lines
+    skipped), preserving file order — the round-trip inverse of the log."""
+    events: list[RunEvent] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(RunEvent.from_dict(json.loads(line)))
+    return events

@@ -20,6 +20,7 @@ import warnings
 from repro.common.config import AttackModel, MachineConfig
 from repro.sim.api import (
     DEFAULT_MAX_INSTRUCTIONS,
+    Instrumentation,
     RunMetrics,
     RunRequest,
     Session,
@@ -38,6 +39,7 @@ def run_workload(
     machine: MachineConfig | None = None,
     check_golden: bool = True,
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    instrumentation: Instrumentation | None = None,
 ) -> RunMetrics:
     """Deprecated: build a :class:`RunRequest` and :func:`execute` it (or use
     :meth:`Session.run` to get caching and parallel sweeps)."""
@@ -55,6 +57,7 @@ def run_workload(
             machine=machine or MachineConfig(),
             check_golden=check_golden,
             max_instructions=max_instructions,
+            instrumentation=instrumentation,
         )
     )
 

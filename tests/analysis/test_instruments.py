@@ -1,6 +1,5 @@
 """Tests for the analysis instruments (timeline, taint window, MLP)."""
 
-import pytest
 
 from repro.analysis import MlpProbe, PipelineTimeline, TaintWindowProbe
 from repro.common.config import AttackModel, MemLevel

@@ -1,0 +1,66 @@
+"""Tests for the wall-time phase profiler and its stats surfacing."""
+
+from repro.analysis import PhaseProfiler
+from repro.sim.api import Instrumentation, RunRequest, execute
+from repro.sim.configs import config_by_name
+from repro.workloads import make_indirect_stream
+
+
+def tiny_request(instrumentation=None):
+    workload = make_indirect_stream(
+        "profile_kernel", table_words=128, iterations=20, seed=7
+    )
+    return RunRequest(
+        workload=workload,
+        config=config_by_name("Unsafe"),
+        instrumentation=instrumentation,
+    )
+
+
+class TestPhaseProfiler:
+    def test_accumulates_across_reentry(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("a"):
+            pass
+        first = profiler.phase_seconds["a"]
+        with profiler.phase("a"):
+            pass
+        assert profiler.phase_seconds["a"] >= first
+        assert profiler.total_seconds == sum(profiler.phase_seconds.values())
+
+    def test_records_time_even_when_body_raises(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.phase("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert "boom" in profiler.phase_seconds
+
+    def test_as_stats_shape(self):
+        profiler = PhaseProfiler()
+        with profiler.phase("simulate"):
+            sum(range(1000))
+        stats = profiler.as_stats(cycles=5000, instructions=4000)
+        assert "profile.simulate_s" in stats
+        assert stats["profile.total_s"] >= stats["profile.simulate_s"] - 1e-9
+        assert stats["profile.kcycles_per_sec"] > 0
+        assert stats["profile.kinstr_per_sec"] > 0
+
+
+class TestProfiledExecute:
+    def test_profile_stats_merged(self):
+        metrics = execute(tiny_request(Instrumentation(profile=True)))
+        for phase in ("build", "warm", "simulate"):
+            assert f"profile.{phase}_s" in metrics.stats
+        assert metrics.stats["profile.kcycles_per_sec"] > 0
+
+    def test_profiling_does_not_change_simulated_outcome(self):
+        plain = execute(tiny_request())
+        profiled = execute(tiny_request(Instrumentation(profile=True)))
+        assert profiled.cycles == plain.cycles
+        assert profiled.instructions == plain.instructions
+        semantic = {
+            k: v for k, v in profiled.stats.items() if not k.startswith("profile.")
+        }
+        assert semantic == plain.stats

@@ -1,0 +1,189 @@
+"""Tests for the cycle trace recorder (JSONL + Konata) and the
+stall-attribution invariant it reports."""
+
+import json
+
+import pytest
+
+from repro.analysis import CycleTracer, TraceRecord, render_konata
+from repro.isa import assemble
+from repro.pipeline.core import Core
+from repro.sim.api import Instrumentation, RunRequest, execute
+from repro.sim.configs import config_by_name
+from repro.workloads import make_indirect_stream
+
+
+SOURCE = """
+    li r1, 0
+    li r2, 8
+    li r6, 64
+loop:
+    mul r8, r1, r6
+    load r5, r8, 4096
+    and r9, r5, r6
+    load r4, r9, 8192
+    addi r1, r1, 1
+    blt r1, r2, loop
+    store r4, r0, 9000
+    halt
+"""
+
+
+def traced_core(**tracer_kwargs):
+    core = Core(assemble(SOURCE, {}))
+    tracer = CycleTracer(**tracer_kwargs).attach(core)
+    return core, tracer
+
+
+def tiny_request(config="Hybrid", instrumentation=None):
+    workload = make_indirect_stream(
+        "trace_kernel", table_words=256, iterations=40, seed=3
+    )
+    return RunRequest(
+        workload=workload,
+        config=config_by_name(config),
+        instrumentation=instrumentation,
+    )
+
+
+class TestCycleTracer:
+    def test_records_every_committed_instruction(self):
+        core, tracer = traced_core()
+        core.run()
+        summary = tracer.close()
+        retired = [r for r in tracer.records() if r.retired]
+        assert len(retired) == core.stats["instructions"]
+        assert summary["uops_recorded"] >= core.stats["instructions"]
+
+    def test_milestones_are_ordered(self):
+        core, tracer = traced_core()
+        core.run()
+        tracer.close()
+        for record in tracer.records():
+            if not record.retired:
+                continue
+            # Some milestones are legitimately absent (IQ-bypassing uops
+            # never issue); the ones that exist must be monotone.
+            milestones = [
+                c for c in (record.fetch, record.dispatch, record.issue,
+                            record.complete, record.commit)
+                if c >= 0
+            ]
+            assert milestones == sorted(milestones)
+            assert record.fetch >= 0 and record.commit >= 0
+
+    def test_ring_buffer_bounds_memory(self):
+        core, tracer = traced_core(buffer_capacity=16)
+        core.run()
+        tracer.close()
+        assert len(tracer.records()) <= 16
+
+    def test_attach_twice_rejected(self):
+        core, _tracer = traced_core()
+        with pytest.raises(RuntimeError):
+            CycleTracer().attach(core)
+
+    def test_close_is_idempotent(self):
+        core, tracer = traced_core()
+        core.run()
+        first = tracer.close()
+        assert tracer.close() == first
+
+    def test_tracing_does_not_change_timing(self):
+        baseline = Core(assemble(SOURCE, {}))
+        baseline.run()
+        core, tracer = traced_core()
+        core.run()
+        tracer.close()
+        assert core.cycle == baseline.cycle
+
+
+class TestJsonlExport:
+    def test_stall_counters_sum_to_non_commit_cycles(self, tmp_path):
+        """The acceptance-criterion invariant: every cycle either commits or
+        is charged to exactly one stall reason, and the traced JSONL summary
+        carries the same attribution."""
+        path = tmp_path / "run.trace.jsonl"
+        metrics = execute(
+            tiny_request(instrumentation=Instrumentation(trace_jsonl=path))
+        )
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        summary = records[-1]
+        assert summary["kind"] == "summary"
+        assert summary["cycles"] == metrics.cycles
+        assert (
+            sum(summary["stall"].values())
+            == summary["cycles"] - summary["commit_active_cycles"]
+        )
+        # The same counters appear in the run's stats.
+        stat_sum = sum(
+            v for k, v in metrics.stats.items() if k.startswith("core.stall.")
+        )
+        assert stat_sum == metrics.cycles - metrics.stats["core.commit_active_cycles"]
+
+    def test_windowed_flush_streams_all_records(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        execute(
+            tiny_request(
+                instrumentation=Instrumentation(trace_jsonl=path, trace_buffer=8)
+            )
+        )
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        uops = [r for r in records if r["kind"] == "uop"]
+        summary = records[-1]
+        assert len(uops) == summary["uops_recorded"]
+        seqs = [r["seq"] for r in uops]
+        assert len(set(seqs)) == len(seqs), "no uop is written twice"
+
+
+class TestKonataExport:
+    def test_file_is_konata_loadable(self, tmp_path):
+        """Konata accepts a log iff it starts with the Kanata header and every
+        line is a known record type with the right arity; validate that."""
+        path = tmp_path / "run.konata"
+        execute(tiny_request(instrumentation=Instrumentation(trace_konata=path)))
+        lines = path.read_text().splitlines()
+        assert lines[0] == "Kanata\t0004"
+        assert lines[1].startswith("C=\t")
+        arity = {"C": 2, "I": 4, "L": 4, "S": 4, "R": 4}
+        seen_kinds = set()
+        started: set[str] = set()
+        for line in lines[2:]:
+            parts = line.split("\t")
+            assert parts[0] in arity, f"unknown Konata record {line!r}"
+            assert len(parts) == arity[parts[0]], f"bad arity: {line!r}"
+            seen_kinds.add(parts[0])
+            if parts[0] == "S":
+                started.add(parts[1])
+            elif parts[0] == "R":
+                assert parts[1] in started, "retire before any stage"
+        assert {"C", "I", "L", "S", "R"} <= seen_kinds
+
+    def test_cycle_deltas_are_monotonic(self):
+        records = [
+            TraceRecord(seq=0, pc=0, op="li", fetch=0, dispatch=1, issue=2,
+                        complete=3, commit=5),
+            TraceRecord(seq=1, pc=1, op="load", fetch=0, dispatch=1, issue=3,
+                        complete=9, squash=9),
+        ]
+        text = render_konata(records)
+        for line in text.splitlines():
+            if line.startswith("C\t"):
+                assert int(line.split("\t")[1]) > 0
+
+    def test_empty_trace_renders_header_only(self):
+        text = render_konata([])
+        assert text.startswith("Kanata\t0004\n")
+
+
+class TestDisabledByDefault:
+    def test_plain_request_has_no_tracer_artifacts(self):
+        metrics = execute(tiny_request())
+        assert not any(k.startswith("profile.") for k in metrics.stats)
+        # Stall attribution is always on (it is just counters)...
+        assert any(k.startswith("core.stall.") for k in metrics.stats)
+
+    def test_inactive_instrumentation_is_inactive(self):
+        assert not Instrumentation().active
+        assert Instrumentation(profile=True).active
+        assert Instrumentation(trace_jsonl="x").traced

@@ -8,7 +8,6 @@ from repro.core.sdo import (
     ResourceSignature,
     SdoOperation,
     StaticDOPredictor,
-    VariantResult,
 )
 from repro.isa.instructions import is_subnormal
 

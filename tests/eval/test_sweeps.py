@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.config import AttackModel, MachineConfig
+from repro.common.config import MachineConfig
 from repro.eval.sweeps import (
     MachineVariant,
     dram_latency_variant,

@@ -8,7 +8,6 @@ the victim runs.
 
 import random
 
-import pytest
 
 from repro.common.config import AttackModel, MachineConfig, MemLevel
 from repro.core import SdoProtection

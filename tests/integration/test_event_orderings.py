@@ -6,7 +6,6 @@ steered by controlling how fast the taint window closes relative to the
 predicted-level lookup latency.
 """
 
-import pytest
 
 from repro.common.config import AttackModel, MachineConfig, MemLevel
 from repro.core import SdoProtection

@@ -1,0 +1,66 @@
+"""Golden-stats regression check (also run as a CI gate).
+
+Pins the complete ``RunMetrics.to_dict()`` of a fixed tiny workload —
+including the observability counters (``core.stall.*``, ``core.occ.*``,
+``protection.decisions.*``) — against a committed fixture.  Simulation is
+deterministic, so exact equality is expected; a diff means the timing model
+or the stats schema changed.  If the change is intentional, refresh with
+``python scripts/refresh_golden_stats.py`` and commit the fixture.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+FIXTURE = REPO_ROOT / "tests" / "golden" / "golden_stats.json"
+
+
+def _load_refresh_module():
+    spec = importlib.util.spec_from_file_location(
+        "refresh_golden_stats", REPO_ROOT / "scripts" / "refresh_golden_stats.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def refresh():
+    module = _load_refresh_module()
+    yield module
+    sys.modules.pop("refresh_golden_stats", None)
+
+
+@pytest.fixture(scope="module")
+def fixture_cells():
+    assert FIXTURE.exists(), (
+        "missing golden fixture; run `python scripts/refresh_golden_stats.py`"
+    )
+    return json.loads(FIXTURE.read_text())["cells"]
+
+
+def test_fixture_covers_expected_cells(refresh, fixture_cells):
+    expected = {f"{config}/{model}" for config, model in refresh.GOLDEN_CELLS}
+    assert set(fixture_cells) == expected
+
+
+def test_fixture_pins_observability_counters(fixture_cells):
+    stats = fixture_cells["Hybrid/spectre"]["stats"]
+    assert any(key.startswith("core.stall.") for key in stats)
+    assert any(key.startswith("core.occ.") for key in stats)
+    assert any(key.startswith("protection.decisions.") for key in stats)
+
+
+def test_current_stats_match_golden_fixture(refresh, fixture_cells):
+    current = refresh.collect()["cells"]
+    for cell, expected in fixture_cells.items():
+        actual = current[cell]
+        assert actual == expected, (
+            f"golden-stats drift in {cell}. If the timing model or stats "
+            "schema changed intentionally, refresh the fixture with "
+            "`python scripts/refresh_golden_stats.py` and commit it."
+        )

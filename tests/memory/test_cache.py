@@ -1,6 +1,5 @@
 """Tests for the cache array: LRU, dirty bits, probe vs access."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.config import CacheConfig

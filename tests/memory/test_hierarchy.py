@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.common.config import MachineConfig, MemLevel
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.memory.observer import ResourceObserver
 
 
 @pytest.fixture

@@ -2,7 +2,6 @@
 
 from collections import OrderedDict
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.config import CacheConfig, MachineConfig, MemLevel

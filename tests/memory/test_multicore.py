@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.common.config import AttackModel, MachineConfig, MemLevel
+from repro.common.config import AttackModel, MemLevel
 from repro.core import SdoProtection
 from repro.core.predictors import StaticPredictor
 from repro.isa import assemble

@@ -6,7 +6,6 @@ import pytest
 from repro.common.config import CoreConfig, MachineConfig
 from repro.isa import assemble, Interpreter
 from repro.pipeline.core import Core, DeadlockError, GoldenModelMismatch
-from repro.pipeline.uop import UopState
 
 
 def run_core(source, memory=None, **core_kwargs):

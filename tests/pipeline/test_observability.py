@@ -1,0 +1,86 @@
+"""Tests for the per-cycle observability counters the core always maintains:
+stall attribution, active-cycle counters, and occupancy statistics."""
+
+import pytest
+
+from repro.common.config import MachineConfig
+from repro.sim.api import RunRequest, execute
+from repro.sim.configs import EVALUATED_CONFIGS
+from repro.workloads import make_indirect_stream
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = make_indirect_stream(
+        "obs_kernel", table_words=512, iterations=60, seed=11
+    )
+    return {
+        config.name: execute(RunRequest(workload=workload, config=config))
+        for config in EVALUATED_CONFIGS
+    }
+
+
+@pytest.mark.parametrize("config", [c.name for c in EVALUATED_CONFIGS])
+class TestStallAttribution:
+    def test_stall_cycles_sum_to_non_commit_cycles(self, results, config):
+        """Every cycle either commits or is charged to exactly one reason."""
+        metrics = results[config]
+        stall_sum = sum(
+            v for k, v in metrics.stats.items() if k.startswith("core.stall.")
+        )
+        active = metrics.stats["core.commit_active_cycles"]
+        assert stall_sum == metrics.cycles - active
+
+    def test_active_cycle_counters_bounded_by_cycles(self, results, config):
+        metrics = results[config]
+        for counter in (
+            "core.commit_active_cycles",
+            "core.issue_active_cycles",
+            "core.dispatch_active_cycles",
+        ):
+            assert 0 <= metrics.stats[counter] <= metrics.cycles
+
+    def test_occupancy_integrals_consistent(self, results, config):
+        """Mean occupancy (integral / cycles) must fit inside the structure,
+        and peaks must dominate means."""
+        metrics = results[config]
+        core_config = MachineConfig().core
+        capacities = {
+            "rob": core_config.rob_entries,
+            "lq": core_config.lq_entries,
+            "sq": core_config.sq_entries,
+        }
+        for unit, capacity in capacities.items():
+            mean = metrics.stats[f"core.occ.{unit}"] / metrics.cycles
+            peak = metrics.stats[f"core.occ.{unit}_peak"]
+            assert 0 <= mean <= capacity
+            assert mean <= peak <= capacity
+
+
+class TestProtectionDecisions:
+    def test_unsafe_never_restricts(self, results):
+        stats = results["Unsafe"].stats
+        assert stats.get("protection.decisions.load_oblivious", 0) == 0
+        assert stats.get("protection.decisions.load_delay", 0) == 0
+        assert stats.get("protection.decisions.load_normal", 0) > 0
+
+    def test_stt_delays_instead_of_predicting(self, results):
+        stats = results["STT{ld}"].stats
+        assert stats.get("protection.decisions.load_delay", 0) > 0
+        assert stats.get("protection.decisions.load_oblivious", 0) == 0
+
+    def test_sdo_configs_issue_oblivious_loads(self, results):
+        stats = results["Hybrid"].stats
+        assert stats.get("protection.decisions.load_oblivious", 0) > 0
+
+    def test_stt_overhead_shows_as_memory_stalls(self, results):
+        """STT's issue delays destroy MLP: by the time a delayed load reaches
+        the ROB head it is non-speculative and issues, so the overhead is
+        charged as serialized memory stalls (the Figure 6 overhead made
+        visible per-cycle), not as head-of-ROB delay."""
+        unsafe, stt = results["Unsafe"], results["STT{ld}"]
+        assert stt.cycles > unsafe.cycles
+        assert (
+            stt.stats.get("core.stall.memory", 0)
+            > unsafe.stats.get("core.stall.memory", 0)
+        )

@@ -8,7 +8,6 @@ from repro.pipeline.protection import (
     FpIssueAction,
     IssueDecision,
     LoadIssueAction,
-    ProtectionScheme,
     UnsafeProtection,
 )
 from repro.pipeline.uop import DynInst, OblState, UopState

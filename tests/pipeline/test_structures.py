@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common.config import MachineConfig
 from repro.isa.instructions import FP_BASE, Instruction, Opcode
 from repro.pipeline.lsq import LoadQueue, StoreQueue
 from repro.pipeline.registers import PhysRegFile, RenameMap

@@ -4,7 +4,7 @@ traces; the normal path (by design) does not."""
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.common.config import MachineConfig, MemLevel
+from repro.common.config import MemLevel
 from repro.security.analyzer import check_non_interference, resource_trace_of
 
 _WARM = tuple(0x40000 + 64 * i for i in range(256)) + tuple(

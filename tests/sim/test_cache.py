@@ -3,7 +3,6 @@
 import dataclasses
 import json
 
-import pytest
 
 from repro.common.config import AttackModel, MachineConfig
 from repro.sim.api import RunMetrics, RunRequest

@@ -1,0 +1,120 @@
+"""Unit tests for the perf-smoke gate's comparison logic
+(``scripts/check_perf.py``), exercised without running any benchmarks."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_perf():
+    spec = importlib.util.spec_from_file_location(
+        "check_perf", REPO_ROOT / "scripts" / "check_perf.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+BASELINE = {
+    "calibration_s": 0.100,
+    "benchmarks": {"bench[Unsafe]": 0.300, "bench[Hybrid]": 0.450},
+}
+
+
+class TestCompare:
+    def test_identical_run_passes(self, check_perf):
+        failures = check_perf.compare(
+            BASELINE, dict(BASELINE["benchmarks"]), current_calibration=0.100
+        )
+        assert failures == []
+
+    def test_2x_slowdown_fails(self, check_perf):
+        """The acceptance criterion: an injected 2x slowdown must trip the
+        gate (2.0 > 1 + 30% tolerance)."""
+        current = {name: mean * 2.0 for name, mean in BASELINE["benchmarks"].items()}
+        failures = check_perf.compare(BASELINE, current, current_calibration=0.100)
+        assert len(failures) == 2
+        assert all("regression" in f for f in failures)
+
+    def test_within_tolerance_passes(self, check_perf):
+        current = {name: mean * 1.25 for name, mean in BASELINE["benchmarks"].items()}
+        assert check_perf.compare(BASELINE, current, 0.100) == []
+
+    def test_slower_machine_gets_headroom(self, check_perf):
+        """A 1.5x-slower host (per calibration) running 1.5x-slower
+        benchmarks is not a regression."""
+        current = {name: mean * 1.5 for name, mean in BASELINE["benchmarks"].items()}
+        assert check_perf.compare(BASELINE, current, current_calibration=0.150) == []
+
+    def test_faster_machine_tightens_the_band(self, check_perf):
+        """On a 2x-faster host, baseline-equal wall times are a ~2x
+        regression in real terms and must fail."""
+        current = dict(BASELINE["benchmarks"])
+        failures = check_perf.compare(BASELINE, current, current_calibration=0.050)
+        assert len(failures) == 2
+
+    def test_incomparable_machine_fails_loudly(self, check_perf):
+        failures = check_perf.compare(
+            BASELINE, dict(BASELINE["benchmarks"]), current_calibration=0.001
+        )
+        assert len(failures) == 1
+        assert "too different" in failures[0]
+
+    def test_missing_benchmark_fails(self, check_perf):
+        failures = check_perf.compare(
+            BASELINE, {"bench[Unsafe]": 0.300}, current_calibration=0.100
+        )
+        assert failures == ["bench[Hybrid]: missing from the current benchmark run"]
+
+    def test_tolerance_is_configurable(self, check_perf):
+        current = {name: mean * 1.25 for name, mean in BASELINE["benchmarks"].items()}
+        assert check_perf.compare(BASELINE, current, 0.100, tolerance=0.10)
+
+
+class TestCliModes:
+    def _results_file(self, tmp_path, factor=1.0):
+        payload = {
+            "benchmarks": [
+                {"name": name, "stats": {"mean": mean * factor}}
+                for name, mean in BASELINE["benchmarks"].items()
+            ]
+        }
+        path = tmp_path / "results.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_refresh_then_check_round_trips(self, check_perf, tmp_path, capsys):
+        results = self._results_file(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        assert check_perf.main(
+            [str(results), "--baseline", str(baseline_path), "--refresh"]
+        ) == 0
+        assert check_perf.main(
+            [str(results), "--baseline", str(baseline_path)]
+        ) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_fails_on_doctored_2x_results(self, check_perf, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        assert check_perf.main(
+            [str(self._results_file(tmp_path)), "--baseline", str(baseline_path),
+             "--refresh"]
+        ) == 0
+        slow = self._results_file(tmp_path, factor=2.0)
+        assert check_perf.main([str(slow), "--baseline", str(baseline_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_baseline_is_an_error(self, check_perf, tmp_path, capsys):
+        results = self._results_file(tmp_path)
+        assert check_perf.main(
+            [str(results), "--baseline", str(tmp_path / "nope.json")]
+        ) == 1
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_missing_results_is_a_usage_error(self, check_perf, tmp_path):
+        assert check_perf.main([str(tmp_path / "nope.json")]) == 2

@@ -35,6 +35,39 @@ def test_run_uses_cache_dir(capsys, tmp_path):
     assert capsys.readouterr().out == first
 
 
+def test_run_with_trace_and_profile(capsys, tmp_path):
+    base = tmp_path / "trace"
+    assert main([
+        "run", "exchange2_like", "Unsafe", "--no-cache",
+        "--trace", str(base), "--trace-format", "both", "--profile",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "stall attribution" in out
+    assert "host-side profile" in out
+    jsonl = tmp_path / "trace.jsonl"
+    konata = tmp_path / "trace.konata"
+    assert jsonl.exists() and konata.exists()
+    assert konata.read_text().startswith("Kanata\t0004")
+    summary = json.loads(jsonl.read_text().splitlines()[-1])
+    assert summary["kind"] == "summary"
+
+
+def test_traced_run_bypasses_cache(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    # Populate the cache with an uninstrumented run...
+    assert main(["run", "exchange2_like", "Unsafe",
+                 "--cache-dir", str(cache_dir)]) == 0
+    capsys.readouterr()
+    # ...then a traced run must still produce the trace (no cache hit) and
+    # must not disturb the cached entry.
+    entries_before = sorted(p.name for p in cache_dir.rglob("*.json"))
+    trace = tmp_path / "run.trace.jsonl"
+    assert main(["run", "exchange2_like", "Unsafe",
+                 "--cache-dir", str(cache_dir), "--trace", str(trace)]) == 0
+    assert trace.exists()
+    assert sorted(p.name for p in cache_dir.rglob("*.json")) == entries_before
+
+
 def test_spectre_command(capsys):
     assert main(["spectre", "--secret", "3"]) == 0
     out = capsys.readouterr().out

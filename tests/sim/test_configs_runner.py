@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.config import AttackModel, MachineConfig, PredictorKind, ProtectionKind
+from repro.common.config import AttackModel, PredictorKind, ProtectionKind
 from repro.core.protection import SdoProtection
 from repro.pipeline.protection import UnsafeProtection
 from repro.sim import (

@@ -1,0 +1,94 @@
+"""Tests for the run-lifecycle event stream: JSONL round-trip and
+observer-exception isolation."""
+
+import pytest
+
+from repro.sim.api import RunFailure, Session
+from repro.sim.events import (
+    FAILED,
+    FINISHED,
+    QUEUED,
+    JsonlEventLog,
+    RunEvent,
+    read_events,
+)
+from repro.workloads import make_indirect_stream
+
+
+@pytest.fixture
+def workload():
+    return make_indirect_stream("events_kernel", table_words=128, iterations=20, seed=1)
+
+
+class TestJsonlRoundTrip:
+    def test_events_survive_write_and_read(self, tmp_path, workload):
+        path = tmp_path / "run.events.jsonl"
+        with JsonlEventLog(path) as log:
+            session = Session(cache=False, observers=[log])
+            metrics = session.run(workload, "Unsafe")
+        events = read_events(path)
+        assert [e.kind for e in events] == [QUEUED, "started", FINISHED]
+        finished = events[-1]
+        assert finished.workload == workload.name
+        assert finished.config == "Unsafe"
+        assert finished.cycles == metrics.cycles
+        assert finished.instructions == metrics.instructions
+        assert finished.wall_time > 0
+
+    def test_round_trip_is_identity(self):
+        event = RunEvent(
+            kind=FINISHED, index=3, workload="w", config="Hybrid",
+            model="spectre", wall_time=1.5, cycles=100, instructions=90,
+        )
+        assert RunEvent.from_dict(event.to_dict()) == event
+
+    def test_from_dict_tolerates_log_bookkeeping_and_extras(self):
+        payload = {
+            "kind": QUEUED, "index": 0, "workload": "w", "config": "c",
+            "model": "spectre", "seq": 7, "ts": 1754400000.0, "future_field": 1,
+        }
+        event = RunEvent.from_dict(payload)
+        assert event.kind == QUEUED and event.index == 0
+
+    def test_read_events_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        event = RunEvent(kind=QUEUED, index=0, workload="w", config="c", model="m")
+        path.write_text("\n" + '{"kind": "queued", "index": 0, '
+                        '"workload": "w", "config": "c", "model": "m"}\n\n')
+        assert read_events(path) == [event]
+
+
+class TestObserverIsolation:
+    def test_raising_observer_does_not_kill_run(self, workload, capsys):
+        def bad_observer(event):
+            raise RuntimeError("observer exploded")
+
+        seen = []
+        session = Session(cache=False, observers=[bad_observer, seen.append])
+        metrics = session.run(workload, "Unsafe")
+        assert metrics.cycles > 0
+        assert not isinstance(metrics, RunFailure)
+        # Later observers still ran despite the earlier one raising.
+        assert [e.kind for e in seen] == [QUEUED, "started", FINISHED]
+        err = capsys.readouterr().err
+        assert "observer" in err and "RuntimeError" in err
+
+    def test_observer_failure_warns_once(self, workload, capsys):
+        calls = []
+
+        def bad_observer(event):
+            calls.append(event.kind)
+            raise ValueError("always broken")
+
+        session = Session(cache=False, observers=[bad_observer])
+        session.run(workload, "Unsafe")
+        session.run(workload, "Unsafe")
+        assert len(calls) >= 4  # it kept being invoked...
+        err = capsys.readouterr().err
+        assert err.count("ValueError") == 1  # ...but warned only once
+
+    def test_closed_log_ignores_events(self, tmp_path):
+        log = JsonlEventLog(tmp_path / "log.jsonl")
+        log.close()
+        log(RunEvent(kind=FAILED, index=0, workload="w", config="c", model="m"))
+        assert read_events(log.path) == []

@@ -5,7 +5,6 @@ while tainted, taint propagates through dataflow, untainting follows the
 attack model, and branch resolution is delayed while predicates are tainted.
 """
 
-import pytest
 
 from repro.common.config import AttackModel
 from repro.isa import assemble

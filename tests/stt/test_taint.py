@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.common.config import AttackModel
 from repro.isa.instructions import Instruction, Opcode
@@ -69,51 +68,51 @@ class TestSpectreFrontier:
 class TestFuturisticFrontier:
     def test_incomplete_load_blocks(self):
         frontier = UntaintFrontier(AttackModel.FUTURISTIC)
-        l = load(7)
-        frontier.register(l)
+        ld = load(7)
+        frontier.register(ld)
         assert not frontier.is_safe(8)
 
     def test_completed_normal_load_unblocks(self):
         frontier = UntaintFrontier(AttackModel.FUTURISTIC)
-        l = load(7)
-        frontier.register(l)
+        ld = load(7)
+        frontier.register(ld)
         from repro.pipeline.uop import UopState
 
-        l.state = UopState.COMPLETED
+        ld.state = UopState.COMPLETED
         assert frontier.is_safe(8)
 
     def test_obl_load_blocks_until_safe(self):
         from repro.pipeline.uop import UopState
 
         frontier = UntaintFrontier(AttackModel.FUTURISTIC)
-        l = load(7)
-        frontier.register(l)
-        l.state = UopState.COMPLETED
-        l.obl_state = OblState.DONE
+        ld = load(7)
+        frontier.register(ld)
+        ld.state = UopState.COMPLETED
+        ld.obl_state = OblState.DONE
         assert not frontier.is_safe(8)  # could still fail-squash
-        l.safe = True
+        ld.safe = True
         assert frontier.is_safe(8)
 
     def test_pending_validation_blocks(self):
         from repro.pipeline.uop import UopState
 
         frontier = UntaintFrontier(AttackModel.FUTURISTIC)
-        l = load(7)
-        frontier.register(l)
-        l.state = UopState.COMPLETED
-        l.needs_validation = True
+        ld = load(7)
+        frontier.register(ld)
+        ld.state = UopState.COMPLETED
+        ld.needs_validation = True
         assert not frontier.is_safe(8)
-        l.validation_done = True
+        ld.validation_done = True
         assert frontier.is_safe(8)
 
     def test_pending_squash_blocks(self):
         from repro.pipeline.uop import UopState
 
         frontier = UntaintFrontier(AttackModel.FUTURISTIC)
-        l = load(7)
-        frontier.register(l)
-        l.state = UopState.COMPLETED
-        l.pending_squash = True
+        ld = load(7)
+        frontier.register(ld)
+        ld.state = UopState.COMPLETED
+        ld.pending_squash = True
         assert not frontier.is_safe(8)
 
     def test_fast_predicted_fp_blocks_until_safe(self):
