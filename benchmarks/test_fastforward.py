@@ -1,0 +1,62 @@
+"""Fast-forward win on DRAM-latency-bound work.
+
+A cold pointer chase under STT is the fast-forward's home turf: every load
+is a serial DRAM miss behind a tainted address, so the machine spends the
+overwhelming majority of cycles provably idle.  The benchmark pins the
+skipping path's wall time in ``benchmarks/baseline.json`` (so CI notices if
+the win erodes) and the explicit ratio test enforces the tentpole's >= 2x
+claim against the naive loop directly.
+"""
+
+import time
+
+import pytest
+
+from repro.common import AttackModel
+from repro.pipeline.core import Core
+from repro.sim import RunRequest, config_by_name, execute
+from repro.workloads import make_pointer_chase
+
+#: Cold (never warmed) chase: each hop is a dependent DRAM miss, and under
+#: STT the next hop's address is tainted until the previous one commits.
+_DRAM_BOUND = make_pointer_chase(
+    "ff_bench_chase", nodes=8192, iterations=600, seed=11, warm_table=False
+)
+
+_REQUEST = RunRequest(
+    workload=_DRAM_BOUND,
+    config=config_by_name("STT{ld}"),
+    attack_model=AttackModel.SPECTRE,
+)
+
+
+def test_fastforward_dram_bound(benchmark):
+    """Wall time of the (default, skipping) path — tracked in baseline.json."""
+    metrics = benchmark.pedantic(execute, args=(_REQUEST,), rounds=3, iterations=1)
+    assert metrics.instructions > 1000
+
+
+def test_fastforward_speedup_at_least_2x(monkeypatch):
+    """The tentpole acceptance bar: >= 2x over the naive loop on
+    DRAM-latency-bound work, measured in-process back to back."""
+
+    def timed(fast_forward: bool) -> tuple[float, object]:
+        monkeypatch.setattr(Core, "fast_forward", fast_forward)
+        best = float("inf")
+        for _ in range(2):
+            start = time.perf_counter()
+            metrics = execute(_REQUEST)
+            best = min(best, time.perf_counter() - start)
+        return best, metrics
+
+    naive_time, naive_metrics = timed(False)
+    fast_time, fast_metrics = timed(True)
+    # Same simulation either way…
+    assert fast_metrics.cycles == naive_metrics.cycles
+    assert fast_metrics.stats == naive_metrics.stats
+    # …at least twice as fast with skipping.
+    speedup = naive_time / fast_time
+    assert speedup >= 2.0, (
+        f"fast-forward speedup {speedup:.2f}x < 2x on a DRAM-bound chase "
+        f"(naive {naive_time:.3f}s, skipping {fast_time:.3f}s)"
+    )

@@ -25,6 +25,12 @@ Two export formats, selectable independently:
 Without any output path the tracer degrades to an in-memory ring buffer of
 the most recent ``buffer_capacity`` finished records — useful for tests and
 interactive inspection via :meth:`CycleTracer.records`.
+
+Attaching a tracer disables the core's event-driven fast-forward
+(``Core.run`` checks ``tracer is None`` before skipping idle cycles): a
+trace must contain every cycle, so traced runs always take the naive
+one-step-per-cycle loop.  Results are bit-identical either way; only wall
+time differs.
 """
 
 from __future__ import annotations
@@ -118,6 +124,11 @@ class CycleTracer:
     # ------------------------------------------------------------------ #
 
     def attach(self, core: "Core") -> "CycleTracer":
+        """Attach to ``core``.
+
+        Side effect: the core's idle-cycle fast-forward turns off for the
+        whole run — every cycle must reach the trace.
+        """
         if core.tracer is not None and core.tracer is not self:
             raise RuntimeError("core already has a tracer attached")
         core.tracer = self

@@ -69,21 +69,29 @@ class _BankSet:
 
 
 class _PortScheduler:
-    """At most ``ports`` request grants per cycle."""
+    """At most ``ports`` request grants per cycle.
+
+    Per-cycle usage counts are pruned once grants move far enough ahead, to
+    bound memory over long runs.  Pruning raises ``_floor``, a monotone lower
+    bound below which usage is no longer tracked: requests asking for a
+    pruned cycle are clamped up to the floor rather than re-granted into
+    cycles whose (discarded) counts may already have been full.
+    """
 
     def __init__(self, ports: int) -> None:
         self.ports = ports
         self._used: dict[int, int] = {}
         self._horizon = 0
+        self._floor = 0
 
     def grant(self, earliest: int) -> int:
-        cycle = max(earliest, 0)
+        cycle = max(earliest, self._floor)
         while self._used.get(cycle, 0) >= self.ports:
             cycle += 1
         self._used[cycle] = self._used.get(cycle, 0) + 1
-        # Prune entries far in the past to bound memory.
         if cycle > self._horizon + 4096:
-            self._used = {c: n for c, n in self._used.items() if c >= cycle - 64}
+            self._floor = cycle - 64
+            self._used = {c: n for c, n in self._used.items() if c >= self._floor}
             self._horizon = cycle
         return cycle
 

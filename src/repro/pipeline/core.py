@@ -130,6 +130,18 @@ class _ExecView:
 class Core:
     """One out-of-order core attached to a memory hierarchy."""
 
+    #: Event-driven fast-forward (on by default): when a cycle is provably
+    #: idle, ``run()`` jumps straight to the next wake point, accruing the
+    #: per-cycle accounting for the skipped span in closed form (see
+    #: :meth:`_fast_forward`).  A plain attribute rather than a config knob
+    #: because it must not affect results — the accrual is bit-identical to
+    #: stepping by construction — so it has no business in the result-cache
+    #: key.  Set to ``False`` (per instance, or on the class to cover
+    #: ``execute()``-built cores) to force the naive one-``step()``-per-cycle
+    #: loop; attaching a tracer disables skipping automatically (the tracer
+    #: wants to see every cycle).
+    fast_forward = True
+
     def __init__(
         self,
         program: Program,
@@ -198,6 +210,23 @@ class Core:
         #: default — the per-event hook is a single ``is not None`` check.
         self.tracer = None
 
+        # Fast-forward telemetry (plain attributes, deliberately not stats
+        # counters: the stats dict must stay bit-identical between the
+        # skipping and naive loops).
+        self.ff_skipped_cycles = 0
+        self.ff_windows = 0
+        # Per-cycle ledger (reset at the top of every step): which of the
+        # step's stat bumps would repeat identically each cycle while the
+        # machine stays idle.  This is what lets _fast_forward replay a
+        # skipped span exactly.
+        self._cycle_activity = 0
+        self._cycle_stall_reason: str | None = None
+        self._cycle_fetch_stall: str | None = None
+        self._cycle_dispatch_stall: str | None = None
+        self._cycle_validation_stall = False
+        self._cycle_delayed_loads: list[DynInst] = []
+        self._cycle_delayed_fps: list[DynInst] = []
+
         self.protection.attach(self)
 
     # ------------------------------------------------------------------ #
@@ -207,10 +236,17 @@ class Core:
     def run(self, max_instructions: int = 1_000_000, max_cycles: int = 10_000_000) -> SimulationResult:
         """Simulate until HALT commits (or a limit is hit)."""
         target = self.stats["instructions"] + max_instructions
+        skipping = (
+            self.fast_forward
+            and self.tracer is None
+            and self.protection.supports_fast_forward
+        )
         while not self.halted and self.cycle < max_cycles:
-            self.step()
+            idle = self.step()
             if self.stats["instructions"] >= target:
                 break
+            if idle and skipping:
+                self._fast_forward(max_cycles)
             if self.cycle - self._last_commit_cycle > 50_000:
                 raise DeadlockError(
                     f"no commit since cycle {self._last_commit_cycle} "
@@ -230,8 +266,25 @@ class Core:
             stats=merged,
         )
 
-    def step(self) -> None:
-        """Advance one cycle."""
+    def step(self) -> bool:
+        """Advance one cycle.
+
+        Returns ``True`` when the cycle was *provably idle*: nothing
+        committed, issued, dispatched or fetched, no event fired and no
+        protected-uop state machine advanced.  The pipeline state an idle
+        cycle reads is exactly the state it leaves behind, so every
+        following cycle repeats its accounting verbatim until the next
+        scheduled wake point — the fast-forward eligibility predicate
+        (see :meth:`_fast_forward`).
+        """
+        self._cycle_activity = 0
+        self._cycle_fetch_stall = None
+        self._cycle_dispatch_stall = None
+        self._cycle_validation_stall = False
+        if self._cycle_delayed_loads:
+            self._cycle_delayed_loads.clear()
+        if self._cycle_delayed_fps:
+            self._cycle_delayed_fps.clear()
         self._process_events()
         self.protection.begin_cycle(self.cycle)
         self._process_pending_resolutions()
@@ -239,7 +292,7 @@ class Core:
         committed = self._commit()
         issued = self._issue()
         dispatched = self._dispatch()
-        self._fetch()
+        fetched = self._fetch()
         # Per-cycle accounting (the observability layer's always-on half),
         # inlined and reading the queues' backing stores directly so the
         # per-cycle cost stays a handful of C-level operations.  Every cycle
@@ -259,6 +312,7 @@ class Core:
             self.commit_active_cycles += 1
         else:
             reason = self._stall_reason()
+            self._cycle_stall_reason = reason
             counts = self._stall_counts
             counts[reason] = counts.get(reason, 0) + 1
         if issued:
@@ -266,6 +320,88 @@ class Core:
         if dispatched:
             self._dispatch_active_cycles += 1
         self.cycle += 1
+        return (
+            committed == 0
+            and issued == 0
+            and dispatched == 0
+            and fetched == 0
+            and self._cycle_activity == 0
+        )
+
+    def _next_wake(self) -> int | None:
+        """Earliest future cycle at which an idle machine can change state.
+
+        Only three things un-idle a stalled pipeline: a scheduled event
+        (writeback / DO response / branch resolve / validation), the fetch
+        redirect penalty expiring, or the fetch-to-decode latency of the
+        decode-queue head elapsing.  Everything else (safe transitions,
+        pending resolutions, issue decisions) is a pure function of state
+        those three produce.
+        """
+        # Called after step() already advanced ``self.cycle``, so a wake due
+        # *this* cycle (== self.cycle) is a valid candidate — it yields a
+        # zero-length span and simply suppresses the skip.
+        wake = self._events[0][0] if self._events else None
+        if not self._fetch_halted and self.cycle <= self._fetch_resume_cycle:
+            if wake is None or self._fetch_resume_cycle < wake:
+                wake = self._fetch_resume_cycle
+        if self._decode_queue:
+            ready = self._decode_ready.get(self._decode_queue[0].seq, 0)
+            if ready >= self.cycle and (wake is None or ready < wake):
+                wake = ready
+        return wake
+
+    def _fast_forward(self, max_cycles: int) -> None:
+        """Jump from a provably idle cycle to the next wake point.
+
+        The per-cycle accounting the naive loop would have produced over the
+        skipped span is accrued in closed form: the occupancy integrals grow
+        by ``span * current_length`` (queue contents are frozen while idle),
+        the recorded single stall reason absorbs ``span`` cycles, and the
+        step's repeatable stat bumps — fetch/dispatch structural stalls,
+        the commit-stage validation stall, and per-delayed-uop STT delay
+        counters (including the matching ``protection.decisions.*`` bump,
+        which the issue stage counts once per retry) — are replayed
+        ``span`` times.  The result is bit-identical to stepping.
+        """
+        wake = self._next_wake()
+        # Never skip past where the naive loop would have stopped: the
+        # run() deadlock check fires once cycle reaches
+        # _last_commit_cycle + 50_001, and the while condition stops at
+        # max_cycles.  With no wake point at all the machine is wedged for
+        # good, so jumping straight to the deadline is exact too.
+        target = min(self._last_commit_cycle + 50_001, max_cycles)
+        if wake is not None and wake < target:
+            target = wake
+        span = target - self.cycle
+        if span <= 0:
+            return
+        self._occ_rob += span * len(self.rob._entries)
+        self._occ_iq += span * len(self.iq)
+        self._occ_lq += span * len(self.lq._entries)
+        self._occ_sq += span * len(self.sq._entries)
+        self._occ_decode += span * len(self._decode_queue)
+        counts = self._stall_counts
+        reason = self._cycle_stall_reason
+        counts[reason] = counts.get(reason, 0) + span
+        if self._cycle_fetch_stall is not None:
+            self.stats.bump(self._cycle_fetch_stall, span)
+        if self._cycle_dispatch_stall is not None:
+            self.stats.bump(self._cycle_dispatch_stall, span)
+        if self._cycle_validation_stall:
+            self.stats.bump("validation_stall_cycles", span)
+        decisions = self.protection.decision_stats
+        for uop in self._cycle_delayed_loads:
+            uop.delayed_cycles += span
+            self.stats.bump("load_delay_cycles", span)
+            decisions.bump(LOAD_DECISION_COUNTERS[LoadIssueAction.DELAY], span)
+        for uop in self._cycle_delayed_fps:
+            uop.delayed_cycles += span
+            self.stats.bump("fp_delay_cycles", span)
+            decisions.bump(FP_DECISION_COUNTERS[FpIssueAction.DELAY], span)
+        self.cycle = target
+        self.ff_skipped_cycles += span
+        self.ff_windows += 1
 
     def _stall_reason(self) -> str:
         """Attribute a zero-commit cycle to the ROB head's blocking cause."""
@@ -352,6 +488,11 @@ class Core:
     def _process_events(self) -> None:
         while self._events and self._events[0][0] <= self.cycle:
             _, _, kind, uop = heapq.heappop(self._events)
+            # Even a squashed uop's event counts as activity: popping it
+            # changed the heap, so the next cycle is not a replay of this
+            # one (conservative, and events are never idle-span wake-ups
+            # anyway — _next_wake stops the skip at the heap head).
+            self._cycle_activity += 1
             if uop.squashed:
                 continue
             if kind == "complete":
@@ -369,18 +510,22 @@ class Core:
     # Fetch
     # ------------------------------------------------------------------ #
 
-    def _fetch(self) -> None:
+    def _fetch(self) -> int:
         if self._fetch_halted or self.cycle < self._fetch_resume_cycle:
-            return
+            return 0
         if len(self._decode_queue) >= 3 * self.config.core.fetch_width:
             self.stats.bump("fetch_buffer_full_cycles")
-            return
+            self._cycle_fetch_stall = "fetch_buffer_full_cycles"
+            return 0
         rooms = self.config.core.fetch_width
+        fetched = 0
         while rooms > 0:
             if not 0 <= self.fetch_pc < len(self.program):
                 # Ran off the program on a wrong path; wait for a redirect.
                 self.stats.bump("fetch_off_end_cycles")
-                return
+                if fetched == 0:
+                    self._cycle_fetch_stall = "fetch_off_end_cycles"
+                return fetched
             inst = self.program[self.fetch_pc]
             uop = DynInst(self._seq, self.fetch_pc, inst)
             self._seq += 1
@@ -405,13 +550,15 @@ class Core:
                 self.tracer.on_fetch(uop, self.cycle)
             self.fetch_pc = next_pc
             rooms -= 1
+            fetched += 1
             if inst.opcode is Opcode.HALT:
                 # Stop fetching past a (possibly speculative) HALT; a squash
                 # redirect un-sticks us if it was wrong-path.
                 self._fetch_halted = True
-                return
+                return fetched
             if taken_break:
-                return  # taken-branch fetch break
+                return fetched  # taken-branch fetch break
+        return fetched
 
     # ------------------------------------------------------------------ #
     # Dispatch / rename
@@ -426,19 +573,24 @@ class Core:
                 break
             if self.rob.full:
                 self.stats.bump("rob_full_stalls")
+                self._cycle_dispatch_stall = "rob_full_stalls"
                 break
             if uop.is_load and self.lq.full:
                 self.stats.bump("lq_full_stalls")
+                self._cycle_dispatch_stall = "lq_full_stalls"
                 break
             if uop.is_store and self.sq.full:
                 self.stats.bump("sq_full_stalls")
+                self._cycle_dispatch_stall = "sq_full_stalls"
                 break
             needs_iq = uop.inst.op_class is not OpClass.SYSTEM
             if needs_iq and len(self.iq) >= self.config.core.iq_entries:
                 self.stats.bump("iq_full_stalls")
+                self._cycle_dispatch_stall = "iq_full_stalls"
                 break
             if not self._rename(uop):
                 self.stats.bump("no_preg_stalls")
+                self._cycle_dispatch_stall = "no_preg_stalls"
                 break
             self._decode_queue.popleft()
             self._decode_ready.pop(uop.seq, None)
@@ -604,6 +756,7 @@ class Core:
             if self.prf.ready[uop.src_pregs[0]]:
                 uop.store_value = self.prf.value[uop.src_pregs[0]]
                 self._schedule(self.cycle + 1, "complete", uop)
+                self._cycle_activity += 1
             else:
                 still_waiting.append(uop)
         self._stores_awaiting_data = still_waiting
@@ -630,11 +783,19 @@ class Core:
             # The matching store's data has not arrived; the forwarded value
             # would be wrong — retry next cycle.
             return False
+        had_level = uop.predicted_level is not None
         decision = self.protection.load_issue_decision(uop)
         self.protection.decision_stats.bump(LOAD_DECISION_COUNTERS[decision.action])
         if decision.action is LoadIssueAction.DELAY:
             uop.delayed_cycles += 1
             self.stats.bump("load_delay_cycles")
+            if not had_level and uop.predicted_level is not None:
+                # A fresh location prediction was made this cycle (one-shot
+                # predictor-accounting bumps inside the scheme): the cycle
+                # is not a pure retry, so it must not be fast-forwarded.
+                self._cycle_activity += 1
+            else:
+                self._cycle_delayed_loads.append(uop)
             return False
         uop.issue_cycle = self.cycle
         uop.state = UopState.ISSUED
@@ -707,21 +868,12 @@ class Core:
         with every older load already performed, this load's value can no
         longer violate TSO load-load ordering, so the validation can be
         replaced by an asynchronous exposure (Section V-C1)."""
-        for other in self.lq:
-            if other.seq >= uop.seq:
-                break
-            if not other.completed:
-                return False
-        return True
+        return self.lq.all_completed_before(uop.seq)
 
     def _is_oldest_mem_op(self, uop: DynInst) -> bool:
-        for other in self.lq:
-            if other.seq < uop.seq and other.state is not UopState.RETIRED:
-                return False
-        for other in self.sq._entries:  # noqa: SLF001 - same package
-            if other.seq < uop.seq:
-                return False
-        return True
+        return not self.lq.any_older_unretired(uop.seq) and not self.sq.any_older_than(
+            uop.seq
+        )
 
     def _obl_success_value(self, uop: DynInst) -> int | float:
         """What the wait buffer forwards on success."""
@@ -852,6 +1004,7 @@ class Core:
             if uop.squashed:
                 continue
             if self.protection.may_resolve_branch(uop):
+                self._cycle_activity += 1
                 self._apply_branch_resolution(uop)
             else:
                 still_pending.append(uop)
@@ -884,6 +1037,7 @@ class Core:
                 continue
             if not uop.safe and self.protection.output_safe(uop):
                 uop.safe = True
+                self._cycle_activity += 1
                 self._on_became_safe(uop)
             elif not uop.safe:
                 remaining.append(uop)
@@ -1029,6 +1183,7 @@ class Core:
         if action is FpIssueAction.DELAY:
             uop.delayed_cycles += 1
             self.stats.bump("fp_delay_cycles")
+            self._cycle_delayed_fps.append(uop)
             return False
         view = self._execute(uop)
         uop.issue_cycle = self.cycle
@@ -1143,6 +1298,7 @@ class Core:
                 return False
             if uop.needs_validation and not uop.validation_done:
                 self.stats.bump("validation_stall_cycles")
+                self._cycle_validation_stall = True
                 return False
         if uop.fp_predicted_fast and not uop.safe:
             # A fast-predicted FP transmitter retires only once the static

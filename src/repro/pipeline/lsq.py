@@ -13,7 +13,7 @@ the core at all — the validation/exposure mechanism compensates.
 
 from __future__ import annotations
 
-from repro.pipeline.uop import DynInst
+from repro.pipeline.uop import DynInst, UopState
 
 
 class StoreQueue:
@@ -42,7 +42,13 @@ class StoreQueue:
         self._entries.remove(uop)
 
     def squash_younger_than(self, seq: int) -> None:
-        self._entries = [u for u in self._entries if u.seq <= seq]
+        if self._entries and self._entries[-1].seq > seq:
+            self._entries = [u for u in self._entries if u.seq <= seq]
+
+    def any_older_than(self, seq: int) -> bool:
+        """Is any store older than ``seq`` still in flight?  O(1): entries
+        are program-ordered, so only the head can be the oldest."""
+        return bool(self._entries) and self._entries[0].seq < seq
 
     def all_addresses_known_before(self, seq: int) -> bool:
         """True if every store older than ``seq`` has computed its address."""
@@ -93,7 +99,27 @@ class LoadQueue:
         self._entries.remove(uop)
 
     def squash_younger_than(self, seq: int) -> None:
-        self._entries = [u for u in self._entries if u.seq <= seq]
+        if self._entries and self._entries[-1].seq > seq:
+            self._entries = [u for u in self._entries if u.seq <= seq]
+
+    def all_completed_before(self, seq: int) -> bool:
+        """Has every load older than ``seq`` produced its value?  (The
+        InvisiSpec exposure condition's load-load ordering check.)"""
+        for u in self._entries:
+            if u.seq >= seq:
+                break
+            if not u.completed:
+                return False
+        return True
+
+    def any_older_unretired(self, seq: int) -> bool:
+        """Is a load older than ``seq`` still in the window (not retired)?"""
+        for u in self._entries:
+            if u.seq >= seq:
+                break
+            if u.state is not UopState.RETIRED:
+                return True
+        return False
 
     def loads_of_line(self, line: int) -> list[DynInst]:
         """Executed loads that read ``line`` (consistency-check targets)."""

@@ -75,6 +75,16 @@ class ProtectionScheme:
 
     name = "Unsafe"
 
+    #: Whether the scheme's hooks are pure functions of pipeline state:
+    #: ``begin_cycle`` must be idempotent over a frozen pipeline and the
+    #: issue decisions must not depend on the cycle number, so that a
+    #: stalled cycle can be replayed in closed form by the core's
+    #: fast-forward.  Every in-tree scheme qualifies (taint, frontiers and
+    #: location predictions are all state-, not time-, driven); a scheme
+    #: that keeps cycle-indexed state must set this ``False`` to force the
+    #: naive per-cycle loop.
+    supports_fast_forward = True
+
     def __init__(self) -> None:
         self.core: "Core | None" = None
         self.decision_stats = StatGroup("decisions")

@@ -48,6 +48,10 @@ class ReorderBuffer:
         the mapping that existed at the squash point.
         """
         squashed: list[DynInst] = []
+        # Entries are in fetch order, so the tail is the youngest: one
+        # comparison settles the (common) nothing-to-squash case.
+        if not self._entries or self._entries[-1].seq <= seq:
+            return squashed
         while self._entries and self._entries[-1].seq > seq:
             squashed.append(self._entries.pop())
         return squashed

@@ -23,6 +23,7 @@ import multiprocessing
 import sys
 import time
 import traceback
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Iterable, Sequence
 
@@ -161,11 +162,22 @@ class SweepEngine:
         ) as pool:
             futures = []
             for index in pending:
-                self._emit(STARTED, index, requests[index])
                 futures.append(pool.submit(_execute_indexed, index, requests[index]))
+            # The pool starts tasks in submission order as workers free up,
+            # so narrate ``started`` the same way: the first ``workers``
+            # requests immediately, then one more each time a run
+            # terminates.  The event stream therefore never claims more
+            # than ``workers`` runs in flight at once.
+            not_started = deque(pending)
+            for _ in range(workers):
+                index = not_started.popleft()
+                self._emit(STARTED, index, requests[index])
             # Completion order is nondeterministic; slot order is not.
             for future in as_completed(futures):
                 self._settle(requests, results, *future.result())
+                if not_started:
+                    index = not_started.popleft()
+                    self._emit(STARTED, index, requests[index])
 
     def _settle(self, requests, results, index, metrics, error, wall_time) -> None:
         request = requests[index]

@@ -131,16 +131,25 @@ class JsonlEventLog:
          "wall_time": 1.93, "workload": "mcf_like"}
 
     The conventional file suffix is ``.events.jsonl`` (gitignored).
+
+    The output file is opened lazily on the first event, so constructing a
+    log and then crashing (or sweeping an empty batch) neither truncates an
+    existing file nor leaves an empty one behind.  ``close()`` is idempotent
+    and permanently seals the log: construction-to-close with no events is
+    a no-op on the filesystem.
     """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
-        self._fh: TextIO | None = self.path.open("w")
+        self._fh: TextIO | None = None
+        self._closed = False
         self._seq = 0
 
     def __call__(self, event: RunEvent) -> None:
-        if self._fh is None:
+        if self._closed:
             return
+        if self._fh is None:
+            self._fh = self.path.open("w")
         record: dict[str, object] = {"seq": self._seq, "ts": round(time.time(), 6)}
         record.update(event.to_dict())
         self._seq += 1
@@ -148,6 +157,7 @@ class JsonlEventLog:
         self._fh.flush()
 
     def close(self) -> None:
+        self._closed = True
         if self._fh is not None:
             self._fh.close()
             self._fh = None

@@ -1,0 +1,77 @@
+"""Regression tests for `_PortScheduler`: pruning must never re-open
+already-full past cycles (the over-subscription bug behind imprecise
+Obl-Ld contention numbers)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.hierarchy import _PortScheduler
+
+
+def _count_grants(grants: list[int]) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for cycle in grants:
+        counts[cycle] = counts.get(cycle, 0) + 1
+    return counts
+
+
+class TestPruneFloor:
+    def test_prune_does_not_reopen_full_past_cycles(self):
+        """The original reproducer: fill cycles 0-2 on a 1-port level, force
+        the prune with a far-future grant, then ask for cycle 1 again.  The
+        pre-fix scheduler discarded the usage counts and handed cycle 1 out
+        a second time."""
+        sched = _PortScheduler(ports=1)
+        assert [sched.grant(0), sched.grant(0), sched.grant(0)] == [0, 1, 2]
+        far = sched.grant(10_000)  # triggers the prune
+        assert far == 10_000
+        regrant = sched.grant(1)
+        assert regrant != 1, "prune re-opened an already-full cycle"
+        assert regrant >= far - 64  # clamped up to the retained window
+
+    def test_floor_is_monotone_across_multiple_prunes(self):
+        sched = _PortScheduler(ports=1)
+        grants = [sched.grant(0) for _ in range(4)]
+        grants.append(sched.grant(10_000))
+        grants.append(sched.grant(50_000))
+        # After two prunes, early cycles must stay closed.
+        grants.append(sched.grant(0))
+        grants.append(sched.grant(3))
+        counts = _count_grants(grants)
+        assert all(n <= 1 for n in counts.values()), counts
+
+    def test_grants_within_window_still_pack_tightly(self):
+        """The fix must not cost anything in the common (no-prune) case."""
+        sched = _PortScheduler(ports=2)
+        assert sorted(sched.grant(5) for _ in range(4)) == [5, 5, 6, 6]
+
+    @given(
+        ports=st.integers(min_value=1, max_value=3),
+        earliests=st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=80),
+                st.integers(min_value=4_000, max_value=60_000),
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_never_oversubscribed(self, ports, earliests):
+        """Property: no cycle ever collects more grants than ports, no
+        matter how requests interleave with prunes."""
+        sched = _PortScheduler(ports)
+        grants = [sched.grant(earliest) for earliest in earliests]
+        counts = _count_grants(grants)
+        offenders = {c: n for c, n in counts.items() if n > ports}
+        assert not offenders, offenders
+
+    @given(
+        earliests=st.lists(
+            st.integers(min_value=0, max_value=100_000), min_size=1, max_size=100
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_grant_never_before_request(self, earliests):
+        sched = _PortScheduler(ports=2)
+        for earliest in earliests:
+            assert sched.grant(earliest) >= earliest

@@ -75,6 +75,27 @@ class TestCompare:
         current = {name: mean * 1.25 for name, mean in BASELINE["benchmarks"].items()}
         assert check_perf.compare(BASELINE, current, 0.100, tolerance=0.10)
 
+    def test_large_improvement_flags_baseline_refresh(self, check_perf):
+        """A >30% speedup must fail too, pointing at --refresh: otherwise
+        the stale baseline would absorb the win and mask the next
+        same-sized regression."""
+        current = {name: mean * 0.4 for name, mean in BASELINE["benchmarks"].items()}
+        failures = check_perf.compare(BASELINE, current, current_calibration=0.100)
+        assert len(failures) == 2
+        assert all("improvement" in f and "--refresh" in f for f in failures)
+
+    def test_moderate_improvement_passes(self, check_perf):
+        current = {name: mean * 0.8 for name, mean in BASELINE["benchmarks"].items()}
+        assert check_perf.compare(BASELINE, current, 0.100) == []
+
+    def test_improvement_band_scales_with_machine_speed(self, check_perf):
+        """Baseline-equal wall times on a 2x-slower host are a real ~2x
+        improvement and must be flagged."""
+        current = dict(BASELINE["benchmarks"])
+        failures = check_perf.compare(BASELINE, current, current_calibration=0.200)
+        assert len(failures) == 2
+        assert all("improvement" in f for f in failures)
+
 
 class TestCliModes:
     def _results_file(self, tmp_path, factor=1.0):

@@ -187,6 +187,39 @@ class TestEvents:
         terminal = [e for e in events if e.kind in ("finished", "failed", "cache_hit")]
         assert sorted(e.index for e in terminal) == [0, 1, 2]
 
+    def test_parallel_started_never_exceeds_jobs(self, tmp_path):
+        """With ``jobs < len(pending)`` the recorded event log must never
+        claim more than ``jobs`` runs started-but-unterminated.  (The
+        pre-fix engine emitted every ``started`` at submit time, so the log
+        said all six runs were in flight at once on two workers.)"""
+        jobs = 2
+        log_path = tmp_path / "sweep.events.jsonl"
+        with JsonlEventLog(log_path) as log:
+            session = Session(cache=False, jobs=jobs, observers=[log])
+            session.sweep(
+                [WORKLOAD],
+                configs=[config_by_name(name) for name in CONFIG_NAMES],
+                attack_models=(AttackModel.SPECTRE, AttackModel.FUTURISTIC),
+            )
+        from repro.sim.events import read_events
+
+        events = read_events(log_path)
+        started: set[int] = set()
+        terminated: set[int] = set()
+        peak = 0
+        for event in events:
+            if event.kind == "started":
+                assert event.index not in started, "duplicate started"
+                started.add(event.index)
+            elif event.kind in ("finished", "failed"):
+                assert event.index in started, "terminal event before started"
+                terminated.add(event.index)
+            peak = max(peak, len(started - terminated))
+        assert started == terminated == set(range(2 * len(CONFIG_NAMES)))
+        assert peak <= jobs, (
+            f"event log claims {peak} concurrent runs with jobs={jobs}"
+        )
+
     def test_jsonl_event_log(self, tmp_path):
         log_path = tmp_path / "sweep.events.jsonl"
         with JsonlEventLog(log_path) as log:

@@ -91,4 +91,40 @@ class TestObserverIsolation:
         log = JsonlEventLog(tmp_path / "log.jsonl")
         log.close()
         log(RunEvent(kind=FAILED, index=0, workload="w", config="c", model="m"))
-        assert read_events(log.path) == []
+        # Lazy open: nothing was ever written, so nothing was ever created.
+        assert not log.path.exists()
+
+
+class TestCrashSafety:
+    def test_no_file_created_until_first_event(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = JsonlEventLog(path)
+        assert not path.exists(), "constructor must not touch the filesystem"
+        log(RunEvent(kind=QUEUED, index=0, workload="w", config="c", model="m"))
+        assert path.exists()
+        log.close()
+        assert len(read_events(path)) == 1
+
+    def test_empty_stream_leaves_no_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with JsonlEventLog(path):
+            pass
+        assert not path.exists()
+
+    def test_constructor_does_not_truncate_previous_log(self, tmp_path):
+        """A crash between construction and the first event must not eat an
+        earlier sweep's log."""
+        path = tmp_path / "log.jsonl"
+        with JsonlEventLog(path) as log:
+            log(RunEvent(kind=QUEUED, index=0, workload="w", config="c", model="m"))
+        JsonlEventLog(path)  # constructed, never used — simulated crash
+        assert len(read_events(path)) == 1
+
+    def test_close_is_idempotent_and_seals_the_log(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        log = JsonlEventLog(path)
+        log(RunEvent(kind=QUEUED, index=0, workload="w", config="c", model="m"))
+        log.close()
+        log.close()
+        log(RunEvent(kind=FINISHED, index=0, workload="w", config="c", model="m"))
+        assert [e.kind for e in read_events(path)] == [QUEUED]
