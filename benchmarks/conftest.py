@@ -38,8 +38,13 @@ def _jobs() -> int:
 
 @pytest.fixture(scope="session")
 def sweep_session() -> Session:
-    """The engine session every benchmark shares (no cache: honest timing)."""
-    return Session(jobs=_jobs(), cache=False)
+    """The engine session every benchmark shares (no cache: honest timing).
+
+    The generous per-run timeout never fires on a healthy simulator; it
+    exists so a wedged run fails the benchmark job with a classified
+    ``timeout`` instead of hanging CI until the job-level kill.
+    """
+    return Session(jobs=_jobs(), cache=False, timeout=1800.0)
 
 
 @pytest.fixture(scope="session")

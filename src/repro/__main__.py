@@ -8,7 +8,10 @@ Commands:
 * ``sweep``    — the full evaluation sweep (Figures 6/7/8, Table III),
                  parallel (``--jobs N``) and cached (``.repro-cache/``,
                  disable with ``--no-cache``), with an optional JSONL
-                 event log (``--events``)
+                 event log (``--events``), per-run wall-clock kills
+                 (``--timeout``), retries for transient failures
+                 (``--retries``), and resumable runs
+                 (``--journal`` + ``--resume``)
 """
 
 from __future__ import annotations
@@ -53,6 +56,10 @@ def _session_from(args, observers=()) -> Session:
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
         observers=observers,
+        timeout=args.timeout,
+        retries=args.retries,
+        journal=getattr(args, "journal", None),
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -165,6 +172,7 @@ def _cmd_sweep(args) -> int:
     try:
         results = session.sweep(workloads, configs=configs, attack_models=models)
     finally:
+        session.close()
         if event_log is not None:
             event_log.close()
 
@@ -197,6 +205,8 @@ def _cmd_sweep(args) -> int:
 
     if event_log is not None:
         print(f"event log written to {event_log.path}")
+    if args.journal:
+        print(f"sweep journal written to {args.journal}")
     if out_dir is not None:
         print(f"CSV artifacts written to {out_dir}/")
     return 0
@@ -214,6 +224,16 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result cache directory (default .repro-cache/)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget; a stuck run's worker is killed and "
+             "the cell is recorded as a 'timeout' failure",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts for transient failures (crash/timeout), with "
+             "exponential backoff (default 0)",
     )
 
 
@@ -269,9 +289,21 @@ def main(argv=None) -> int:
     sweep.add_argument(
         "--out", default=None, metavar="DIR", help="write CSV artifacts here",
     )
+    sweep.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="record terminal outcomes to a JSONL sweep journal (suffix: "
+             ".journal) so an interrupted sweep can be resumed",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="load the --journal before running and skip every cell it "
+             "already holds",
+    )
     _add_engine_options(sweep)
 
     args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "journal", None):
+        parser.error("--resume requires --journal FILE")
     handlers = {
         "info": _cmd_info,
         "spectre": _cmd_spectre,

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.common.config import AttackModel
-from repro.eval.report import geometric_mean, render_table
+from repro.eval.report import geometric_mean, render_table, warn_unhalted
 from repro.sim.api import RunMetrics
 from repro.sim.configs import EVALUATED_CONFIGS
 
@@ -70,6 +70,7 @@ class Figure6:
 
 def build_figure6(results: list[RunMetrics]) -> Figure6:
     """Assemble Figure 6 from a full sweep (must include Unsafe runs)."""
+    warn_unhalted(results, "Figure 6")
     baselines: dict[tuple[AttackModel, str], RunMetrics] = {}
     for metrics in results:
         if metrics.config == "Unsafe":

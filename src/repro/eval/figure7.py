@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.common.config import AttackModel
-from repro.eval.report import render_table
+from repro.eval.report import render_table, warn_unhalted
 from repro.sim.api import RunMetrics
 from repro.sim.configs import SDO_CONFIG_NAMES, config_by_name
 
@@ -117,6 +117,7 @@ def _attribute(metrics: RunMetrics, baseline: RunMetrics) -> tuple[float, dict[s
 
 def build_figure7(results: list[RunMetrics], configs: tuple[str, ...] | None = None) -> Figure7:
     """Attribute overhead cycles per (model, config), averaged over the suite."""
+    warn_unhalted(results, "Figure 7")
     baselines = {
         (m.attack_model, m.workload): m for m in results if m.config == "Unsafe"
     }

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
 from repro.common.config import AttackModel
-from repro.eval.report import geometric_mean, render_table
+from repro.eval.report import geometric_mean, render_table, warn_unhalted
 from repro.sim.api import RunMetrics
 from repro.sim.configs import SDO_CONFIG_NAMES, config_by_name
 
@@ -74,6 +74,7 @@ class Figure8:
 def build_figure8(
     results: list[RunMetrics], sdo_configs: tuple[str, ...]
 ) -> Figure8:
+    warn_unhalted(results, "Figure 8")
     baselines = {
         (m.attack_model, m.workload): m for m in results if m.config == "Unsafe"
     }

@@ -3,7 +3,36 @@
 from __future__ import annotations
 
 import io
-from typing import Sequence
+import sys
+from typing import Iterable, Sequence
+
+
+def warn_unhalted(results: Iterable[object], context: str) -> list[object]:
+    """Warn (stderr) about cells that exhausted their budget without halting.
+
+    Figures and tables happily average whatever metrics they are handed, but
+    a run that stopped at ``max_cycles``/``max_instructions`` measured a
+    truncated execution — its numbers are suspect and the reader must know.
+    Returns the offending metrics so callers can test the detection.
+    """
+    unhalted = [
+        m for m in results
+        if getattr(m, "termination", "halted") != "halted"
+    ]
+    if unhalted:
+        cells = ", ".join(
+            f"{m.workload}/{m.config} ({m.attack_model.value}: {m.termination})"
+            for m in unhalted[:5]
+        )
+        if len(unhalted) > 5:
+            cells += f", … {len(unhalted) - 5} more"
+        print(
+            f"warning: {context} includes {len(unhalted)} unhalted "
+            f"run(s) whose budgets ran out — their numbers reflect a "
+            f"truncated execution: {cells}",
+            file=sys.stderr,
+        )
+    return unhalted
 
 
 def render_table(

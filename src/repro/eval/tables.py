@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Sequence
 
 from repro.common.config import AttackModel, MachineConfig
-from repro.eval.report import render_table
+from repro.eval.report import render_table, warn_unhalted
 from repro.sim.api import RunMetrics
 from repro.sim.configs import EVALUATED_CONFIGS, SDO_CONFIG_NAMES, config_by_name
 
@@ -77,6 +77,7 @@ def table3_rows(results: list[RunMetrics]) -> list[list[object]]:
     Aggregated over all workloads that made at least one prediction
     (a workload with no tainted loads contributes no denominators).
     """
+    warn_unhalted(results, "Table III")
     sums: dict[tuple[str, AttackModel], dict[str, float]] = {}
     for metrics in results:
         total = metrics.stats.get("stt.sdo.predictions", 0)

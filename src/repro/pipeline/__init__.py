@@ -25,12 +25,20 @@ from repro.pipeline.protection import (
     ProtectionScheme,
     UnsafeProtection,
 )
-from repro.pipeline.core import Core, SimulationResult
+from repro.pipeline.core import (
+    Core,
+    DeadlockError,
+    HangDiagnostics,
+    SimulationHang,
+    SimulationResult,
+)
 
 __all__ = [
     "Core",
+    "DeadlockError",
     "DynInst",
     "FpIssueAction",
+    "HangDiagnostics",
     "IssueDecision",
     "LoadIssueAction",
     "LoadQueue",
@@ -38,6 +46,7 @@ __all__ = [
     "ProtectionScheme",
     "RenameMap",
     "ReorderBuffer",
+    "SimulationHang",
     "SimulationResult",
     "StoreQueue",
     "UnsafeProtection",

@@ -80,16 +80,87 @@ class DeadlockError(RuntimeError):
 
 
 @dataclass(frozen=True)
+class HangDiagnostics:
+    """Snapshot of a wedged machine, taken when the watchdog fires.
+
+    Everything a post-mortem needs without a debugger attached: where the
+    machine stopped, what the ROB head is and why it cannot commit, the
+    LSQ/event-heap state that would have to change for progress, and which
+    protection scheme was driving issue policy.
+    """
+
+    cycle: int
+    last_commit_cycle: int
+    hang_window: int
+    instructions: int
+    stall_reason: str | None
+    rob_head: str | None
+    rob_head_state: dict[str, object]
+    rob_occupancy: int
+    iq_occupancy: int
+    lq_occupancy: int
+    sq_occupancy: int
+    lq_blocked: dict[str, object]
+    event_heap_head: str | None
+    event_heap_size: int
+    fetch_state: dict[str, object]
+    protection: str
+
+    def as_dict(self) -> dict[str, object]:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    def __str__(self) -> str:
+        head = self.rob_head or "<empty ROB>"
+        return (
+            f"wedged at cycle {self.cycle} (no commit since "
+            f"{self.last_commit_cycle}, window {self.hang_window}); "
+            f"ROB head {head} blocked on {self.stall_reason!r}; "
+            f"event heap head {self.event_heap_head or '<empty>'}; "
+            f"protection {self.protection}"
+        )
+
+
+class SimulationHang(DeadlockError):
+    """The forward-progress watchdog fired: no commit for ``hang_window``
+    cycles.  Carries a :class:`HangDiagnostics` snapshot taken at the
+    moment the watchdog tripped (``.diagnostics``), so a hung sweep cell
+    reports *why* the machine wedged instead of silently spinning to the
+    cycle budget.  Subclasses :class:`DeadlockError` for compatibility.
+    """
+
+    def __init__(self, diagnostics: HangDiagnostics) -> None:
+        super().__init__(str(diagnostics))
+        self.diagnostics = diagnostics
+
+
+#: ``SimulationResult.termination`` values: a clean HALT commit, or which
+#: budget ran out first.  Anything but ``halted`` means the workload did not
+#: finish and derived figures are suspect.
+TERMINATION_HALTED = "halted"
+TERMINATION_MAX_CYCLES = "max_cycles"
+TERMINATION_MAX_INSTRUCTIONS = "max_instructions"
+
+
+@dataclass(frozen=True)
 class SimulationResult:
     """Summary of one simulation run."""
 
     cycles: int
     instructions: int
     stats: dict[str, float]
+    #: Why the run stopped: ``halted`` (clean), ``max_cycles`` or
+    #: ``max_instructions`` (budget exhausted without a HALT commit).
+    termination: str = TERMINATION_HALTED
 
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def halted(self) -> bool:
+        return self.termination == TERMINATION_HALTED
 
 
 class _ExecView:
@@ -182,6 +253,7 @@ class Core:
         self._events: list[tuple[int, int, str, DynInst]] = []
         self._event_tiebreak = 0
         self._last_commit_cycle = 0
+        self._hang_window = self.DEFAULT_HANG_WINDOW
 
         # Loads/FP ops under protection whose safe (C) event is pending.
         self._protected_watch: list[DynInst] = []
@@ -233,8 +305,33 @@ class Core:
     # Public API
     # ------------------------------------------------------------------ #
 
-    def run(self, max_instructions: int = 1_000_000, max_cycles: int = 10_000_000) -> SimulationResult:
-        """Simulate until HALT commits (or a limit is hit)."""
+    #: Default forward-progress window: cycles without a commit before the
+    #: watchdog raises :class:`SimulationHang`.  Far beyond any real stall
+    #: (a DRAM round trip is ~hundreds of cycles), far below the cycle
+    #: budget a wedged machine would otherwise silently spin to.
+    DEFAULT_HANG_WINDOW = 50_000
+
+    def run(
+        self,
+        max_instructions: int = 1_000_000,
+        max_cycles: int = 10_000_000,
+        hang_window: int | None = None,
+    ) -> SimulationResult:
+        """Simulate until HALT commits (or a limit is hit).
+
+        ``hang_window`` configures the forward-progress watchdog: if no
+        instruction commits for that many cycles the run aborts with a
+        :class:`SimulationHang` carrying a :class:`HangDiagnostics`
+        snapshot, instead of spinning to ``max_cycles``.  Exhausting a
+        budget (``max_cycles``/``max_instructions``) without a HALT is a
+        distinct, explicit outcome reported via
+        ``SimulationResult.termination``.
+        """
+        if hang_window is None:
+            hang_window = self.DEFAULT_HANG_WINDOW
+        if hang_window <= 0:
+            raise ValueError(f"hang_window must be positive, got {hang_window}")
+        self._hang_window = hang_window
         target = self.stats["instructions"] + max_instructions
         skipping = (
             self.fast_forward
@@ -247,11 +344,8 @@ class Core:
                 break
             if idle and skipping:
                 self._fast_forward(max_cycles)
-            if self.cycle - self._last_commit_cycle > 50_000:
-                raise DeadlockError(
-                    f"no commit since cycle {self._last_commit_cycle} "
-                    f"(now {self.cycle}); ROB head: {self.rob.head!r}"
-                )
+            if self.cycle - self._last_commit_cycle > hang_window:
+                raise SimulationHang(self._hang_diagnostics(hang_window))
         self._fold_cycle_accounting()
         merged = dict(self.stats.as_dict())
         merged.update(self.hierarchy.stats.as_dict())
@@ -260,10 +354,68 @@ class Core:
             merged.update(protection_stats.as_dict())
         merged.update(self.protection.decision_stats.as_dict(prefix="protection."))
         merged["core.bpred_mispredict_rate"] = self.bpred.mispredict_rate
+        if self.halted:
+            termination = TERMINATION_HALTED
+        elif self.stats["instructions"] >= target:
+            termination = TERMINATION_MAX_INSTRUCTIONS
+        else:
+            termination = TERMINATION_MAX_CYCLES
         return SimulationResult(
             cycles=self.cycle,
             instructions=self.stats["instructions"],
             stats=merged,
+            termination=termination,
+        )
+
+    def _hang_diagnostics(self, hang_window: int) -> HangDiagnostics:
+        """Snapshot everything a hang post-mortem needs (watchdog trip)."""
+        head = self.rob.head
+        head_state: dict[str, object] = {}
+        if head is not None:
+            head_state = {
+                "seq": head.seq,
+                "pc": head.pc,
+                "opcode": head.inst.opcode.mnemonic,
+                "state": head.state.value,
+                "obl_state": head.obl_state.name,
+                "safe": head.safe,
+                "pending_squash": head.pending_squash,
+                "needs_validation": head.needs_validation,
+                "validation_done": head.validation_done,
+                "delayed_cycles": head.delayed_cycles,
+                "resolution_pending": head.resolution_pending,
+            }
+        lq_blocked: dict[str, object] = {
+            "stores_awaiting_data": len(self._stores_awaiting_data),
+            "protected_watch": len(self._protected_watch),
+            "pending_resolutions": len(self._pending_resolutions),
+        }
+        heap_head = None
+        if self._events:
+            cycle, _, kind, uop = self._events[0]
+            heap_head = f"{kind}@{cycle} for {uop!r}"
+        return HangDiagnostics(
+            cycle=self.cycle,
+            last_commit_cycle=self._last_commit_cycle,
+            hang_window=hang_window,
+            instructions=int(self.stats["instructions"]),
+            stall_reason=self._stall_reason(),
+            rob_head=repr(head) if head is not None else None,
+            rob_head_state=head_state,
+            rob_occupancy=len(self.rob._entries),
+            iq_occupancy=len(self.iq),
+            lq_occupancy=len(self.lq._entries),
+            sq_occupancy=len(self.sq._entries),
+            lq_blocked=lq_blocked,
+            event_heap_head=heap_head,
+            event_heap_size=len(self._events),
+            fetch_state={
+                "fetch_pc": self.fetch_pc,
+                "fetch_halted": self._fetch_halted,
+                "fetch_resume_cycle": self._fetch_resume_cycle,
+                "decode_queue": len(self._decode_queue),
+            },
+            protection=type(self.protection).__name__,
         )
 
     def step(self) -> bool:
@@ -366,11 +518,11 @@ class Core:
         """
         wake = self._next_wake()
         # Never skip past where the naive loop would have stopped: the
-        # run() deadlock check fires once cycle reaches
-        # _last_commit_cycle + 50_001, and the while condition stops at
-        # max_cycles.  With no wake point at all the machine is wedged for
-        # good, so jumping straight to the deadline is exact too.
-        target = min(self._last_commit_cycle + 50_001, max_cycles)
+        # run() watchdog fires once cycle reaches
+        # _last_commit_cycle + hang_window + 1, and the while condition
+        # stops at max_cycles.  With no wake point at all the machine is
+        # wedged for good, so jumping straight to the deadline is exact too.
+        target = min(self._last_commit_cycle + self._hang_window + 1, max_cycles)
         if wake is not None and wake < target:
             target = wake
         span = target - self.cycle

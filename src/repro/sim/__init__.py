@@ -13,6 +13,13 @@ shims.
 """
 
 from repro.sim.api import (
+    FAILURE_BUDGET,
+    FAILURE_CANCELLED,
+    FAILURE_CRASH,
+    FAILURE_HANG,
+    FAILURE_KINDS,
+    FAILURE_TIMEOUT,
+    TRANSIENT_FAILURE_KINDS,
     Instrumentation,
     RunFailure,
     RunMetrics,
@@ -20,7 +27,7 @@ from repro.sim.api import (
     Session,
     execute,
 )
-from repro.sim.cache import ResultCache, cache_key
+from repro.sim.cache import ResultCache, SweepJournal, cache_key
 from repro.sim.configs import (
     EVALUATED_CONFIGS,
     SDO_CONFIG_NAMES,
@@ -28,17 +35,24 @@ from repro.sim.configs import (
     config_by_name,
     make_protection,
 )
-from repro.sim.engine import SweepEngine
+from repro.sim.engine import RetryPolicy, SweepEngine
 from repro.sim.events import JsonlEventLog, ProgressLine, RunEvent, read_events
 from repro.sim.runner import run_suite, run_workload
 
 __all__ = [
     "EVALUATED_CONFIGS",
     "EvaluatedConfig",
+    "FAILURE_BUDGET",
+    "FAILURE_CANCELLED",
+    "FAILURE_CRASH",
+    "FAILURE_HANG",
+    "FAILURE_KINDS",
+    "FAILURE_TIMEOUT",
     "Instrumentation",
     "JsonlEventLog",
     "ProgressLine",
     "ResultCache",
+    "RetryPolicy",
     "RunEvent",
     "RunFailure",
     "RunMetrics",
@@ -46,6 +60,8 @@ __all__ = [
     "SDO_CONFIG_NAMES",
     "Session",
     "SweepEngine",
+    "SweepJournal",
+    "TRANSIENT_FAILURE_KINDS",
     "cache_key",
     "config_by_name",
     "execute",

@@ -44,6 +44,25 @@ if TYPE_CHECKING:
 #: Default commit budget per run (the seed harness's historical default).
 DEFAULT_MAX_INSTRUCTIONS = 200_000
 
+#: The failure taxonomy (``RunFailure.kind``).  ``crash`` is any worker
+#: exception; ``hang`` is the core watchdog's :class:`SimulationHang`;
+#: ``timeout`` is a wall-clock kill by the sweep engine; ``budget-exhausted``
+#: is a run that hit its cycle/instruction budget without halting (only a
+#: failure when the engine is told to treat it as one); ``cancelled`` is a
+#: cell abandoned on SIGINT/SIGTERM before it ran.
+FAILURE_CRASH = "crash"
+FAILURE_HANG = "hang"
+FAILURE_TIMEOUT = "timeout"
+FAILURE_BUDGET = "budget-exhausted"
+FAILURE_CANCELLED = "cancelled"
+FAILURE_KINDS = frozenset(
+    {FAILURE_CRASH, FAILURE_HANG, FAILURE_TIMEOUT, FAILURE_BUDGET, FAILURE_CANCELLED}
+)
+#: Kinds worth retrying by default: a timeout or crash may be environmental
+#: (loaded host, OOM-killed worker); a hang or exhausted budget is a
+#: deterministic property of the simulation and will simply repeat.
+TRANSIENT_FAILURE_KINDS = frozenset({FAILURE_CRASH, FAILURE_TIMEOUT})
+
 
 @dataclass(frozen=True)
 class Instrumentation:
@@ -82,10 +101,19 @@ class RunMetrics:
     cycles: int
     instructions: int
     stats: dict[str, float] = field(repr=False, default_factory=dict)
+    #: Why the run stopped: ``halted`` (clean HALT commit), ``max_cycles``
+    #: or ``max_instructions`` (budget exhausted without halting).  Mirrors
+    #: ``SimulationResult.termination``; eval tables/figures warn when they
+    #: are fed unhalted cells.
+    termination: str = "halted"
 
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def halted(self) -> bool:
+        return self.termination == "halted"
 
     def normalized_to(self, baseline: "RunMetrics") -> float:
         """Execution time normalized to a baseline run (Figure 6's metric).
@@ -115,6 +143,7 @@ class RunMetrics:
             "cycles": self.cycles,
             "instructions": self.instructions,
             "stats": dict(self.stats),
+            "termination": self.termination,
         }
 
     @classmethod
@@ -126,6 +155,7 @@ class RunMetrics:
             cycles=int(payload["cycles"]),
             instructions=int(payload["instructions"]),
             stats=dict(payload["stats"]),
+            termination=payload.get("termination", "halted"),
         )
 
     @property
@@ -168,15 +198,23 @@ class RunRequest:
     #: (see ``repro.sim.cache.cache_key``) — it never changes the simulated
     #: outcome; instrumented runs bypass the cache entirely instead.
     instrumentation: Instrumentation | None = None
+    #: Forward-progress watchdog window in cycles (``None`` → the core's
+    #: default).  Also NOT part of the cache key: the watchdog can only
+    #: abort a wedged run, never change the metrics of one that completes.
+    hang_window: int | None = None
 
 
 @dataclass(frozen=True)
 class RunFailure:
-    """A run that raised instead of completing.
+    """A run that did not produce metrics.
 
-    The engine converts worker exceptions into these so one crashed cell
-    cannot kill a whole sweep; the traceback is captured as text because
-    exception objects do not reliably cross process boundaries.
+    The engine converts worker exceptions into these so one bad cell cannot
+    kill a whole sweep; the traceback is captured as text because exception
+    objects do not reliably cross process boundaries.  ``kind`` classifies
+    the failure (see :data:`FAILURE_KINDS`) so retry policies and
+    post-mortems can tell a wall-clock timeout from a simulator hang from a
+    plain crash; ``attempts`` counts how many executions were tried
+    (``> 1`` means retries were exhausted).
     """
 
     workload: str
@@ -185,11 +223,40 @@ class RunFailure:
     error_type: str
     message: str
     traceback: str = field(default="", repr=False)
+    kind: str = FAILURE_CRASH
+    attempts: int = 1
 
     def __str__(self) -> str:
+        tries = f" after {self.attempts} attempts" if self.attempts > 1 else ""
         return (
-            f"{self.workload}/{self.config} ({self.attack_model.value}): "
-            f"{self.error_type}: {self.message}"
+            f"{self.workload}/{self.config} ({self.attack_model.value}) "
+            f"[{self.kind}{tries}]: {self.error_type}: {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "attack_model": self.attack_model.value,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "kind": self.kind,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunFailure":
+        return cls(
+            workload=payload["workload"],
+            config=payload["config"],
+            attack_model=AttackModel(payload["attack_model"]),
+            error_type=payload["error_type"],
+            message=payload["message"],
+            traceback=payload.get("traceback", ""),
+            kind=payload.get("kind", FAILURE_CRASH),
+            attempts=int(payload.get("attempts", 1)),
         )
 
 
@@ -258,6 +325,7 @@ def execute(request: RunRequest) -> RunMetrics:
             result = core.run(
                 max_instructions=request.max_instructions,
                 max_cycles=request.workload.max_cycles,
+                hang_window=request.hang_window,
             )
     finally:
         if tracer is not None:
@@ -274,6 +342,7 @@ def execute(request: RunRequest) -> RunMetrics:
         cycles=result.cycles,
         instructions=result.instructions,
         stats=stats,
+        termination=result.termination,
     )
 
 
@@ -294,6 +363,24 @@ class Session:
         Cache root when ``cache=True`` (default ``.repro-cache/``).
     observers:
         Callables receiving every :class:`~repro.sim.events.RunEvent`.
+    timeout:
+        Per-run wall-clock budget in seconds; a run exceeding it has its
+        worker killed and becomes a ``timeout`` :class:`RunFailure`.
+    retries:
+        Extra attempts for transient failures — an int, or a full
+        :class:`~repro.sim.engine.RetryPolicy`.
+    journal:
+        Sweep journal for resumable runs — a path or a ready-made
+        :class:`~repro.sim.cache.SweepJournal`.  Terminal outcomes are
+        recorded as they settle.
+    resume:
+        Load the journal before running, replaying every recorded outcome
+        instead of re-executing its cell.  Requires ``journal``.
+    hang_window:
+        Default forward-progress watchdog window (cycles) for requests
+        built by this session; ``None`` keeps the core's default.
+    fail_on_unhalted:
+        Treat budget-exhausted runs as ``budget-exhausted`` failures.
     """
 
     def __init__(
@@ -306,14 +393,21 @@ class Session:
         observers: Iterable["EventObserver"] = (),
         check_golden: bool = True,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        timeout: float | None = None,
+        retries: "int | object | None" = None,
+        journal: "str | Path | object | None" = None,
+        resume: bool = False,
+        hang_window: int | None = None,
+        fail_on_unhalted: bool = False,
     ) -> None:
         # Imported lazily: engine/cache depend on the types defined above.
-        from repro.sim.cache import ResultCache
+        from repro.sim.cache import ResultCache, SweepJournal
         from repro.sim.engine import SweepEngine
 
         self.machine = machine or MachineConfig()
         self.check_golden = check_golden
         self.max_instructions = max_instructions
+        self.hang_window = hang_window
         if cache is True:
             self.cache: ResultCache | None = ResultCache(cache_dir or ".repro-cache")
         elif isinstance(cache, ResultCache):
@@ -321,10 +415,36 @@ class Session:
             self.cache = cache
         else:
             self.cache = None
-        self.engine = SweepEngine(jobs=jobs, cache=self.cache, observers=observers)
+        if isinstance(journal, (str, Path)):
+            journal = SweepJournal(journal)
+        if resume:
+            if journal is None:
+                raise ValueError("resume=True requires a journal")
+            journal.load()
+        self.journal = journal
+        self.engine = SweepEngine(
+            jobs=jobs,
+            cache=self.cache,
+            observers=observers,
+            timeout=timeout,
+            retry=retries,
+            journal=journal,
+            fail_on_unhalted=fail_on_unhalted,
+        )
 
     def add_observer(self, observer: "EventObserver") -> None:
         self.engine.add_observer(observer)
+
+    def close(self) -> None:
+        """Release session resources (currently: seal the sweep journal)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     def request(
         self,
@@ -336,6 +456,7 @@ class Session:
         check_golden: bool | None = None,
         max_instructions: int | None = None,
         instrumentation: Instrumentation | None = None,
+        hang_window: int | None = None,
     ) -> RunRequest:
         """Build a request against the session's defaults.  ``config`` and
         ``attack_model`` accept their string names for convenience."""
@@ -355,6 +476,7 @@ class Session:
                 self.max_instructions if max_instructions is None else max_instructions
             ),
             instrumentation=instrumentation,
+            hang_window=self.hang_window if hang_window is None else hang_window,
         )
 
     def run(

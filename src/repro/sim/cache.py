@@ -24,10 +24,19 @@ import os
 import tempfile
 from pathlib import Path
 
-from repro.sim.api import RunMetrics, RunRequest, _rebrand
+from repro.sim.api import (
+    FAILURE_CANCELLED,
+    RunFailure,
+    RunMetrics,
+    RunOutcome,
+    RunRequest,
+    _rebrand,
+)
 
 #: Bump when RunMetrics serialization or simulator timing semantics change.
-SCHEMA_VERSION = 1
+#: v2: RunMetrics gained ``termination`` (halted / max_cycles /
+#: max_instructions) — v1 entries cannot say whether the run halted.
+SCHEMA_VERSION = 2
 
 
 def _canonical(obj: object) -> object:
@@ -142,3 +151,91 @@ class ResultCache:
                 entry.unlink(missing_ok=True)
                 removed += 1
         return removed
+
+
+class SweepJournal:
+    """Append-only JSONL record of a sweep's terminal outcomes, for resume.
+
+    One JSON object per line::
+
+        {"key": "<cache_key>", "kind": "metrics", "payload": {...RunMetrics...}}
+        {"key": "<cache_key>", "kind": "failure", "payload": {...RunFailure...}}
+
+    The journal is keyed by :func:`cache_key`, so it survives request
+    reordering and workload renames exactly like the result cache.  After a
+    crash or SIGINT, re-running the sweep with the journal loaded
+    (``python -m repro sweep --resume``) replays every recorded outcome
+    without re-executing its cell.  Failures are journalled too — the
+    simulation is deterministic, so a recorded hang/crash would simply
+    repeat — **except** ``cancelled`` cells, which never ran and must run
+    on resume.
+
+    Unlike the result cache the journal also records failures and works when
+    caching is disabled, which is what makes interrupted ``--no-cache``
+    sweeps resumable.  Corrupt or truncated trailing lines (a crash
+    mid-write) are skipped, not fatal.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, RunOutcome] = {}
+        self._fh = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def load(self) -> int:
+        """Read previously journalled outcomes; returns how many loaded."""
+        if not self.path.exists():
+            return 0
+        loaded = 0
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    if record["kind"] == "metrics":
+                        outcome: RunOutcome = RunMetrics.from_dict(record["payload"])
+                    elif record["kind"] == "failure":
+                        outcome = RunFailure.from_dict(record["payload"])
+                    else:
+                        continue
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn trailing line from a crash mid-write
+                self._entries[key] = outcome
+                loaded += 1
+        return loaded
+
+    def get(self, key: str) -> RunOutcome | None:
+        return self._entries.get(key)
+
+    def record(self, key: str, outcome: RunOutcome) -> None:
+        """Journal one terminal outcome (idempotent per key)."""
+        if key in self._entries:
+            return
+        if isinstance(outcome, RunFailure):
+            if outcome.kind == FAILURE_CANCELLED:
+                return  # never ran; must run on resume
+            record = {"key": key, "kind": "failure", "payload": outcome.to_dict()}
+        else:
+            record = {"key": key, "kind": "metrics", "payload": outcome.to_dict()}
+        self._entries[key] = outcome
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -20,15 +20,22 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Protocol, TextIO, runtime_checkable
 
-#: The five lifecycle stages, in the order a single run can traverse them.
+#: The lifecycle stages, in the order a single run can traverse them.
+#: ``queued → (cache_hit | cancelled | started → [timed_out → retrying →
+#: started …] → (finished | failed | cancelled))``.  ``timed_out`` marks a
+#: wall-clock kill and ``retrying`` a scheduled re-execution; both are
+#: informational — the run still ends in exactly one terminal event.
 QUEUED = "queued"
 CACHE_HIT = "cache_hit"
 STARTED = "started"
 FINISHED = "finished"
 FAILED = "failed"
+TIMED_OUT = "timed_out"
+RETRYING = "retrying"
+CANCELLED = "cancelled"
 
 #: Events that terminate a run (exactly one is emitted per request).
-TERMINAL_EVENTS = frozenset({CACHE_HIT, FINISHED, FAILED})
+TERMINAL_EVENTS = frozenset({CACHE_HIT, FINISHED, FAILED, CANCELLED})
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,11 @@ class RunEvent:
     cycles: int | None = None
     instructions: int | None = None
     error: str | None = None
+    #: ``RunFailure.kind`` taxonomy value on ``failed``/``timed_out``/
+    #: ``retrying``/``cancelled`` events.
+    failure_kind: str | None = None
+    #: 1-based execution attempt, present once a cell has been retried.
+    attempt: int | None = None
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready dict; ``None`` fields are dropped."""
@@ -84,7 +96,12 @@ class ProgressLine:
     stderr by default so piped stdout stays machine-readable.
     """
 
-    _TAGS = {CACHE_HIT: "cached", FINISHED: "ok", FAILED: "FAILED"}
+    _TAGS = {
+        CACHE_HIT: "cached",
+        FINISHED: "ok",
+        FAILED: "FAILED",
+        CANCELLED: "cancel",
+    }
 
     def __init__(self, stream: TextIO | None = None) -> None:
         self.stream = stream if stream is not None else sys.stderr
@@ -92,11 +109,16 @@ class ProgressLine:
         self.done = 0
         self.failures = 0
         self.cache_hits = 0
+        self.cancelled = 0
+        self.retries = 0
         self._started = time.time()
 
     def __call__(self, event: RunEvent) -> None:
         if event.kind == QUEUED:
             self.total += 1
+            return
+        if event.kind == RETRYING:
+            self.retries += 1
             return
         if event.kind not in TERMINAL_EVENTS:
             return
@@ -105,6 +127,8 @@ class ProgressLine:
             self.failures += 1
         elif event.kind == CACHE_HIT:
             self.cache_hits += 1
+        elif event.kind == CANCELLED:
+            self.cancelled += 1
         elapsed = time.time() - self._started
         self.stream.write(
             f"\r[{self.done:4d}/{self.total}] {elapsed:6.0f}s  "
@@ -112,11 +136,17 @@ class ProgressLine:
             f"{self._TAGS[event.kind]:6s}"
         )
         if self.done >= self.total:
-            self.stream.write(
-                f"\n({self.cache_hits} cached, {self.failures} failed)\n"
-                if (self.cache_hits or self.failures)
-                else "\n"
-            )
+            tallies = [
+                text
+                for count, text in (
+                    (self.cache_hits, f"{self.cache_hits} cached"),
+                    (self.failures, f"{self.failures} failed"),
+                    (self.cancelled, f"{self.cancelled} cancelled"),
+                    (self.retries, f"{self.retries} retries"),
+                )
+                if count
+            ]
+            self.stream.write(f"\n({', '.join(tallies)})\n" if tallies else "\n")
         self.stream.flush()
 
 

@@ -86,7 +86,9 @@ def run_suite(
     observers = []
     if progress is not None:
         def adapter(event) -> None:
-            if event.kind == "started":
+            # attempt is set on retry re-dispatches; the legacy callback
+            # expects exactly one call per cell.
+            if event.kind == "started" and event.attempt is None:
                 progress(event.workload, event.config, AttackModel(event.model))
         observers.append(adapter)
     session = Session(

@@ -1,0 +1,11 @@
+"""Test support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+the CI suite uses to exercise the sweep engine's fault tolerance (crashes,
+hangs, slow runs, retry-then-succeed flakiness) without ever relying on a
+real bug.
+"""
+
+from repro.testing.faults import FaultPlan, FaultSpec, InjectedCrash, inject
+
+__all__ = ["FaultPlan", "FaultSpec", "InjectedCrash", "inject"]

@@ -1,0 +1,54 @@
+"""Eval outputs must flag cells whose runs never halted — their numbers
+describe a truncated execution."""
+
+from repro.common.config import AttackModel
+from repro.eval.figure6 import build_figure6
+from repro.eval.report import warn_unhalted
+from repro.sim.api import RunMetrics
+
+
+def metrics(workload, config, termination="halted", cycles=1000):
+    return RunMetrics(
+        workload=workload,
+        config=config,
+        attack_model=AttackModel.SPECTRE,
+        cycles=cycles,
+        instructions=500,
+        stats={},
+        termination=termination,
+    )
+
+
+class TestWarnUnhalted:
+    def test_silent_when_all_halted(self, capsys):
+        assert warn_unhalted([metrics("w", "Unsafe")], "Figure X") == []
+        assert capsys.readouterr().err == ""
+
+    def test_reports_offending_cells(self, capsys):
+        results = [
+            metrics("good", "Unsafe"),
+            metrics("capped", "Hybrid", termination="max_cycles"),
+        ]
+        offenders = warn_unhalted(results, "Figure X")
+        assert [m.workload for m in offenders] == ["capped"]
+        err = capsys.readouterr().err
+        assert "Figure X" in err
+        assert "capped/Hybrid" in err and "max_cycles" in err
+
+    def test_truncates_long_offender_lists(self, capsys):
+        results = [
+            metrics(f"w{i}", "Hybrid", termination="max_instructions")
+            for i in range(8)
+        ]
+        assert len(warn_unhalted(results, "Figure X")) == 8
+        err = capsys.readouterr().err
+        assert "… 3 more" in err
+
+    def test_figure6_warns_but_still_builds(self, capsys):
+        results = [
+            metrics("w", "Unsafe", cycles=1000),
+            metrics("w", "Hybrid", termination="max_cycles", cycles=1500),
+        ]
+        figure = build_figure6(results)
+        assert figure.data[AttackModel.SPECTRE]["Hybrid"]["w"] == 1.5
+        assert "unhalted" in capsys.readouterr().err

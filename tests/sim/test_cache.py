@@ -1,12 +1,15 @@
-"""Tests for the content-addressed on-disk result cache."""
+"""Tests for the content-addressed on-disk result cache and the sweep
+journal that makes interrupted sweeps resumable."""
 
 import dataclasses
 import json
+import multiprocessing
 
+import pytest
 
 from repro.common.config import AttackModel, MachineConfig
-from repro.sim.api import RunMetrics, RunRequest
-from repro.sim.cache import ResultCache, cache_key
+from repro.sim.api import FAILURE_CANCELLED, RunFailure, RunMetrics, RunRequest
+from repro.sim.cache import ResultCache, SweepJournal, cache_key
 from repro.sim.configs import config_by_name
 from repro.workloads import make_indirect_stream
 from repro.workloads.workload import Workload
@@ -176,3 +179,142 @@ class TestResultCache:
         )
         cache.put(request, stored)
         assert cache.get(request) == stored
+
+
+class TestConcurrentWriters:
+    def test_put_stages_tempfile_next_to_the_entry(self, tmp_path, monkeypatch):
+        """Atomicity of ``put`` rests on ``os.replace``, which is only
+        atomic within one filesystem — so the tempfile must be created in
+        the entry's own directory, never in some global /tmp."""
+        import tempfile as tempfile_module
+
+        seen_dirs = []
+        real_mkstemp = tempfile_module.mkstemp
+
+        def spying_mkstemp(*args, **kwargs):
+            seen_dirs.append(kwargs.get("dir"))
+            return real_mkstemp(*args, **kwargs)
+
+        monkeypatch.setattr(tempfile_module, "mkstemp", spying_mkstemp)
+        cache = ResultCache(tmp_path)
+        request = make_request()
+        path = cache.put(request, metrics_for(request))
+        assert seen_dirs == [path.parent]
+
+    def test_racing_writers_never_produce_a_torn_entry(self, tmp_path):
+        """Two processes hammering the same key: every read observes either
+        a miss or one writer's complete entry, never a mixture."""
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("stress test forks writer processes")
+        ctx = multiprocessing.get_context("fork")
+        cache = ResultCache(tmp_path)
+        request = make_request()
+        rounds = 50
+
+        def hammer(cycles_value):
+            for _ in range(rounds):
+                cache.put(request, metrics_for(request, cycles=cycles_value))
+
+        writers = [
+            ctx.Process(target=hammer, args=(cycles,)) for cycles in (111, 222)
+        ]
+        for writer in writers:
+            writer.start()
+        valid_cycles = {111, 222}
+        observed = set()
+        try:
+            while any(w.is_alive() for w in writers):
+                loaded = cache.get(request)
+                if loaded is not None:
+                    assert loaded.cycles in valid_cycles, "torn cache entry"
+                    observed.add(loaded.cycles)
+        finally:
+            for writer in writers:
+                writer.join(timeout=30)
+        assert all(w.exitcode == 0 for w in writers)
+        final = cache.get(request)
+        assert final is not None and final.cycles in valid_cycles
+        assert len(cache) == 1, "one key must map to exactly one entry file"
+
+
+def failure_for(request: RunRequest, kind="crash") -> RunFailure:
+    return RunFailure(
+        workload=request.workload.name,
+        config=request.config.name,
+        attack_model=request.attack_model,
+        error_type="RuntimeError",
+        message="boom",
+        traceback="Traceback...\n",
+        kind=kind,
+        attempts=2,
+    )
+
+
+class TestSweepJournal:
+    def test_round_trip_metrics_and_failures(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        request = make_request()
+        metrics = metrics_for(request)
+        failure = failure_for(request)
+        with SweepJournal(path) as journal:
+            journal.record("key-metrics", metrics)
+            journal.record("key-failure", failure)
+        loaded = SweepJournal(path)
+        assert loaded.load() == 2
+        assert loaded.get("key-metrics") == metrics
+        assert loaded.get("key-failure") == failure
+        assert loaded.get("missing") is None
+
+    def test_record_is_idempotent_per_key(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        request = make_request()
+        with SweepJournal(path) as journal:
+            journal.record("k", metrics_for(request, cycles=1))
+            journal.record("k", metrics_for(request, cycles=2))
+        assert len(path.read_text().splitlines()) == 1
+        loaded = SweepJournal(path)
+        loaded.load()
+        assert loaded.get("k").cycles == 1
+
+    def test_cancelled_outcomes_are_never_journalled(self, tmp_path):
+        """A cancelled cell never ran — journalling it would make --resume
+        skip work that still needs doing."""
+        path = tmp_path / "sweep.journal"
+        request = make_request()
+        with SweepJournal(path) as journal:
+            journal.record("k", failure_for(request, kind=FAILURE_CANCELLED))
+        assert not path.exists()
+        assert SweepJournal(path).load() == 0
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        """A crash mid-write leaves a truncated last line; resume must keep
+        every complete record and silently drop the torn one."""
+        path = tmp_path / "sweep.journal"
+        request = make_request()
+        with SweepJournal(path) as journal:
+            journal.record("good", metrics_for(request))
+        with path.open("a") as fh:
+            fh.write('{"key": "torn", "kind": "metr')  # crash mid-write
+        loaded = SweepJournal(path)
+        assert loaded.load() == 1
+        assert loaded.get("good") is not None
+        assert loaded.get("torn") is None
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        journal = SweepJournal(tmp_path / "nope.journal")
+        assert journal.load() == 0
+        assert len(journal) == 0
+
+    def test_resumed_journal_appends(self, tmp_path):
+        """Loading then recording must append to the existing file, not
+        truncate it — that is the whole point of the journal."""
+        path = tmp_path / "sweep.journal"
+        request = make_request()
+        with SweepJournal(path) as journal:
+            journal.record("first", metrics_for(request, cycles=1))
+        resumed = SweepJournal(path)
+        resumed.load()
+        resumed.record("second", metrics_for(request, cycles=2))
+        resumed.close()
+        final = SweepJournal(path)
+        assert final.load() == 2

@@ -1,9 +1,11 @@
 """Tests for the run-lifecycle event stream: JSONL round-trip and
-observer-exception isolation."""
+observer-exception isolation — plus :class:`RunFailure` serialization,
+which rides the same JSONL formats (sweep journal, event log)."""
 
 import pytest
 
-from repro.sim.api import RunFailure, Session
+from repro.common.config import AttackModel
+from repro.sim.api import FAILURE_TIMEOUT, RunFailure, Session
 from repro.sim.events import (
     FAILED,
     FINISHED,
@@ -128,3 +130,62 @@ class TestCrashSafety:
         log.close()
         log(RunEvent(kind=FINISHED, index=0, workload="w", config="c", model="m"))
         assert [e.kind for e in read_events(path)] == [QUEUED]
+
+
+class TestRunFailureSerialization:
+    def make_failure(self, **overrides):
+        params = dict(
+            workload="mcf_like",
+            config="Hybrid",
+            attack_model=AttackModel.FUTURISTIC,
+            error_type="TimeoutError",
+            message="run exceeded the 30s wall-clock timeout",
+            traceback="Traceback (most recent call last):\n  boom\n",
+            kind=FAILURE_TIMEOUT,
+            attempts=3,
+        )
+        params.update(overrides)
+        return RunFailure(**params)
+
+    def test_dict_round_trip_is_identity(self):
+        failure = self.make_failure()
+        assert RunFailure.from_dict(failure.to_dict()) == failure
+
+    def test_round_trip_preserves_traceback_kind_and_attempts(self):
+        import json
+
+        failure = self.make_failure()
+        # Through actual JSON, as the sweep journal stores it.
+        loaded = RunFailure.from_dict(json.loads(json.dumps(failure.to_dict())))
+        assert loaded.traceback == failure.traceback
+        assert loaded.kind == FAILURE_TIMEOUT
+        assert loaded.attempts == 3
+        assert loaded.attack_model is AttackModel.FUTURISTIC
+
+    def test_from_dict_tolerates_legacy_payloads(self):
+        """Journals written before kind/attempts existed must still load."""
+        payload = self.make_failure().to_dict()
+        for legacy_missing in ("traceback", "kind", "attempts"):
+            payload.pop(legacy_missing)
+        loaded = RunFailure.from_dict(payload)
+        assert loaded.traceback == ""
+        assert loaded.kind == "crash"
+        assert loaded.attempts == 1
+
+    def test_failure_event_survives_jsonl_round_trip(self, tmp_path):
+        """The new failure_kind/attempt event fields must survive the
+        event-log write/read cycle like every other field."""
+        path = tmp_path / "log.jsonl"
+        event = RunEvent(
+            kind=FAILED, index=4, workload="w", config="c", model="spectre",
+            wall_time=2.5, error="TimeoutError: too slow",
+            failure_kind=FAILURE_TIMEOUT, attempt=2,
+        )
+        with JsonlEventLog(path) as log:
+            log(event)
+        assert read_events(path) == [event]
+
+    def test_str_mentions_kind_and_attempts(self):
+        text = str(self.make_failure())
+        assert "[timeout after 3 attempts]" in text
+        assert "mcf_like/Hybrid" in text
