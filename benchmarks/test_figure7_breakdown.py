@@ -48,7 +48,7 @@ class TestFigure7Shape:
     def test_validation_and_tlb_are_minor(self, figure7, model):
         """'Validation stall and TLB/virtual memory protection constitute a
         small portion of the overhead.'"""
-        for config, parts in figure7.data[model].items():
+        for parts in figure7.data[model].values():
             assert parts["validation stall"] + parts["TLB protection"] < 0.5
 
     @pytest.mark.parametrize("model", MODELS)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Prove the sdolint CI gate actually fires.
+
+A lint gate that silently passes everything is worse than no gate, so CI
+runs this script alongside ``repro lint``.  It checks both directions:
+
+1. The pristine tree passes (exit 0) — the committed baseline covers every
+   known finding.
+2. A copy of the tree with a deliberately injected data-dependent-timing
+   violation in the DO-variant code FAILS (exit 1) and names the
+   ``oblivious-timing`` checker — the taint analysis is alive, not
+   vacuously green.
+
+Usage:
+
+    python scripts/check_sdolint_gate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Appended to a copy of ``src/repro/core/sdo.py``: a helper whose reserved
+#: latency is computed from the (secret-dependent) speculative result — the
+#: exact violation class Definition 2 forbids and the taint lattice exists
+#: to catch.
+INJECTED_VIOLATION = '''
+
+def oblivious_fast_path(op, port):
+    """Injected by scripts/check_sdolint_gate.py — must be flagged."""
+    port.reserve(latency=op.presult)
+'''
+
+
+def run_lint(root: Path) -> tuple[int, dict]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "lint",
+            "--root",
+            str(root),
+            "--format",
+            "json",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    try:
+        payload = json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(
+            f"repro lint produced no JSON (exit {proc.returncode})"
+        ) from None
+    return proc.returncode, payload
+
+
+def check_pristine() -> None:
+    code, payload = run_lint(REPO_ROOT)
+    if code != 0 or payload["gating"]:
+        for finding in payload["new"]:
+            print(f"  {finding['path']}:{finding['line']}: {finding['message']}")
+        raise SystemExit("FAIL: pristine tree does not pass `repro lint`")
+    print("ok: pristine tree passes the gate")
+
+
+def check_injected_violation() -> None:
+    with tempfile.TemporaryDirectory(prefix="sdolint-gate-") as tmp:
+        tmp_root = Path(tmp)
+        shutil.copytree(
+            REPO_ROOT / "src" / "repro",
+            tmp_root / "src" / "repro",
+            ignore=shutil.ignore_patterns("__pycache__"),
+        )
+        shutil.copy(REPO_ROOT / "sdolint-baseline.json", tmp_root)
+        target = tmp_root / "src" / "repro" / "core" / "sdo.py"
+        target.write_text(target.read_text() + INJECTED_VIOLATION)
+
+        code, payload = run_lint(tmp_root)
+        flagged = [
+            finding
+            for finding in payload["new"]
+            if finding["checker"] == "oblivious-timing"
+            and finding["path"].endswith("core/sdo.py")
+        ]
+        if code != 1 or not flagged:
+            raise SystemExit(
+                "FAIL: the gate did NOT flag an injected data-dependent "
+                f"latency (exit {code}, oblivious-timing findings: "
+                f"{len(flagged)})"
+            )
+    print("ok: injected data-dependent latency is flagged and gates (exit 1)")
+
+
+def main() -> None:
+    check_pristine()
+    check_injected_violation()
+    print("sdolint gate validation passed")
+
+
+if __name__ == "__main__":
+    main()

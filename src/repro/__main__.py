@@ -12,6 +12,9 @@ Commands:
                  (``--timeout``), retries for transient failures
                  (``--retries``), and resumable runs
                  (``--journal`` + ``--resume``)
+* ``lint``     — run the sdolint invariant checkers (oblivious-timing,
+                 stat-key, determinism, cache-schema, event-schema)
+                 against the committed ratchet baseline
 """
 
 from __future__ import annotations
@@ -301,9 +304,20 @@ def main(argv=None) -> int:
     )
     _add_engine_options(sweep)
 
+    from repro.lint.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint", help="run the sdolint invariant checkers (ratcheted gate)"
+    )
+    add_lint_arguments(lint)
+
     args = parser.parse_args(argv)
     if getattr(args, "resume", False) and not getattr(args, "journal", None):
         parser.error("--resume requires --journal FILE")
+    if args.command == "lint":
+        from repro.lint.cli import run_lint_command
+
+        return run_lint_command(args)
     handlers = {
         "info": _cmd_info,
         "spectre": _cmd_spectre,

@@ -50,7 +50,7 @@ class Figure8:
         ys = [p.normalized_time for p in pts]
         n = len(pts)
         mean_x, mean_y = sum(xs) / n, sum(ys) / n
-        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys, strict=True))
         var_x = sum((x - mean_x) ** 2 for x in xs)
         var_y = sum((y - mean_y) ** 2 for y in ys)
         if var_x == 0 or var_y == 0:

@@ -55,7 +55,9 @@ def render_table(
             widths[index] = max(widths[index], len(cell))
 
     def line(cells: Sequence[str]) -> str:
-        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+        return "  ".join(
+            cell.ljust(width) for cell, width in zip(cells, widths, strict=True)
+        ).rstrip()
 
     out = io.StringIO()
     if title:

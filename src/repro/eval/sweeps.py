@@ -133,7 +133,7 @@ def sweep(
         baseline = chunk[0]
         row_raw: dict[str, RunMetrics] = {"Unsafe": baseline}
         row: dict[str, float] = {}
-        for name, run in zip(config_names, chunk[1:]):
+        for name, run in zip(config_names, chunk[1:], strict=True):
             row[name] = run.normalized_to(baseline)
             row_raw[name] = run
         table[variant.name] = row

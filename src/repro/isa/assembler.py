@@ -144,7 +144,7 @@ def assemble(
         rd = rs1 = rs2 = target = None
         imm: int | float = 0
         sources: list[int] = []
-        for kind, token in zip(signature, operands):
+        for kind, token in zip(signature, operands, strict=True):
             if kind == "d":
                 rd = _parse_reg(token, line_no)
             elif kind == "s":

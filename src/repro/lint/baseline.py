@@ -1,0 +1,79 @@
+"""Ratchet baseline: known findings that don't fail the gate (yet).
+
+The baseline is a committed JSON file mapping finding fingerprints to a
+snapshot of the finding (for human review).  Runs partition findings into
+
+* **new** — not in the baseline: these fail CI;
+* **baselined** — matched an entry: reported only with ``--show-baselined``;
+* **stale** — baseline entries nothing matched any more: a warning nudging
+  the author to re-ratchet with ``repro lint --write-baseline``.
+
+Ratcheting down (fixing a baselined finding and re-writing the baseline) is
+the intended workflow; ratcheting up requires deliberately re-running
+``--write-baseline`` with the violation in place, which reviewers can see in
+the diff.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+BASELINE_NAME = "sdolint-baseline.json"
+
+
+@dataclass
+class BaselineDiff:
+    """Partition of a run's findings against the baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)  # fingerprints
+
+
+class Baseline:
+    """Committed set of accepted finding fingerprints."""
+
+    def __init__(self, entries: dict[str, dict[str, object]] | None = None) -> None:
+        self.entries: dict[str, dict[str, object]] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text())
+        return cls(payload.get("findings", {}))
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries = {f.fingerprint: f.to_dict() for f in findings}
+        for entry in entries.values():
+            entry.pop("fingerprint", None)
+        return cls(entries)
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "comment": (
+                "sdolint ratchet baseline: findings listed here do not fail the "
+                "gate.  Regenerate with `repro lint --write-baseline`; entries "
+                "should only ever be removed."
+            ),
+            "findings": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    def diff(self, findings: list[Finding]) -> BaselineDiff:
+        result = BaselineDiff()
+        seen: set[str] = set()
+        for finding in findings:
+            fp = finding.fingerprint
+            if fp in self.entries:
+                result.baselined.append(finding)
+                seen.add(fp)
+            else:
+                result.new.append(finding)
+        result.stale = sorted(set(self.entries) - seen)
+        return result

@@ -1,0 +1,253 @@
+"""``cache-schema``: result-cache keys must not drift silently.
+
+:func:`repro.sim.cache.cache_key` hashes a :class:`RunRequest` into a
+content address, and ``SCHEMA_VERSION`` is the only thing standing between
+an edited dataclass and *stale cache entries served as fresh results*:
+adding a timing-relevant config field changes simulated behaviour but — if
+the field has a default — old requests hash differently only when callers
+set it, so results cached before the change can shadow new semantics.
+
+This checker pins the serialized surface in a committed fingerprint
+(``src/repro/lint/data/cache_schema.json``): the ``SCHEMA_VERSION`` value,
+the ``cache_key`` material keys, and the compare-relevant field list of
+every dataclass reachable from the key (mirroring ``_canonical``, which
+skips ``compare=False`` fields).  Any drift without a version bump is an
+error; after a legitimate bump the fingerprint is refreshed with
+``repro lint --update-fingerprints``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.context import LintContext
+from repro.lint.findings import ERROR, Finding
+
+CHECKER_ID = "cache-schema"
+
+FINGERPRINT_FILE = "src/repro/lint/data/cache_schema.json"
+CACHE_MODULE = "src/repro/sim/cache.py"
+
+#: Dataclasses whose serialized field set feeds the cache key (directly as
+#: ``cache_key`` material or transitively through ``_canonical``), plus
+#: ``RunMetrics`` — its serialization is what the cache *stores*, and the
+#: ``SCHEMA_VERSION`` docstring explicitly covers it.  ``None`` = every
+#: dataclass in the module.
+FINGERPRINTED = {
+    "src/repro/sim/api.py": {"RunRequest", "RunMetrics"},
+    "src/repro/common/config.py": None,
+    "src/repro/sim/configs.py": {"EvaluatedConfig"},
+    "src/repro/isa/instructions.py": {"Instruction"},
+    "src/repro/isa/program.py": {"Program"},
+    "src/repro/workloads/workload.py": {"Workload"},
+}
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+    return False
+
+
+def _compare_excluded(value: ast.expr | None) -> bool:
+    """Is this field declared with ``field(..., compare=False)``?"""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+    if name != "field":
+        return False
+    for keyword in value.keywords:
+        if (
+            keyword.arg == "compare"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is False
+        ):
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[str]:
+    fields: list[str] = []
+    for item in node.body:
+        if not isinstance(item, ast.AnnAssign) or not isinstance(item.target, ast.Name):
+            continue
+        annotation = item.annotation
+        base = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+        if isinstance(base, ast.Name) and base.id == "ClassVar":
+            continue
+        if _compare_excluded(item.value):
+            continue
+        fields.append(item.target.id)
+    return fields
+
+
+def compute_fingerprint(
+    ctx: LintContext,
+) -> tuple[dict[str, object], dict[str, int]]:
+    """Return ``(fingerprint, locations)``.
+
+    The fingerprint is the committed, line-free structure; ``locations``
+    maps each fingerprinted unit to a current line number for findings.
+    """
+    fingerprint: dict[str, object] = {
+        "schema_version": None,
+        "cache_key_material": [],
+        "dataclasses": {},
+    }
+    locations: dict[str, int] = {}
+
+    cache = ctx.file(CACHE_MODULE)
+    if cache is not None:
+        for node in cache.tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "SCHEMA_VERSION"
+                and isinstance(node.value, ast.Constant)
+            ):
+                fingerprint["schema_version"] = node.value.value
+                locations["SCHEMA_VERSION"] = node.lineno
+            elif isinstance(node, ast.FunctionDef) and node.name == "cache_key":
+                locations["cache_key"] = node.lineno
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Dict):
+                        keys = [
+                            k.value
+                            for k in sub.keys
+                            if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                        ]
+                        if "schema" in keys:
+                            fingerprint["cache_key_material"] = sorted(keys)
+                        break
+
+    classes: dict[str, list[str]] = {}
+    for rel, wanted in FINGERPRINTED.items():
+        source = ctx.file(rel)
+        if source is None:
+            continue
+        for node in source.tree.body:
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            if wanted is not None and node.name not in wanted:
+                continue
+            unit = f"{rel}::{node.name}"
+            classes[unit] = _dataclass_fields(node)
+            locations[unit] = node.lineno
+    fingerprint["dataclasses"] = dict(sorted(classes.items()))
+    return fingerprint, locations
+
+
+def write_fingerprint(ctx: LintContext) -> Path:
+    """``repro lint --update-fingerprints``: refresh the committed pin."""
+    fingerprint, _ = compute_fingerprint(ctx)
+    path = ctx.root / FINGERPRINT_FILE
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "comment": (
+            "Pinned cache-key schema surface; regenerate with "
+            "`repro lint --update-fingerprints` AFTER bumping SCHEMA_VERSION "
+            "in src/repro/sim/cache.py."
+        ),
+    }
+    payload.update(fingerprint)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def run(ctx: LintContext) -> Iterator[Finding]:
+    current, locations = compute_fingerprint(ctx)
+    pin_path = ctx.root / FINGERPRINT_FILE
+    if not pin_path.exists():
+        yield Finding(
+            path=FINGERPRINT_FILE,
+            line=0,
+            checker=CHECKER_ID,
+            message=(
+                "cache-schema fingerprint file is missing — generate it "
+                "with `repro lint --update-fingerprints`"
+            ),
+            severity=ERROR,
+        )
+        return
+    stored_payload = json.loads(pin_path.read_text())
+    stored = {
+        "schema_version": stored_payload.get("schema_version"),
+        "cache_key_material": stored_payload.get("cache_key_material", []),
+        "dataclasses": stored_payload.get("dataclasses", {}),
+    }
+    if current == stored:
+        return
+
+    if current["schema_version"] != stored["schema_version"]:
+        yield Finding(
+            path=CACHE_MODULE,
+            line=locations.get("SCHEMA_VERSION", 0),
+            checker=CHECKER_ID,
+            message=(
+                f"SCHEMA_VERSION is {current['schema_version']} but the "
+                f"committed fingerprint pins {stored['schema_version']} — "
+                "refresh it with `repro lint --update-fingerprints`"
+            ),
+            severity=ERROR,
+        )
+        return
+
+    if current["cache_key_material"] != stored["cache_key_material"]:
+        added = sorted(set(current["cache_key_material"]) - set(stored["cache_key_material"]))
+        removed = sorted(set(stored["cache_key_material"]) - set(current["cache_key_material"]))
+        yield Finding(
+            path=CACHE_MODULE,
+            line=locations.get("cache_key", 0),
+            checker=CHECKER_ID,
+            message=(
+                "cache_key material changed without a SCHEMA_VERSION bump "
+                f"(added {added!r}, removed {removed!r}) — old cache entries "
+                "would collide with the new semantics; bump SCHEMA_VERSION "
+                "then run `repro lint --update-fingerprints`"
+            ),
+            severity=ERROR,
+        )
+
+    stored_classes: dict[str, list[str]] = stored["dataclasses"]
+    current_classes: dict[str, list[str]] = current["dataclasses"]
+    for unit in sorted(set(stored_classes) | set(current_classes)):
+        before = stored_classes.get(unit)
+        after = current_classes.get(unit)
+        if before == after:
+            continue
+        rel, _, name = unit.partition("::")
+        if after is None:
+            detail = "was removed (or is no longer a dataclass)"
+        elif before is None:
+            detail = "is newly fingerprinted"
+        else:
+            added = sorted(set(after) - set(before))
+            removed = sorted(set(before) - set(after))
+            parts = []
+            if added:
+                parts.append(f"added {added!r}")
+            if removed:
+                parts.append(f"removed {removed!r}")
+            detail = "changed fields: " + ", ".join(parts) if parts else "reordered fields"
+        yield Finding(
+            path=rel if after is not None else FINGERPRINT_FILE,
+            line=locations.get(unit, 0),
+            checker=CHECKER_ID,
+            message=(
+                f"serialized field set of {name} {detail} without a "
+                "SCHEMA_VERSION bump — cached results keyed on the old "
+                "shape would be served for the new one; bump SCHEMA_VERSION "
+                "in src/repro/sim/cache.py then run "
+                "`repro lint --update-fingerprints`"
+            ),
+            severity=ERROR,
+        )

@@ -1,0 +1,161 @@
+"""``determinism``: the simulation core must be a pure function of its
+inputs.
+
+Cache keys assume a :class:`RunRequest` fully determines the metrics, and
+the golden-stats fixture assumes bit-identical reruns.  Anything feeding
+:class:`RunMetrics` or the cache key therefore must not consult ambient
+state.  Flagged inside the simulation core:
+
+* calls into the **global** ``random`` module (``random.random()``,
+  ``random.shuffle`` …) — an unseeded process-wide RNG.  Constructing a
+  seeded ``random.Random(seed)`` instance is fine;
+* **wall-clock reads** — ``time.time`` / ``perf_counter`` / ``monotonic``
+  / ``time_ns`` / ``datetime.now`` / ``utcnow``;
+* **unordered iteration**: ``for … in <set literal / set(...) call>`` and
+  ``random.shuffle`` — set iteration order varies across processes (hash
+  randomization), so any stat or timing derived from it is
+  irreproducible.  Wrap in ``sorted(...)`` instead.
+
+Host-side modules (the sweep engine, event observers, the profiler, eval
+and analysis tooling) legitimately read wall clocks and are allowlisted
+wholesale — see :data:`ALLOWLISTED_PREFIXES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import LintContext
+from repro.lint.findings import ERROR, Finding
+
+CHECKER_ID = "determinism"
+
+#: Modules that must be deterministic: everything the simulated timing and
+#: stats flow through, plus the request/cache-key surface.
+SIM_CORE_PREFIXES = (
+    "src/repro/pipeline/",
+    "src/repro/memory/",
+    "src/repro/core/",
+    "src/repro/stt/",
+    "src/repro/frontend/",
+    "src/repro/isa/",
+    "src/repro/workloads/",
+    "src/repro/common/",
+    "src/repro/security/",
+)
+SIM_CORE_FILES = (
+    "src/repro/sim/api.py",
+    "src/repro/sim/cache.py",
+    "src/repro/sim/configs.py",
+)
+
+#: Host-side timing is fine: engine/event/profiler wall clocks never feed
+#: simulated state.  (Documented in DESIGN.md §8.3.)
+ALLOWLISTED_PREFIXES = (
+    "src/repro/sim/engine.py",
+    "src/repro/sim/events.py",
+    "src/repro/sim/runner.py",
+    "src/repro/analysis/",
+    "src/repro/eval/",
+    "src/repro/testing/",
+    "src/repro/lint/",
+)
+
+_CLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+}
+
+
+def _in_scope(rel: str) -> bool:
+    if rel.startswith(ALLOWLISTED_PREFIXES):
+        return False
+    return rel.startswith(SIM_CORE_PREFIXES) or rel in SIM_CORE_FILES
+
+
+def _dotted(node: ast.expr) -> tuple[str, str] | None:
+    """``module.attr`` call target as a pair, if that simple shape."""
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return node.value.id, node.attr
+    return None
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def run(ctx: LintContext) -> Iterator[Finding]:
+    for source in ctx.files:
+        if not _in_scope(source.rel):
+            continue
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                target = _dotted(node.func)
+                if target is None:
+                    continue
+                module, attr = target
+                if module == "random":
+                    if attr == "Random" and node.args:
+                        continue  # seeded instance: deterministic
+                    yield Finding(
+                        path=source.rel,
+                        line=node.lineno,
+                        checker=CHECKER_ID,
+                        message=(
+                            f"random.{attr}() uses the unseeded global RNG "
+                            "inside the simulation core — construct a "
+                            "random.Random(seed) from the request instead"
+                        ),
+                        severity=ERROR,
+                    )
+                elif target in _CLOCK_CALLS:
+                    yield Finding(
+                        path=source.rel,
+                        line=node.lineno,
+                        checker=CHECKER_ID,
+                        message=(
+                            f"{module}.{attr}() reads the wall clock inside "
+                            "the simulation core — results would differ "
+                            "across hosts and break result caching"
+                        ),
+                        severity=ERROR,
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter):
+                    yield Finding(
+                        path=source.rel,
+                        line=node.lineno,
+                        checker=CHECKER_ID,
+                        message=(
+                            "iterating a set in the simulation core — "
+                            "iteration order is hash-randomized across "
+                            "processes; wrap in sorted(...)"
+                        ),
+                        severity=ERROR,
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter):
+                        yield Finding(
+                            path=source.rel,
+                            line=node.lineno,
+                            checker=CHECKER_ID,
+                            message=(
+                                "comprehension over a set in the simulation "
+                                "core — iteration order is hash-randomized "
+                                "across processes; wrap in sorted(...)"
+                            ),
+                            severity=ERROR,
+                        )

@@ -1,0 +1,288 @@
+"""``event-schema``: the run-lifecycle event stream must stay closed.
+
+The sweep engine narrates runs through ``RunEvent`` records whose ``kind``
+and ``failure_kind`` fields are stringly-typed.  Consumers — the progress
+line, JSONL round-trip, retry policies — pattern-match those strings, so a
+kind emitted under a name nobody declared (or a declared kind nobody
+emits) is a silent protocol fork.  Invariants enforced:
+
+* every ``self._emit(<kind>, …)`` in the engine names a declared event
+  kind constant from ``repro.sim.events``;
+* ``TERMINAL_EVENTS`` only contains declared kinds, and
+  ``ProgressLine._TAGS`` has exactly the terminal kinds as keys (a
+  terminal event without a tag crashes the progress line with KeyError);
+* every declared kind is emitted somewhere (warning otherwise — dead
+  vocabulary);
+* ``FAILURE_KINDS`` matches the set of ``FAILURE_*`` constants,
+  ``TRANSIENT_FAILURE_KINDS`` is a subset, and every literal
+  ``failure_kind=``/``kind=`` the engine attaches resolves to a member.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import LintContext
+from repro.lint.findings import ERROR, WARNING, Finding
+from repro.lint.source import SourceFile
+
+CHECKER_ID = "event-schema"
+
+EVENTS_MODULE = "src/repro/sim/events.py"
+ENGINE_MODULE = "src/repro/sim/engine.py"
+API_MODULE = "src/repro/sim/api.py"
+
+
+def _module_string_constants(source: SourceFile) -> dict[str, str]:
+    """ALL-CAPS module-level ``NAME = "literal"`` assignments."""
+    out: dict[str, str] = {}
+    for node in source.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id.isupper()
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            out[node.targets[0].id] = node.value.value
+    return out
+
+
+def _resolve_string_set(
+    node: ast.expr, constants: dict[str, str]
+) -> tuple[set[str], bool]:
+    """Resolve a frozenset/set display of names and literals.
+
+    Returns ``(values, fully_resolved)``.
+    """
+    if isinstance(node, ast.Call):
+        name = node.func.id if isinstance(node.func, ast.Name) else None
+        if name in ("frozenset", "set") and len(node.args) == 1:
+            return _resolve_string_set(node.args[0], constants)
+        return set(), False
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        values: set[str] = set()
+        resolved = True
+        for element in node.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                values.add(element.value)
+            elif isinstance(element, ast.Name) and element.id in constants:
+                values.add(constants[element.id])
+            else:
+                resolved = False
+        return values, resolved
+    if isinstance(node, ast.BinOp):  # e.g. A | B set union
+        left, lok = _resolve_string_set(node.left, constants)
+        right, rok = _resolve_string_set(node.right, constants)
+        return left | right, lok and rok
+    return set(), False
+
+
+def _find_assignment(source: SourceFile, name: str) -> ast.Assign | None:
+    for node in source.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+        ):
+            return node
+    return None
+
+
+def run(ctx: LintContext) -> Iterator[Finding]:
+    events = ctx.file(EVENTS_MODULE)
+    engine = ctx.file(ENGINE_MODULE)
+    api = ctx.file(API_MODULE)
+    if events is None or engine is None or api is None:
+        return  # partial checkout; nothing meaningful to assert
+
+    kind_constants = _module_string_constants(events)
+    # The kind vocabulary: every ALL-CAPS string constant except the set
+    # containers — TERMINAL_EVENTS is handled separately below.
+    kinds_by_name = {
+        name: value
+        for name, value in kind_constants.items()
+        if name not in ("TERMINAL_EVENTS",)
+    }
+    declared_kinds = set(kinds_by_name.values())
+
+    terminal_node = _find_assignment(events, "TERMINAL_EVENTS")
+    terminal: set[str] = set()
+    if terminal_node is not None:
+        terminal, resolved = _resolve_string_set(terminal_node.value, kind_constants)
+        if resolved:
+            for value in sorted(terminal - declared_kinds):
+                yield Finding(
+                    path=EVENTS_MODULE,
+                    line=terminal_node.lineno,
+                    checker=CHECKER_ID,
+                    message=(
+                        f"TERMINAL_EVENTS contains {value!r}, which is not a "
+                        "declared event kind constant"
+                    ),
+                    severity=ERROR,
+                )
+
+    # ProgressLine._TAGS keys must be exactly the terminal kinds.
+    for node in ast.walk(events.tree):
+        if not isinstance(node, ast.ClassDef) or node.name != "ProgressLine":
+            continue
+        for item in node.body:
+            if not (
+                isinstance(item, ast.Assign)
+                and len(item.targets) == 1
+                and isinstance(item.targets[0], ast.Name)
+                and item.targets[0].id == "_TAGS"
+                and isinstance(item.value, ast.Dict)
+            ):
+                continue
+            tag_keys: set[str] = set()
+            for key in item.value.keys:
+                if isinstance(key, ast.Name) and key.id in kind_constants:
+                    tag_keys.add(kind_constants[key.id])
+                elif isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    tag_keys.add(key.value)
+            for missing in sorted(terminal - tag_keys):
+                yield Finding(
+                    path=EVENTS_MODULE,
+                    line=item.lineno,
+                    checker=CHECKER_ID,
+                    message=(
+                        f"terminal event {missing!r} has no ProgressLine._TAGS "
+                        "entry — the progress line would crash with KeyError "
+                        "on the first such event"
+                    ),
+                    severity=ERROR,
+                )
+            for extra in sorted(tag_keys - terminal):
+                yield Finding(
+                    path=EVENTS_MODULE,
+                    line=item.lineno,
+                    checker=CHECKER_ID,
+                    message=(
+                        f"ProgressLine._TAGS tags {extra!r}, which is not a "
+                        "terminal event — it can never be rendered"
+                    ),
+                    severity=ERROR,
+                )
+
+    # Failure taxonomy from api.py.
+    failure_constants = {
+        name: value
+        for name, value in _module_string_constants(api).items()
+        if name.startswith("FAILURE_")
+    }
+    failure_kinds: set[str] = set()
+    kinds_node = _find_assignment(api, "FAILURE_KINDS")
+    if kinds_node is not None:
+        failure_kinds, resolved = _resolve_string_set(
+            kinds_node.value, failure_constants
+        )
+        if resolved:
+            for name, value in sorted(failure_constants.items()):
+                if value not in failure_kinds:
+                    yield Finding(
+                        path=API_MODULE,
+                        line=kinds_node.lineno,
+                        checker=CHECKER_ID,
+                        message=(
+                            f"{name} = {value!r} is declared but missing from "
+                            "FAILURE_KINDS — retry policies and event readers "
+                            "would treat it as unknown"
+                        ),
+                        severity=ERROR,
+                    )
+    transient_node = _find_assignment(api, "TRANSIENT_FAILURE_KINDS")
+    if transient_node is not None and failure_kinds:
+        transient, resolved = _resolve_string_set(
+            transient_node.value, failure_constants
+        )
+        if resolved:
+            for value in sorted(transient - failure_kinds):
+                yield Finding(
+                    path=API_MODULE,
+                    line=transient_node.lineno,
+                    checker=CHECKER_ID,
+                    message=(
+                        f"TRANSIENT_FAILURE_KINDS contains {value!r}, which is "
+                        "not in FAILURE_KINDS"
+                    ),
+                    severity=ERROR,
+                )
+
+    # Engine emissions: first _emit arg must name a declared kind; literal
+    # failure_kind keywords must be taxonomy members.
+    engine_constants = dict(kinds_by_name)
+    engine_constants.update(failure_constants)
+    emitted: set[str] = set()
+    for node in ast.walk(engine.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "_emit" and node.args:
+            kind_arg = node.args[0]
+            if isinstance(kind_arg, ast.Name) and kind_arg.id in kinds_by_name:
+                emitted.add(kinds_by_name[kind_arg.id])
+            elif isinstance(kind_arg, ast.Constant) and isinstance(kind_arg.value, str):
+                if kind_arg.value in declared_kinds:
+                    emitted.add(kind_arg.value)
+                else:
+                    yield Finding(
+                        path=ENGINE_MODULE,
+                        line=node.lineno,
+                        checker=CHECKER_ID,
+                        message=(
+                            f"_emit() called with undeclared event kind "
+                            f"{kind_arg.value!r} — declare a constant in "
+                            "repro.sim.events so consumers can match it"
+                        ),
+                        severity=ERROR,
+                    )
+            elif isinstance(kind_arg, ast.Name):
+                yield Finding(
+                    path=ENGINE_MODULE,
+                    line=node.lineno,
+                    checker=CHECKER_ID,
+                    message=(
+                        f"_emit() kind {ast.unparse(kind_arg)!r} does not "
+                        "resolve to a declared event kind constant"
+                    ),
+                    severity=ERROR,
+                )
+        for keyword in node.keywords:
+            if keyword.arg != "failure_kind" or not failure_kinds:
+                continue
+            value = keyword.value
+            literal: str | None = None
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                literal = value.value
+            elif isinstance(value, ast.Name) and value.id in failure_constants:
+                literal = failure_constants[value.id]
+            if literal is not None and literal not in failure_kinds:
+                yield Finding(
+                    path=ENGINE_MODULE,
+                    line=node.lineno,
+                    checker=CHECKER_ID,
+                    message=(
+                        f"failure_kind={literal!r} is not a FAILURE_KINDS "
+                        "member — RunFailure consumers cannot classify it"
+                    ),
+                    severity=ERROR,
+                )
+
+    for name, value in sorted(kinds_by_name.items()):
+        if value not in emitted:
+            yield Finding(
+                path=EVENTS_MODULE,
+                line=0,
+                checker=CHECKER_ID,
+                message=(
+                    f"event kind {name} = {value!r} is declared but the sweep "
+                    "engine never emits it — dead vocabulary or a missed "
+                    "emission site"
+                ),
+                severity=WARNING,
+            )

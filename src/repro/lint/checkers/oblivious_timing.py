@@ -1,0 +1,93 @@
+"""``oblivious-timing``: Definition-2 violations in data-oblivious code.
+
+Scope — the code that *claims* operand-independent resource usage:
+
+* every method of ``DOVariant`` / ``SdoOperation`` and of any class that
+  subclasses them (the general SDO framework and its instances);
+* every function whose name contains ``oblivious`` (the hand-specialized
+  Obl-Ld path in ``repro.memory.hierarchy``).
+
+Within that scope, the intra-function taint lattice of
+:mod:`repro.lint.taint` tracks architectural operand data (``args`` /
+``addr`` parameters, ``.presult`` / ``.success`` / ``.value`` reads, the
+reference path) and flags any flow into a timing or resource-reservation
+sink.  Timing may depend on the *prediction* — ``pc``,
+``predicted_level``, ``variant_index`` and signature-stamped fields are
+clean by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import LintContext
+from repro.lint.findings import ERROR, Finding
+from repro.lint.source import SourceFile
+from repro.lint.taint import analyze_function
+
+CHECKER_ID = "oblivious-timing"
+
+#: Classes whose (transitive, name-matched) subclasses are in scope.
+_SDO_BASES = frozenset({"DOVariant", "SdoOperation"})
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in node.bases:
+        target = base
+        if isinstance(target, ast.Subscript):  # DOVariant[int, int]
+            target = target.value
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _scope_functions(
+    source: SourceFile,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]]:
+    """Yield ``(function, qualified name)`` for every in-scope function."""
+    seen: set[int] = set()
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ClassDef):
+            in_scope = node.name in _SDO_BASES or (_base_names(node) & _SDO_BASES)
+            if not in_scope:
+                continue
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if id(item) not in seen:
+                        seen.add(id(item))
+                        yield item, f"{node.name}.{item.name}"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if "oblivious" in node.name and id(node) not in seen:
+                seen.add(id(node))
+                yield node, node.name
+
+
+def run(ctx: LintContext) -> Iterator[Finding]:
+    for source in ctx.files:
+        for func, qualname in _scope_functions(source):
+            for hit in analyze_function(func):
+                if hit.reason == "control":
+                    message = (
+                        f"in {qualname}: resource/timing sink {hit.sink} "
+                        "executes under operand-dependent control flow "
+                        "(Definition 2: DO code may branch on the "
+                        "prediction, never on architectural data)"
+                    )
+                else:
+                    message = (
+                        f"in {qualname}: timing sink {hit.sink} receives "
+                        "operand-derived data (flows from architectural "
+                        "values rather than the prediction or a declared "
+                        "ResourceSignature)"
+                    )
+                yield Finding(
+                    path=source.rel,
+                    line=hit.line,
+                    checker=CHECKER_ID,
+                    message=message,
+                    severity=ERROR,
+                )

@@ -1,0 +1,382 @@
+"""``stat-key``: the counter namespace must be statically knowable.
+
+:class:`~repro.common.stats.StatGroup` creates counters on first touch, so
+a typo'd key silently forks a new counter instead of failing.  This checker
+closes that hole statically:
+
+* every ``bump``/``set``/``histogram`` key in the simulation core must
+  resolve to literal strings — directly, through an ALL-CAPS key-constant
+  (``LOAD_DECISION_COUNTERS[action]``, ``for reason in STALL_REASONS``),
+  or through a ``self.<attr>`` whose class-level assignments are all
+  literal (**error** otherwise);
+* every key in the golden-stats fixture must be bumped/set somewhere
+  (**error**: a fixture key nothing produces is a typo or dead entry);
+* every ``stats.get("core..." / "mem..." / "stt..." / "protection...")``
+  read must name a counter something bumps (**error**: reading a typo'd
+  key silently yields the default);
+* counters bumped but absent from both the fixture and every read site are
+  reported as **warnings** (unobserved instrumentation);
+* the PR-2 stall-attribution identity: the literals ``_stall_reason``
+  returns must be exactly ``STALL_REASONS``, and every ``core.stall.*``
+  fixture key must be a member (**error**).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Iterator
+
+from repro.lint.context import LintContext
+from repro.lint.findings import ERROR, WARNING, Finding
+from repro.lint.source import SourceFile
+
+CHECKER_ID = "stat-key"
+
+#: Modules whose stat keys are checked (the deterministic simulation core).
+SIM_CORE_PREFIXES = (
+    "src/repro/pipeline/",
+    "src/repro/memory/",
+    "src/repro/core/",
+    "src/repro/stt/",
+    "src/repro/frontend/",
+    "src/repro/isa/",
+    "src/repro/workloads/",
+    "src/repro/common/",
+    "src/repro/security/",
+)
+
+_STAT_METHODS = frozenset({"bump", "set", "histogram"})
+
+#: Dotted-read prefixes that refer to simulation counters (as opposed to
+#: host-side ``profile.*`` keys the profiler writes into the metrics dict).
+_READ_PREFIXES = ("core.", "mem.", "stt.", "protection.")
+
+GOLDEN_FIXTURE = "tests/golden/golden_stats.json"
+
+
+def _is_sim_core(rel: str) -> bool:
+    return rel.startswith(SIM_CORE_PREFIXES)
+
+
+def _stats_receiver(node: ast.expr) -> bool:
+    """Does ``node`` look like a stats object (``stats``, ``self.stats``,
+    ``decision_stats`` …)?  Matched by name suffix, the repo convention."""
+    if isinstance(node, ast.Name):
+        return node.id.endswith("stats")
+    if isinstance(node, ast.Attribute):
+        return node.attr.endswith("stats")
+    return False
+
+
+def _stat_write_shape(attr: str, call: ast.Call) -> bool:
+    """Is this call shaped like a StatGroup write?
+
+    No other class in the tree exposes ``bump``/``histogram``, and ``set``
+    is disambiguated by arity (``set(counter, value)``), so a
+    name-and-shape match is enough — receivers like ``occ`` (a child
+    group) don't follow the ``*stats`` naming convention.
+    """
+    if not isinstance(call.func, ast.Attribute):
+        return False
+    if not isinstance(call.func.value, (ast.Name, ast.Attribute)):
+        return False
+    n_args = len(call.args)
+    if attr == "bump":
+        return 1 <= n_args <= 2
+    if attr == "set":
+        return n_args == 2
+    if attr == "histogram":
+        return n_args == 1
+    return False
+
+
+class _KeyResolver(ast.NodeVisitor):
+    """Walk one module, resolving stat-key expressions to literal strings.
+
+    Maintains the enclosing class name (for ``self.<attr>`` lookup) and
+    loop bindings over key constants (``for reason in STALL_REASONS:``).
+    """
+
+    def __init__(self, ctx: LintContext, source: SourceFile) -> None:
+        self.ctx = ctx
+        self.source = source
+        self.class_stack: list[str] = []
+        self.loop_bindings: dict[str, tuple[str, ...]] = {}
+        #: (line, keys or None) per bump/set/histogram call; None = unresolved
+        self.writes: list[tuple[int, tuple[str, ...] | None, str]] = []
+
+    def resolve(self, node: ast.expr) -> tuple[str, ...] | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return (node.value,)
+        if isinstance(node, ast.IfExp):
+            body = self.resolve(node.body)
+            orelse = self.resolve(node.orelse)
+            if body is not None and orelse is not None:
+                return body + orelse
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self.loop_bindings:
+                return self.loop_bindings[node.id]
+            return self.ctx.key_constants.get(node.id)
+        if isinstance(node, ast.Subscript):
+            if isinstance(node.value, ast.Name):
+                return self.ctx.key_constants.get(node.value.id)
+            return None
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.class_stack
+        ):
+            attrs = self.ctx.self_attr_strings.get(
+                (self.source.rel, self.class_stack[-1]), {}
+            )
+            values = attrs.get(node.attr)
+            return tuple(sorted(values)) if values else None
+        return None
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def visit_For(self, node: ast.For) -> None:
+        bound: str | None = None
+        if isinstance(node.target, ast.Name) and isinstance(node.iter, ast.Name):
+            values = self.ctx.key_constants.get(node.iter.id)
+            if values is not None:
+                bound = node.target.id
+                self.loop_bindings[bound] = values
+        self.generic_visit(node)
+        if bound is not None:
+            del self.loop_bindings[bound]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _STAT_METHODS
+            and _stat_write_shape(func.attr, node)
+        ):
+            self.writes.append(
+                (node.lineno, self.resolve(node.args[0]), func.attr)
+            )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Direct writes into the merged metrics dict, e.g.
+        # ``merged["core.bpred_mispredict_rate"] = …`` — derived stats that
+        # exist only in the flattened namespace.
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.slice, ast.Constant)
+                and isinstance(target.slice.value, str)
+                and target.slice.value.startswith(_READ_PREFIXES)
+            ):
+                self.writes.append(
+                    (node.lineno, (target.slice.value.rsplit(".", 1)[-1],), "set")
+                )
+        self.generic_visit(node)
+
+
+def _collect_reads(files: list[SourceFile]) -> dict[str, int]:
+    """Literal keys read via ``stats.get(...)`` / ``stats[...]`` anywhere
+    (src, tests, scripts), mapped to one representative line."""
+    reads: dict[str, int] = {}
+    for source in files:
+        for node in ast.walk(source.tree):
+            key: ast.expr | None = None
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and _stats_receiver(node.func.value)
+                and node.args
+            ):
+                key = node.args[0]
+            elif isinstance(node, ast.Subscript) and _stats_receiver(node.value):
+                key = node.slice
+            if (
+                key is not None
+                and isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+            ):
+                reads.setdefault(key.value, node.lineno)
+    return reads
+
+
+def _golden_keys(ctx: LintContext) -> dict[str, set[str]]:
+    """Fixture stat keys, unioned over cells: dotted key -> leaf."""
+    path = ctx.root / GOLDEN_FIXTURE
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text())
+    keys: set[str] = set()
+    for cell in payload.get("cells", {}).values():
+        keys.update(cell.get("stats", {}))
+    return {key: {key.rsplit(".", 1)[-1]} for key in sorted(keys)}
+
+
+def _stall_reason_literals(ctx: LintContext) -> tuple[set[str], int] | None:
+    """Literal strings ``Core._stall_reason`` can return, plus its line."""
+    source = ctx.file("src/repro/pipeline/core.py")
+    if source is None:
+        return None
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "_stall_reason":
+            literals: set[str] = set()
+
+            def _returned_strings(expr: ast.expr | None) -> None:
+                if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+                    literals.add(expr.value)
+                elif isinstance(expr, ast.IfExp):
+                    _returned_strings(expr.body)
+                    _returned_strings(expr.orelse)
+
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Return):
+                    _returned_strings(sub.value)
+            return literals, node.lineno
+    return None
+
+
+def run(ctx: LintContext) -> Iterator[Finding]:
+    bumped: dict[str, int] = {}  # leaf key -> representative line
+    for source in ctx.files:
+        if not _is_sim_core(source.rel):
+            continue
+        resolver = _KeyResolver(ctx, source)
+        resolver.visit(source.tree)
+        for line, keys, method in resolver.writes:
+            if keys is None:
+                yield Finding(
+                    path=source.rel,
+                    line=line,
+                    checker=CHECKER_ID,
+                    message=(
+                        f"stat {method}() key is not statically resolvable — "
+                        "use a literal string, an ALL-CAPS key-constant "
+                        "(dict/tuple of literals), or a self-attribute "
+                        "assigned only literals"
+                    ),
+                    severity=ERROR,
+                )
+            else:
+                for key in keys:
+                    bumped.setdefault(key, line)
+
+    reads = _collect_reads(ctx.files + ctx.read_scan_files)
+    golden = _golden_keys(ctx)
+    golden_leaves = {leaf for leaves in golden.values() for leaf in leaves}
+
+    # Golden fixture keys nothing produces.
+    for dotted in golden:
+        leaf = dotted.rsplit(".", 1)[-1]
+        # Histogram exports appear as <name>.mean / <name>.count.
+        if leaf in ("mean", "count"):
+            leaf = dotted.rsplit(".", 2)[-2]
+        if leaf not in bumped:
+            yield Finding(
+                path=GOLDEN_FIXTURE,
+                line=0,
+                checker=CHECKER_ID,
+                message=(
+                    f"golden fixture key {dotted!r} is never bumped/set by "
+                    "any simulation-core module — typo'd counter or stale "
+                    "fixture entry"
+                ),
+                severity=ERROR,
+            )
+
+    # Reads of simulation counters nothing bumps.
+    for dotted in sorted(reads):
+        if not dotted.startswith(_READ_PREFIXES):
+            continue
+        leaf = dotted.rsplit(".", 1)[-1]
+        if leaf in ("mean", "count"):
+            leaf = dotted.rsplit(".", 2)[-2]
+        if leaf not in bumped:
+            yield Finding(
+                path=GOLDEN_FIXTURE if dotted in golden else "src/repro",
+                line=0,
+                checker=CHECKER_ID,
+                message=(
+                    f"stat key {dotted!r} is read (stats.get/[]) but never "
+                    "bumped/set by any simulation-core module — a typo here "
+                    "silently reads the default value"
+                ),
+                severity=ERROR,
+            )
+
+    # Bumped but observed nowhere: one aggregated advisory (individual
+    # counters are often legitimately unexercised by the golden workload).
+    # Members of ALL-CAPS key-constants are excluded — those enumerations
+    # are consumed wholesale by prefix loops (``core.stall.*`` folds,
+    # decision tables) that no static read extraction can see.
+    read_leaves = {key.rsplit(".", 1)[-1] for key in reads} | set(reads)
+    enumerated = {
+        value for values in ctx.key_constants.values() for value in values
+    }
+    unobserved = sorted(
+        leaf
+        for leaf in bumped
+        if leaf not in golden_leaves
+        and leaf not in read_leaves
+        and leaf not in enumerated
+    )
+    if unobserved:
+        yield Finding(
+            path="src/repro",
+            line=0,
+            checker=CHECKER_ID,
+            message=(
+                f"{len(unobserved)} counter(s) bumped but absent from both "
+                "the golden fixture and every read site (unobserved "
+                f"instrumentation): {', '.join(unobserved)}"
+            ),
+            severity=WARNING,
+        )
+
+    # Stall-attribution identity (PR 2): _stall_reason literals == STALL_REASONS.
+    stall_reasons = set(ctx.key_constants.get("STALL_REASONS", ()))
+    found = _stall_reason_literals(ctx)
+    if found is not None and stall_reasons:
+        literals, line = found
+        for extra in sorted(literals - stall_reasons):
+            yield Finding(
+                path="src/repro/pipeline/core.py",
+                line=line,
+                checker=CHECKER_ID,
+                message=(
+                    f"_stall_reason can return {extra!r}, which is missing "
+                    "from STALL_REASONS — the cycle-accounting fold would "
+                    "silently drop it and break the stall identity "
+                    "(cycles == commit_active + sum(core.stall.*))"
+                ),
+                severity=ERROR,
+            )
+        for missing in sorted(stall_reasons - literals):
+            yield Finding(
+                path="src/repro/pipeline/core.py",
+                line=line,
+                checker=CHECKER_ID,
+                message=(
+                    f"STALL_REASONS lists {missing!r} but _stall_reason "
+                    "never returns it — dead attribution bucket"
+                ),
+                severity=WARNING,
+            )
+        for dotted in golden:
+            if ".stall." in dotted and dotted.rsplit(".", 1)[-1] not in stall_reasons:
+                yield Finding(
+                    path=GOLDEN_FIXTURE,
+                    line=0,
+                    checker=CHECKER_ID,
+                    message=(
+                        f"golden stall key {dotted!r} is not a STALL_REASONS "
+                        "member"
+                    ),
+                    severity=ERROR,
+                )

@@ -1,0 +1,127 @@
+"""Discovery + checker execution + suppression/baseline filtering.
+
+``run_lint`` is the whole pipeline: collect sources, build a
+:class:`LintContext`, run every (selected) checker, drop findings covered
+by an inline ``# sdolint: disable=…`` comment, then partition the rest
+against the committed ratchet baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.baseline import Baseline, BaselineDiff
+from repro.lint.checkers import CHECKERS
+from repro.lint.context import LintContext
+from repro.lint.findings import ERROR, Finding
+from repro.lint.source import SourceFile
+
+#: Directories (repo-relative) holding the code under analysis.
+LINT_ROOTS = ("src/repro",)
+
+#: Directories scanned for stat-key *reads* only — never linted themselves.
+READ_SCAN_ROOTS = ("tests", "scripts", "benchmarks")
+
+
+def _iter_python_files(base: Path) -> Iterable[Path]:
+    if base.is_file():
+        yield base
+        return
+    for path in sorted(base.rglob("*.py")):
+        if "__pycache__" not in path.parts:
+            yield path
+
+
+def load_context(root: Path, paths: Iterable[Path] | None = None) -> LintContext:
+    """Build the :class:`LintContext` for ``root``.
+
+    ``paths`` optionally restricts the *linted* set (CLI positional args);
+    cross-module indexes and the read scan always cover the full tree so
+    restricting paths never changes what a key "resolves" to.
+    """
+    root = Path(root)
+    files: list[SourceFile] = []
+    for lint_root in LINT_ROOTS:
+        base = root / lint_root
+        if not base.exists():
+            continue
+        for path in _iter_python_files(base):
+            try:
+                files.append(SourceFile.load(path, root))
+            except (SyntaxError, UnicodeDecodeError, OSError):
+                continue  # unparseable files are the build's problem, not ours
+    if paths:
+        wanted = {Path(p).resolve() for p in paths}
+
+        def selected(source: SourceFile) -> bool:
+            resolved = source.path.resolve()
+            return any(
+                resolved == want or want in resolved.parents for want in wanted
+            )
+
+        # Keep every file in the context (indexes need the whole tree) but
+        # remember the restriction for finding filtering.
+        restricted = {source.rel for source in files if selected(source)}
+    else:
+        restricted = None
+
+    read_scan: list[SourceFile] = []
+    for scan_root in READ_SCAN_ROOTS:
+        base = root / scan_root
+        if not base.exists():
+            continue
+        for path in _iter_python_files(base):
+            try:
+                read_scan.append(SourceFile.load(path, root))
+            except (SyntaxError, UnicodeDecodeError, OSError):
+                continue
+
+    ctx = LintContext(root, files, read_scan)
+    ctx.restricted = restricted  # type: ignore[attr-defined]
+    return ctx
+
+
+@dataclass
+class LintResult:
+    """Everything a reporter needs about one run."""
+
+    findings: list[Finding] = field(default_factory=list)  # post-suppression
+    suppressed: int = 0
+    diff: BaselineDiff = field(default_factory=BaselineDiff)
+
+    @property
+    def gating(self) -> list[Finding]:
+        """New error-severity findings: the ones that fail the gate."""
+        return [f for f in self.diff.new if f.severity == ERROR]
+
+
+def run_lint(
+    ctx: LintContext,
+    baseline: Baseline,
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    result = LintResult()
+    selected = set(select) if select else set(CHECKERS)
+    unknown = selected - set(CHECKERS)
+    if unknown:
+        raise ValueError(
+            f"unknown checker id(s): {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(CHECKERS))})"
+        )
+    restricted = getattr(ctx, "restricted", None)
+    for checker_id in sorted(selected):
+        for finding in CHECKERS[checker_id](ctx):
+            if restricted is not None and finding.path not in restricted:
+                continue
+            source = ctx.file(finding.path)
+            if source is not None and source.is_suppressed(
+                finding.line, finding.checker
+            ):
+                result.suppressed += 1
+                continue
+            result.findings.append(finding)
+    result.findings.sort()
+    result.diff = baseline.diff(result.findings)
+    return result

@@ -1,0 +1,56 @@
+"""The :class:`Finding` model: one invariant violation at one source location.
+
+Findings are what every checker yields and what the engine filters through
+inline suppressions and the ratchet baseline.  A finding's *fingerprint*
+deliberately excludes the line number — baselined findings survive unrelated
+edits that shift code around, but any change to the message (or a second
+occurrence of the same message in the same file) shows up as new.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+#: Severities, in increasing order of alarm.  ``error`` findings gate CI;
+#: ``warning`` findings are advisory (printed, never fatal).
+WARNING = "warning"
+ERROR = "error"
+SEVERITIES = (WARNING, ERROR)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One checker hit: *file/line/checker-id/severity* plus the message."""
+
+    path: str  #: repo-relative, forward slashes
+    line: int  #: 1-based; 0 for whole-file findings
+    checker: str  #: checker id, e.g. ``oblivious-timing``
+    message: str
+    severity: str = field(default=ERROR, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line number excluded)."""
+        blob = json.dumps([self.checker, self.path, self.message])
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "checker": self.checker,
+            "severity": self.severity,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """Human one-liner, ``path:line: [checker] message``."""
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: {self.severity}: [{self.checker}] {self.message}"

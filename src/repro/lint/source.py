@@ -1,0 +1,64 @@
+"""Parsed source files and inline suppressions.
+
+A :class:`SourceFile` is one parsed module: path, text, AST, and the
+``# sdolint: disable=<id>[,<id>…]`` suppressions found in its comments.  A
+suppression applies to every finding anchored on its physical line (for a
+multi-line statement, the line the finding points at); ``disable=all``
+suppresses every checker on that line.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+
+_SUPPRESS_RE = re.compile(r"#\s*sdolint:\s*disable=([a-z\-_,\s]+)")
+
+
+def parse_suppressions(text: str) -> dict[int, frozenset[str]]:
+    """Map line number -> suppressed checker ids for one module's source."""
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            line = token.start[0]
+            suppressions[line] = suppressions.get(line, frozenset()) | ids
+    except tokenize.TokenError:
+        pass  # a finding about the syntax error will surface elsewhere
+    return suppressions
+
+
+class SourceFile:
+    """One module under analysis: path, text, AST, suppressions."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        self.rel = rel  # repo-relative, forward slashes
+        self.text = text
+        self.tree = ast.parse(text, filename=str(path))
+        self.suppressions = parse_suppressions(text)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile":
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        return cls(path, rel, path.read_text())
+
+    def is_suppressed(self, line: int, checker_id: str) -> bool:
+        ids = self.suppressions.get(line)
+        if not ids:
+            return False
+        return checker_id in ids or "all" in ids
+
+    def __repr__(self) -> str:
+        return f"SourceFile({self.rel!r})"

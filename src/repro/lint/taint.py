@@ -1,0 +1,307 @@
+"""Intra-function taint lattice for the ``oblivious-timing`` checker.
+
+The lattice has two points — *clean* / *tainted* — and the analysis is a
+monotone forward pass over one function body, iterated to fixpoint (loops
+can feed taint backwards through the environment).  "Tainted" means *derived
+from architectural operand data*: the load address, the operands ``args`` of
+a DO variant, a forwarded ``presult``, the sealed ``success`` flag, or
+anything returned by the non-oblivious reference path.  The prediction
+(``predicted_level``, ``pc``, predictor output) is deliberately **clean** —
+mobilizing safe prediction is the whole point of SDO, so timing *may* depend
+on it.
+
+Sinks are the expressions that decide hardware resource usage: ``latency=``
+/ ``resources=`` / ``complete_at=`` / ``respond_at=`` keyword arguments,
+every argument of a port/bank/MSHR reservation (``grant`` / ``reserve`` /
+``reserve_all`` / ``allocate``), and ``ResourceSignature(...)``
+construction.  A sink reached by tainted data — or executed under tainted
+control — is a Definition-2 violation (operand-dependent interference).
+
+Precision notes (deliberate, documented in DESIGN.md §8.1):
+
+* **Clean projections**: reading ``.latency`` / ``.resources`` /
+  ``.signature`` (and other fields listed in :data:`CLEAN_PROJECTIONS`) off
+  a tainted object yields *clean*.  This encodes the repo invariant that
+  ``DOVariant.execute`` stamps the declared signature onto every result, so
+  those fields are operand-independent by construction even when the object
+  carrying them is not.
+* **Containers**: mutating method calls (``list.append`` etc.) do not taint
+  the receiver.  ``responses.append((level, t, hit))`` with a tainted
+  ``hit`` therefore leaves ``responses[-1][1]`` clean — the cycle component
+  genuinely is.
+* **Control taint** covers the body of an ``if``/``while``/``for`` whose
+  test (or iterable) is tainted, not code after an early ``return`` inside
+  one; that residual implicit flow is out of scope for an intra-function
+  lattice.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Attribute reads that are taint sources regardless of their base object.
+SOURCE_ATTRS = frozenset({"presult", "_success_sealed", "value"})
+
+#: Method names whose call result is always tainted (the architectural /
+#: reference path of an SDO operation).
+SOURCE_CALLS = frozenset({"reference", "_actual_variant", "_compute"})
+
+#: Attribute projections that launder taint: operand-independent by
+#: construction (signature-stamped fields and prediction metadata).
+CLEAN_PROJECTIONS = frozenset(
+    {
+        "latency",
+        "resources",
+        "signature",
+        "name",
+        "variant_index",
+        "predicted_level",
+    }
+)
+
+#: Methods whose *arguments* decide resource interference.
+SINK_METHODS = frozenset({"grant", "reserve", "reserve_all", "allocate"})
+
+#: Keyword arguments that carry timing/resource decisions in any call.
+SINK_KEYWORDS = frozenset({"latency", "resources", "complete_at", "respond_at"})
+
+#: Constructors whose every argument is a resource declaration.
+SINK_CONSTRUCTORS = frozenset({"ResourceSignature"})
+
+
+@dataclass(frozen=True)
+class TaintHit:
+    """One sink reached by tainted data (or tainted control)."""
+
+    line: int
+    sink: str  # human description of the sink
+    reason: str  # "data" or "control"
+
+
+def _call_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class FunctionTaint:
+    """Run the lattice over one function; collect :class:`TaintHit`\\ s."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef,
+                 tainted_params: frozenset[str]) -> None:
+        self.func = func
+        self.env: dict[str, bool] = {}
+        for arg in (
+            list(func.args.posonlyargs)
+            + list(func.args.args)
+            + list(func.args.kwonlyargs)
+        ):
+            self.env[arg.arg] = arg.arg in tainted_params
+        if func.args.vararg:
+            self.env[func.args.vararg.arg] = func.args.vararg.arg in tainted_params
+        if func.args.kwarg:
+            self.env[func.args.kwarg.arg] = func.args.kwarg.arg in tainted_params
+        self.hits: list[TaintHit] = []
+        self._reported: set[tuple[int, str]] = set()
+
+    # ------------------------------------------------------------------ #
+    # Expression taint
+    # ------------------------------------------------------------------ #
+
+    def taint_of(self, node: ast.expr | None) -> bool:
+        if node is None or isinstance(node, ast.Constant):
+            return False
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, False)
+        if isinstance(node, ast.Attribute):
+            if node.attr in SOURCE_ATTRS:
+                return True
+            if node.attr == "success":
+                # `.success` is the sealed outcome — a source, unlike the
+                # clean `first_success_cycle` style accessors.
+                return True
+            if node.attr in CLEAN_PROJECTIONS:
+                return False
+            key = f"self.{node.attr}"
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if key in self.env:
+                    return self.env[key]
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            if name in SOURCE_CALLS:
+                return True
+            parts = [self.taint_of(a) for a in node.args]
+            parts += [self.taint_of(k.value) for k in node.keywords]
+            if isinstance(node.func, ast.Attribute):
+                parts.append(self.taint_of(node.func.value))
+            return any(parts)
+        if isinstance(node, ast.Subscript):
+            return self.taint_of(node.value) or self.taint_of(node.slice)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.taint_of(e) for e in node.elts)
+        if isinstance(node, ast.Dict):
+            # A None key is a ``{**mapping}`` unpack; the value still counts.
+            return any(
+                (k is not None and self.taint_of(k)) or self.taint_of(v)
+                for k, v in zip(node.keys, node.values, strict=True)
+            )
+        if isinstance(node, ast.IfExp):
+            return (
+                self.taint_of(node.test)
+                or self.taint_of(node.body)
+                or self.taint_of(node.orelse)
+            )
+        if isinstance(node, ast.Lambda):
+            return False
+        # BinOp / BoolOp / Compare / UnaryOp / Starred / JoinedStr /
+        # comprehensions / anything else: join over child expressions.
+        return any(
+            self.taint_of(child)
+            for child in ast.iter_child_nodes(node)
+            if isinstance(child, ast.expr)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Statement pass
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> list[TaintHit]:
+        for _ in range(8):  # fixpoint: env only grows, so this terminates
+            before = dict(self.env)
+            self._block(self.func.body, control=False)
+            if self.env == before:
+                break
+        return self.hits
+
+    def _bind(self, target: ast.expr, tainted: bool) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = self.env.get(target.id, False) or tainted
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, tainted)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tainted)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            key = f"self.{target.attr}"
+            self.env[key] = self.env.get(key, False) or tainted
+
+    def _block(self, body: list[ast.stmt], control: bool) -> None:
+        for stmt in body:
+            self._stmt(stmt, control)
+
+    def _stmt(self, stmt: ast.stmt, control: bool) -> None:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value_taint = self.taint_of(stmt.value) or control
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(targets) == 1
+                and isinstance(targets[0], (ast.Tuple, ast.List))
+                and isinstance(stmt.value, (ast.Tuple, ast.List))
+                and len(targets[0].elts) == len(stmt.value.elts)
+            ):
+                for element, value in zip(
+                    targets[0].elts, stmt.value.elts, strict=True
+                ):
+                    self._bind(element, self.taint_of(value) or control)
+            else:
+                for target in targets:
+                    self._bind(target, value_taint)
+            self._scan_sinks(stmt, control)
+        elif isinstance(stmt, (ast.If,)):
+            test_taint = self.taint_of(stmt.test)
+            self._scan_sinks_expr(stmt.test, control)
+            inner = control or test_taint
+            self._block(stmt.body, inner)
+            self._block(stmt.orelse, inner)
+        elif isinstance(stmt, ast.While):
+            test_taint = self.taint_of(stmt.test)
+            self._scan_sinks_expr(stmt.test, control)
+            inner = control or test_taint
+            self._block(stmt.body, inner)
+            self._block(stmt.orelse, inner)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self.taint_of(stmt.iter)
+            self._scan_sinks_expr(stmt.iter, control)
+            self._bind(stmt.target, iter_taint or control)
+            inner = control or iter_taint
+            self._block(stmt.body, inner)
+            self._block(stmt.orelse, inner)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body, control)
+            for handler in stmt.handlers:
+                self._block(handler.body, control)
+            self._block(stmt.orelse, control)
+            self._block(stmt.finalbody, control)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_sinks_expr(item.context_expr, control)
+                if item.optional_vars is not None:
+                    self._bind(
+                        item.optional_vars,
+                        self.taint_of(item.context_expr) or control,
+                    )
+            self._block(stmt.body, control)
+        elif isinstance(stmt, (ast.Return, ast.Expr, ast.Raise, ast.Assert)):
+            self._scan_sinks(stmt, control)
+        # FunctionDef / ClassDef nested inside are analyzed separately (or
+        # not at all); Pass / Break / Continue / Import carry nothing.
+
+    # ------------------------------------------------------------------ #
+    # Sinks
+    # ------------------------------------------------------------------ #
+
+    def _scan_sinks(self, stmt: ast.stmt, control: bool) -> None:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._check_call(node, control)
+
+    def _scan_sinks_expr(self, expr: ast.expr, control: bool) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._check_call(node, control)
+
+    def _record(self, line: int, sink: str, reason: str) -> None:
+        key = (line, sink)
+        if key not in self._reported:
+            self._reported.add(key)
+            self.hits.append(TaintHit(line=line, sink=sink, reason=reason))
+
+    def _check_call(self, call: ast.Call, control: bool) -> None:
+        name = _call_name(call.func)
+        is_reservation = name in SINK_METHODS and isinstance(call.func, ast.Attribute)
+        is_constructor = name in SINK_CONSTRUCTORS
+        if is_reservation or is_constructor:
+            sink = f"{name}()"
+            if control:
+                self._record(call.lineno, sink, "control")
+            for arg in list(call.args) + [k.value for k in call.keywords]:
+                if self.taint_of(arg):
+                    self._record(arg.lineno, sink, "data")
+        for keyword in call.keywords:
+            if keyword.arg in SINK_KEYWORDS:
+                sink = f"{keyword.arg}="
+                if self.taint_of(keyword.value):
+                    self._record(keyword.value.lineno, sink, "data")
+                elif control and not is_constructor:
+                    self._record(keyword.value.lineno, sink, "control")
+
+
+def analyze_function(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    tainted_params: frozenset[str] = frozenset({"args", "addr"}),
+) -> Iterator[TaintHit]:
+    """Convenience wrapper: run the lattice, yield hits in source order."""
+    analysis = FunctionTaint(func, tainted_params)
+    yield from sorted(analysis.run(), key=lambda h: (h.line, h.sink))

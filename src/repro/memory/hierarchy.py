@@ -39,6 +39,22 @@ from repro.memory.tlb import Tlb
 
 #: Cycles a lookup occupies its cache bank (pipeline occupancy, not latency).
 BANK_OCCUPANCY = 1
+
+#: Literal stat-counter names per residence level, precomputed so every
+#: bumped key is a static string (the ``stat-key`` lint checker extracts
+#: these; an f-string here would silently fork a counter on a typo).
+_HIT_COUNTERS = {
+    MemLevel.L1: "hits_l1",
+    MemLevel.L2: "hits_l2",
+    MemLevel.L3: "hits_l3",
+    MemLevel.DRAM: "hits_dram",
+}
+_OBL_PRED_COUNTERS = {
+    MemLevel.L1: "obl_pred_l1",
+    MemLevel.L2: "obl_pred_l2",
+    MemLevel.L3: "obl_pred_l3",
+    MemLevel.DRAM: "obl_pred_dram",
+}
 #: Cycles an oblivious lookup holds *all* banks of a level (Section VI-B2:
 #: "after the Obl-Ld enters the cache, all succeeding requests are blocked
 #: until the Obl-Ld request completes its lookup").
@@ -238,7 +254,7 @@ class MemoryHierarchy:
         cursor = now + tlb_latency
 
         level_found, cursor = self._walk_caches(line, cursor, write)
-        self.stats.bump(f"hits_{level_found.pretty.lower()}")
+        self.stats.bump(_HIT_COUNTERS[level_found])
         return LoadResponse(
             complete_at=cursor, level=level_found, tlb_hit=tlb_hit
         )
@@ -390,7 +406,7 @@ class MemoryHierarchy:
             )
         line = self.line_of(addr)
         self.stats.bump("obl_loads")
-        self.stats.bump(f"obl_pred_{predicted_level.pretty.lower()}")
+        self.stats.bump(_OBL_PRED_COUNTERS[predicted_level])
 
         # DO TLB probe: presence check only; a miss does NOT trigger a walk
         # and poisons the access into a guaranteed fail (Section V-B).

@@ -70,6 +70,28 @@ _FP_FAST_LATENCY = {
 FP_SLOW_EXTRA = 40
 _SQ_FORWARD_LATENCY = 1
 
+#: Every stall reason :meth:`Core._stall_reason` can attribute a
+#: zero-commit cycle to — the full ``core.stall.*`` namespace.  Kept as a
+#: literal tuple so the counter names are statically extractable (the
+#: ``stat-key`` lint checker cross-checks this tuple against the literals
+#: ``_stall_reason`` returns and against the golden-stats fixture), and so
+#: ``_fold_cycle_accounting`` publishes only known reasons.
+STALL_REASONS = (
+    "frontend",
+    "branch_hold",
+    "exec",
+    "stt_delay",
+    "operands",
+    "disambiguation",
+    "issue_width",
+    "do_variant_wait",
+    "memory",
+    "do_fail_wait",
+    "do_safe_wait",
+    "validation_wait",
+    "commit_skew",
+)
+
 
 class GoldenModelMismatch(AssertionError):
     """The OoO core committed something the ISS disagrees with."""
@@ -592,8 +614,9 @@ class Core:
 
     def _fold_cycle_accounting(self) -> None:
         """Publish the plain-int per-cycle accumulators as stats counters."""
-        for reason, count in self._stall_counts.items():
-            self._stall_stats.set(reason, count)
+        for reason in STALL_REASONS:
+            if reason in self._stall_counts:
+                self._stall_stats.set(reason, self._stall_counts[reason])
         self.stats.set("commit_active_cycles", self.commit_active_cycles)
         self.stats.set("issue_active_cycles", self._issue_active_cycles)
         self.stats.set("dispatch_active_cycles", self._dispatch_active_cycles)

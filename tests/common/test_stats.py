@@ -51,6 +51,43 @@ class TestStatGroup:
         stats = StatGroup("x")
         assert stats.group("mem") is stats.group("mem")
 
+    def test_freeze_blocks_new_histograms_and_groups(self):
+        stats = StatGroup("x")
+        stats.histogram("known_hist").add(1)
+        stats.group("known_sub")
+        stats.freeze()
+        stats.histogram("known_hist").add(2)  # existing ones still usable
+        stats.group("known_sub")
+        with pytest.raises(KeyError, match="typo_hist"):
+            stats.histogram("typo_hist")
+        with pytest.raises(KeyError, match="typo_sub"):
+            stats.group("typo_sub")
+
+    def test_freeze_propagates_to_children(self):
+        stats = StatGroup("core")
+        sub = stats.group("mem")
+        sub.bump("loads")
+        stats.freeze()
+        with pytest.raises(KeyError):
+            sub.bump("typo")
+
+    def test_frozen_set_of_unknown_counter_raises(self):
+        stats = StatGroup("x")
+        stats.freeze()
+        with pytest.raises(KeyError):
+            stats.set("occupancy", 3)
+
+    def test_as_dict_exports_histograms_through_nesting(self):
+        stats = StatGroup("core")
+        hist = stats.group("mem").histogram("latency")
+        hist.add(4)
+        hist.add(8)
+        flat = stats.as_dict()
+        assert flat == {
+            "core.mem.latency.mean": 6.0,
+            "core.mem.latency.count": 2,
+        }
+
 
 class TestHistogram:
     def test_empty(self):
@@ -77,6 +114,27 @@ class TestHistogram:
         hist = Histogram()
         with pytest.raises(ValueError):
             hist.percentile(1.5)
+        with pytest.raises(ValueError):
+            hist.percentile(-0.1)
+
+    def test_percentile_extremes(self):
+        hist = Histogram()
+        for value in (3, 7, 7, 9):
+            hist.add(value)
+        # p=0 asks for "at least 0 mass below": the smallest bucket wins.
+        assert hist.percentile(0.0) == 3
+        assert hist.percentile(1.0) == 9
+
+    def test_percentile_empty_histogram_is_zero(self):
+        hist = Histogram()
+        assert hist.percentile(0.0) == 0
+        assert hist.percentile(1.0) == 0
+
+    def test_percentile_single_bucket(self):
+        hist = Histogram()
+        hist.add(42, weight=5)
+        for p in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.percentile(p) == 42
 
     @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200))
     def test_percentile_is_monotone_and_within_range(self, values):

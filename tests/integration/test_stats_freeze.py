@@ -1,0 +1,86 @@
+"""Integration: :meth:`StatGroup.freeze` as typo protection on a live run.
+
+Runs a looping workload long enough to touch every counter its steady state
+ever touches, freezes every stat group the core publishes, then resumes the
+run to completion.  Any counter created after the freeze would raise
+``KeyError`` — so finishing cleanly proves the instrumentation schema is
+fully established during warm-up, and the flattened key set is stable from
+there on.  This is the dynamic twin of the static ``stat-key`` lint checker.
+"""
+
+import random
+
+from repro.common.config import AttackModel, MachineConfig, MemLevel
+from repro.core import SdoProtection
+from repro.core.predictors import StaticPredictor
+from repro.isa import assemble
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import (
+    TERMINATION_HALTED,
+    TERMINATION_MAX_INSTRUCTIONS,
+    Core,
+)
+
+
+def _build_core(iterations=60):
+    rng = random.Random(7)
+    table_bytes = 16 * 1024
+    table_base = 1 << 20
+    memory = {4096 + 64 * i: rng.randrange(table_bytes) & ~7 for i in range(iterations)}
+    for i in range(0, table_bytes, 8):
+        memory[table_base + i] = i
+    source = f"""
+        li r1, 0
+        li r2, {iterations}
+        li r6, 64
+        li r7, 1000000
+    loop:
+        mul r8, r1, r6
+        load r5, r8, 33554432    ; slow condition load (cold)
+        bge r5, r7, skip
+        load r3, r8, 4096        ; index load
+        load r4, r3, {table_base} ; dependent table load -> Obl-Ld
+        add r10, r10, r4
+        store r10, r0, 9000      ; keep the store path warm every iteration
+    skip:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        store r10, r0, 9000
+        halt
+    """
+    program = assemble(source, memory)
+    protection = SdoProtection(StaticPredictor(MemLevel.L2), AttackModel.SPECTRE)
+    hierarchy = MemoryHierarchy(MachineConfig())
+    core = Core(program, protection=protection, hierarchy=hierarchy, check_golden=True)
+    hierarchy.warm([table_base + i for i in range(0, table_bytes, 64)])
+    hierarchy.warm([4096 + 64 * i for i in range(iterations)])
+    return core
+
+
+def test_no_counter_created_after_warm_up():
+    core = _build_core()
+    # ~25 loop iterations: every steady-state counter has been touched.
+    warm = core.run(max_instructions=200)
+    assert warm.termination == TERMINATION_MAX_INSTRUCTIONS
+
+    core.stats.freeze()
+    core.hierarchy.stats.freeze()
+    core.protection.decision_stats.freeze()
+
+    # Resuming past the freeze must not mint a single new counter; a typo'd
+    # or late-created key would raise KeyError out of this call.
+    final = core.run()
+    assert final.termination == TERMINATION_HALTED
+    assert set(final.stats) == set(warm.stats)
+
+
+def test_freeze_still_catches_a_genuinely_new_counter():
+    core = _build_core()
+    core.run(max_instructions=200)
+    core.stats.freeze()
+    try:
+        core.stats.bump("not_a_real_counter")
+    except KeyError as exc:
+        assert "not_a_real_counter" in str(exc)
+    else:
+        raise AssertionError("frozen StatGroup accepted an unknown counter")

@@ -1,0 +1,50 @@
+"""Ratchet baseline: diffing, persistence, staleness."""
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+
+
+def _finding(message: str) -> Finding:
+    return Finding("src/x.py", 3, "stat-key", message)
+
+
+def test_empty_baseline_marks_everything_new():
+    diff = Baseline().diff([_finding("a"), _finding("b")])
+    assert len(diff.new) == 2
+    assert not diff.baselined
+    assert not diff.stale
+
+
+def test_baselined_findings_filtered():
+    known = _finding("known")
+    baseline = Baseline.from_findings([known])
+    diff = baseline.diff([known, _finding("fresh")])
+    assert [f.message for f in diff.new] == ["fresh"]
+    assert [f.message for f in diff.baselined] == ["known"]
+
+
+def test_stale_entries_reported():
+    gone = _finding("fixed meanwhile")
+    baseline = Baseline.from_findings([gone])
+    diff = baseline.diff([])
+    assert diff.stale == [gone.fingerprint]
+
+
+def test_line_moves_do_not_invalidate_baseline():
+    baseline = Baseline.from_findings([Finding("src/x.py", 3, "stat-key", "m")])
+    diff = baseline.diff([Finding("src/x.py", 300, "stat-key", "m")])
+    assert not diff.new
+    assert len(diff.baselined) == 1
+
+
+def test_write_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    original = Baseline.from_findings([_finding("persisted")])
+    original.write(path)
+    loaded = Baseline.load(path)
+    assert set(loaded.entries) == set(original.entries)
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert baseline.entries == {}

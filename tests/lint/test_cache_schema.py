@@ -1,0 +1,106 @@
+"""``cache-schema``: serialized-surface drift vs. SCHEMA_VERSION."""
+
+from repro.lint.baseline import Baseline
+from repro.lint.checkers.cache_schema import write_fingerprint
+from repro.lint.engine import run_lint
+
+CHECKER = "cache-schema"
+
+_CACHE_V1 = (
+    "SCHEMA_VERSION = 1\n"
+    "def cache_key(request):\n"
+    "    material = {\n"
+    "        'schema': SCHEMA_VERSION,\n"
+    "        'config': request.config,\n"
+    "    }\n"
+    "    return material\n"
+)
+
+_API = (
+    "from dataclasses import dataclass, field\n"
+    "@dataclass(frozen=True)\n"
+    "class RunRequest:\n"
+    "    workload: str\n"
+    "    config: str\n"
+    "    label: str = field(default='', compare=False)\n"
+    "@dataclass(frozen=True)\n"
+    "class RunMetrics:\n"
+    "    cycles: int\n"
+)
+
+
+def _lint(ctx):
+    return run_lint(ctx, Baseline(), select=[CHECKER])
+
+
+def _files(cache=_CACHE_V1, api=_API):
+    return {"src/repro/sim/cache.py": cache, "src/repro/sim/api.py": api}
+
+
+def test_missing_fingerprint_is_flagged(make_ctx):
+    result = _lint(make_ctx(_files()))
+    assert len(result.findings) == 1
+    assert "--update-fingerprints" in result.findings[0].message
+
+
+def test_pinned_fingerprint_matches(make_ctx):
+    ctx = make_ctx(_files())
+    write_fingerprint(ctx)
+    assert _lint(ctx).findings == []
+
+
+def test_field_added_without_version_bump_is_flagged(make_ctx):
+    write_fingerprint(make_ctx(_files()))
+    grown = _API.replace("    config: str\n", "    config: str\n    seed: int = 0\n")
+    result = _lint(make_ctx(_files(api=grown)))
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert "RunRequest" in finding.message
+    assert "'seed'" in finding.message
+    assert "SCHEMA_VERSION" in finding.message
+
+
+def test_compare_false_fields_are_invisible(make_ctx):
+    # Adding a compare=False field mirrors _canonical: no key change, no
+    # finding.
+    write_fingerprint(make_ctx(_files()))
+    grown = _API.replace(
+        "class RunMetrics:\n",
+        "class RunMetrics:\n    note: str = field(default='', compare=False)\n",
+    )
+    assert _lint(make_ctx(_files(api=grown))).findings == []
+
+
+def test_version_bump_asks_for_fingerprint_refresh(make_ctx):
+    write_fingerprint(make_ctx(_files()))
+    bumped = _CACHE_V1.replace("SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2")
+    grown = _API.replace("    config: str\n", "    config: str\n    seed: int = 0\n")
+    result = _lint(make_ctx(_files(cache=bumped, api=grown)))
+    assert len(result.findings) == 1
+    assert "refresh it with" in result.findings[0].message
+
+
+def test_refresh_after_bump_is_clean(make_ctx):
+    bumped = _CACHE_V1.replace("SCHEMA_VERSION = 1", "SCHEMA_VERSION = 2")
+    ctx = make_ctx(_files(cache=bumped))
+    write_fingerprint(ctx)
+    assert _lint(ctx).findings == []
+
+
+def test_material_key_change_is_flagged(make_ctx):
+    write_fingerprint(make_ctx(_files()))
+    changed = _CACHE_V1.replace("'config': request.config,\n", "")
+    result = _lint(make_ctx(_files(cache=changed)))
+    assert len(result.findings) == 1
+    assert "cache_key material" in result.findings[0].message
+
+
+def test_inline_suppression_respected(make_ctx):
+    write_fingerprint(make_ctx(_files()))
+    grown = _API.replace(
+        "class RunRequest:\n",
+        "class RunRequest:  # sdolint: disable=cache-schema\n",
+    ).replace("    config: str\n", "    config: str\n    seed: int = 0\n")
+    result = _lint(make_ctx(_files(api=grown)))
+    assert result.findings == []
+    assert result.suppressed == 1

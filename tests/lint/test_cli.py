@@ -1,0 +1,67 @@
+"""``repro lint`` CLI: exit codes, formats, baseline plumbing."""
+
+import json
+
+from repro.lint.cli import main
+
+from tests.lint.conftest import REPO_ROOT
+
+
+def test_repo_lints_clean_via_cli(capsys):
+    assert main(["--root", str(REPO_ROOT)]) == 0
+    out = capsys.readouterr().out
+    assert "sdolint:" in out
+
+
+def test_json_format_is_machine_readable(capsys):
+    assert main(["--root", str(REPO_ROOT), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["gating"] == 0
+    assert isinstance(payload["new"], list)
+    assert isinstance(payload["baselined"], list)
+
+
+def test_unknown_checker_id_is_an_error(capsys):
+    assert main(["--root", str(REPO_ROOT), "--select", "no-such-checker"]) == 2
+    assert "unknown checker" in capsys.readouterr().out
+
+
+def test_select_single_checker(capsys):
+    assert main(["--root", str(REPO_ROOT), "--select", "event-schema"]) == 0
+
+
+def test_violation_fails_and_baseline_absorbs_it(tmp_path, capsys):
+    # A tiny tree with a seeded determinism violation: the gate fails,
+    # --write-baseline ratchets it in, and the next run passes.
+    bad = tmp_path / "src" / "repro" / "pipeline"
+    bad.mkdir(parents=True)
+    (bad / "jitter.py").write_text(
+        "import random\n\n\ndef jitter():\n    return random.random()\n"
+    )
+    baseline = tmp_path / "sdolint-baseline.json"
+    argv = [
+        "--root", str(tmp_path), "--baseline", str(baseline),
+        "--select", "determinism",
+    ]
+    assert main(argv) == 1
+    assert "unseeded global RNG" in capsys.readouterr().out
+    assert main(argv + ["--write-baseline"]) == 0
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+
+def test_stale_baseline_entries_reported(tmp_path, capsys):
+    src = tmp_path / "src" / "repro" / "pipeline"
+    src.mkdir(parents=True)
+    jitter = src / "jitter.py"
+    jitter.write_text("import random\n\n\ndef jitter():\n    return random.random()\n")
+    baseline = tmp_path / "sdolint-baseline.json"
+    argv = [
+        "--root", str(tmp_path), "--baseline", str(baseline),
+        "--select", "determinism",
+    ]
+    assert main(argv + ["--write-baseline"]) == 0
+    jitter.write_text("def jitter():\n    return 4\n")
+    assert main(argv) == 0
+    assert "no longer matches" in capsys.readouterr().out

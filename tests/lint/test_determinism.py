@@ -1,0 +1,126 @@
+"""``determinism``: ambient-state reads in the simulation core."""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import run_lint
+
+CHECKER = "determinism"
+
+
+def _lint(ctx):
+    return run_lint(ctx, Baseline(), select=[CHECKER])
+
+
+def test_global_random_flagged(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/pipeline/jitter.py": (
+                "import random\n"
+                "def jitter():\n"
+                "    return random.random()\n"
+            )
+        }
+    )
+    result = _lint(ctx)
+    assert len(result.findings) == 1
+    assert "unseeded global RNG" in result.findings[0].message
+
+
+def test_seeded_random_instance_allowed(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/pipeline/seeded.py": (
+                "import random\n"
+                "def make_rng(seed):\n"
+                "    return random.Random(seed)\n"
+            )
+        }
+    )
+    assert _lint(ctx).findings == []
+
+
+def test_wall_clock_flagged(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/memory/clocky.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            )
+        }
+    )
+    result = _lint(ctx)
+    assert len(result.findings) == 1
+    assert "wall clock" in result.findings[0].message
+
+
+def test_set_iteration_flagged(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/core/order.py": (
+                "def drain(pending):\n"
+                "    for item in set(pending):\n"
+                "        yield item\n"
+            )
+        }
+    )
+    result = _lint(ctx)
+    assert len(result.findings) == 1
+    assert "sorted" in result.findings[0].message
+
+
+def test_comprehension_over_set_flagged(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/core/order.py": (
+                "def drain(pending):\n"
+                "    return [item for item in {1, 2, 3}]\n"
+            )
+        }
+    )
+    assert len(_lint(ctx).findings) == 1
+
+
+def test_sorted_set_iteration_allowed(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/core/order.py": (
+                "def drain(pending):\n"
+                "    for item in sorted(set(pending)):\n"
+                "        yield item\n"
+            )
+        }
+    )
+    assert _lint(ctx).findings == []
+
+
+def test_host_side_modules_allowlisted(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/analysis/profiler2.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "src/repro/sim/engine.py": (
+                "import time\n"
+                "def now():\n"
+                "    return time.monotonic()\n"
+            ),
+        }
+    )
+    assert _lint(ctx).findings == []
+
+
+def test_inline_suppression_respected(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/pipeline/jitter.py": (
+                "import random\n"
+                "def jitter():\n"
+                "    return random.random()  # sdolint: disable=determinism\n"
+            )
+        }
+    )
+    result = _lint(ctx)
+    assert result.findings == []
+    assert result.suppressed == 1

@@ -1,0 +1,120 @@
+"""``event-schema``: the run-event vocabulary stays closed."""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import run_lint
+from repro.lint.findings import ERROR
+
+CHECKER = "event-schema"
+
+_EVENTS = (
+    "QUEUED = 'queued'\n"
+    "STARTED = 'started'\n"
+    "FINISHED = 'finished'\n"
+    "FAILED = 'failed'\n"
+    "TERMINAL_EVENTS = frozenset({FINISHED, FAILED})\n"
+    "class ProgressLine:\n"
+    "    _TAGS = {\n"
+    "        FINISHED: 'ok',\n"
+    "        FAILED: 'FAILED',\n"
+    "    }\n"
+)
+
+_API = (
+    "FAILURE_CRASH = 'crash'\n"
+    "FAILURE_TIMEOUT = 'timeout'\n"
+    "FAILURE_KINDS = frozenset({FAILURE_CRASH, FAILURE_TIMEOUT})\n"
+    "TRANSIENT_FAILURE_KINDS = frozenset({FAILURE_CRASH})\n"
+)
+
+_ENGINE = (
+    "from repro.sim.events import QUEUED, STARTED, FINISHED, FAILED\n"
+    "from repro.sim.api import FAILURE_CRASH\n"
+    "class Engine:\n"
+    "    def go(self, index, request):\n"
+    "        self._emit(QUEUED, index, request)\n"
+    "        self._emit(STARTED, index, request)\n"
+    "        self._emit(FINISHED, index, request)\n"
+    "        self._emit(FAILED, index, request, failure_kind=FAILURE_CRASH)\n"
+)
+
+
+def _lint(ctx):
+    return run_lint(ctx, Baseline(), select=[CHECKER])
+
+
+def _errors(result):
+    return [f for f in result.findings if f.severity == ERROR]
+
+
+def _files(events=_EVENTS, engine=_ENGINE, api=_API):
+    return {
+        "src/repro/sim/events.py": events,
+        "src/repro/sim/engine.py": engine,
+        "src/repro/sim/api.py": api,
+    }
+
+
+def test_consistent_vocabulary_is_clean(make_ctx):
+    assert _errors(_lint(make_ctx(_files()))) == []
+
+
+def test_undeclared_emitted_kind_is_flagged(make_ctx):
+    engine = _ENGINE + "        self._emit('exploded', index, request)\n"
+    errors = _errors(_lint(make_ctx(_files(engine=engine))))
+    assert len(errors) == 1
+    assert "'exploded'" in errors[0].message
+
+
+def test_terminal_event_without_progress_tag_is_flagged(make_ctx):
+    events = _EVENTS.replace(
+        "TERMINAL_EVENTS = frozenset({FINISHED, FAILED})",
+        "CANCELLED = 'cancelled'\n"
+        "TERMINAL_EVENTS = frozenset({FINISHED, FAILED, CANCELLED})",
+    )
+    errors = _errors(_lint(make_ctx(_files(events=events))))
+    assert len(errors) == 1
+    assert "'cancelled'" in errors[0].message
+    assert "ProgressLine._TAGS" in errors[0].message
+
+
+def test_transient_kind_outside_taxonomy_is_flagged(make_ctx):
+    api = _API.replace(
+        "TRANSIENT_FAILURE_KINDS = frozenset({FAILURE_CRASH})",
+        "TRANSIENT_FAILURE_KINDS = frozenset({FAILURE_CRASH, 'oom'})",
+    )
+    errors = _errors(_lint(make_ctx(_files(api=api))))
+    assert len(errors) == 1
+    assert "'oom'" in errors[0].message
+
+
+def test_declared_constant_missing_from_failure_kinds_is_flagged(make_ctx):
+    api = _API.replace(
+        "FAILURE_KINDS = frozenset({FAILURE_CRASH, FAILURE_TIMEOUT})",
+        "FAILURE_KINDS = frozenset({FAILURE_CRASH})",
+    ).replace(
+        "TRANSIENT_FAILURE_KINDS = frozenset({FAILURE_CRASH})\n",
+        "TRANSIENT_FAILURE_KINDS = frozenset({FAILURE_CRASH})\n",
+    )
+    errors = _errors(_lint(make_ctx(_files(api=api))))
+    assert len(errors) == 1
+    assert "FAILURE_TIMEOUT" in errors[0].message
+
+
+def test_unemitted_kind_is_a_warning_not_error(make_ctx):
+    engine = "\n".join(
+        line for line in _ENGINE.splitlines() if "STARTED," not in line or "_emit" not in line
+    ) + "\n"
+    result = _lint(make_ctx(_files(engine=engine)))
+    assert _errors(result) == []
+    warnings = [f for f in result.findings if f.severity == "warning"]
+    assert any("STARTED" in f.message for f in warnings)
+
+
+def test_inline_suppression_respected(make_ctx):
+    engine = _ENGINE + (
+        "        self._emit('exploded', index, request)"
+        "  # sdolint: disable=event-schema\n"
+    )
+    result = _lint(make_ctx(_files(engine=engine)))
+    assert _errors(result) == []
+    assert result.suppressed == 1

@@ -1,0 +1,49 @@
+"""Finding model: fingerprints, rendering, severities."""
+
+import pytest
+
+from repro.lint.findings import ERROR, WARNING, Finding
+
+
+def test_fingerprint_ignores_line_number():
+    a = Finding("src/x.py", 10, "stat-key", "bad key")
+    b = Finding("src/x.py", 99, "stat-key", "bad key")
+    assert a.fingerprint == b.fingerprint
+
+
+def test_fingerprint_depends_on_checker_path_message():
+    base = Finding("src/x.py", 1, "stat-key", "bad key")
+    assert base.fingerprint != Finding("src/y.py", 1, "stat-key", "bad key").fingerprint
+    assert base.fingerprint != Finding("src/x.py", 1, "determinism", "bad key").fingerprint
+    assert base.fingerprint != Finding("src/x.py", 1, "stat-key", "other").fingerprint
+
+
+def test_render_and_dict_roundtrip():
+    finding = Finding("src/x.py", 7, "event-schema", "boom", severity=WARNING)
+    assert finding.render() == "src/x.py:7: warning: [event-schema] boom"
+    payload = finding.to_dict()
+    assert payload["line"] == 7
+    assert payload["fingerprint"] == finding.fingerprint
+
+
+def test_whole_file_finding_renders_without_line():
+    finding = Finding("tests/golden/golden_stats.json", 0, "stat-key", "stale")
+    assert finding.render().startswith("tests/golden/golden_stats.json: ")
+
+
+def test_unknown_severity_rejected():
+    with pytest.raises(ValueError):
+        Finding("src/x.py", 1, "stat-key", "m", severity="fatal")
+
+
+def test_ordering_is_by_location():
+    first = Finding("a.py", 1, "stat-key", "m")
+    later = Finding("a.py", 2, "stat-key", "m")
+    other = Finding("b.py", 1, "stat-key", "m")
+    assert sorted([other, later, first]) == [first, later, other]
+
+
+def test_severity_not_part_of_identity():
+    a = Finding("src/x.py", 1, "stat-key", "m", severity=ERROR)
+    b = Finding("src/x.py", 1, "stat-key", "m", severity=WARNING)
+    assert a == b

@@ -1,0 +1,137 @@
+"""``oblivious-timing``: seeded Definition-2 violations are caught, the
+repo's real DO idioms are not, and inline suppressions are honored."""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import run_lint
+
+CHECKER = "oblivious-timing"
+
+
+def _lint(ctx):
+    return run_lint(ctx, Baseline(), select=[CHECKER])
+
+
+def test_data_dependent_latency_in_variant_is_flagged(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/core/leaky.py": (
+                "class LeakyVariant(DOVariant):\n"
+                "    def execute(self, args):\n"
+                "        success, presult = self._compute(args)\n"
+                "        latency = 4 if presult else 9\n"
+                "        return VariantResult(success=success, presult=presult,"
+                " latency=latency)\n"
+            )
+        }
+    )
+    result = _lint(ctx)
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert finding.checker == CHECKER
+    assert "latency=" in finding.message
+    assert finding.line == 5
+
+
+def test_reservation_under_tainted_control_is_flagged(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/core/branchy.py": (
+                "class BranchyOp(SdoOperation):\n"
+                "    def issue(self, pc, args):\n"
+                "        outcome = self.variants[0].execute(args)\n"
+                "        if outcome.success:\n"
+                "            self.ports.grant(pc)\n"
+            )
+        }
+    )
+    result = _lint(ctx)
+    assert len(result.findings) == 1
+    assert "operand-dependent control" in result.findings[0].message
+
+
+def test_address_taint_reaches_reservation(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/memory/probe.py": (
+                "class Probe:\n"
+                "    def oblivious_probe(self, addr, now):\n"
+                "        wait = addr % 4\n"
+                "        self.banks.reserve(now + wait)\n"
+            )
+        }
+    )
+    result = _lint(ctx)
+    assert len(result.findings) == 1
+    assert "reserve()" in result.findings[0].message
+
+
+def test_signature_projection_is_clean(make_ctx):
+    # The repo's core idiom: execute a (tainted) variant, forward only the
+    # signature-stamped latency/resources.  Must NOT be flagged.
+    ctx = make_ctx(
+        {
+            "src/repro/core/clean.py": (
+                "class CleanOp(SdoOperation):\n"
+                "    def issue(self, pc, args):\n"
+                "        index = self.predictor.predict(pc)\n"
+                "        outcome = self.variants[index].execute(args)\n"
+                "        return IssueOutcome(\n"
+                "            variant_index=index,\n"
+                "            presult=outcome.presult,\n"
+                "            latency=outcome.latency,\n"
+                "            resources=outcome.resources,\n"
+                "            _success_sealed=outcome.success,\n"
+                "        )\n"
+            )
+        }
+    )
+    assert _lint(ctx).findings == []
+
+
+def test_prediction_dependent_timing_is_allowed(make_ctx):
+    # Timing keyed on the predicted level is the whole point of SDO.
+    ctx = make_ctx(
+        {
+            "src/repro/memory/pred.py": (
+                "class Pred:\n"
+                "    def oblivious_lookup(self, addr, predicted_level, now):\n"
+                "        depth = int(predicted_level)\n"
+                "        self.ports.grant(now + depth)\n"
+            )
+        }
+    )
+    assert _lint(ctx).findings == []
+
+
+def test_inline_suppression_respected(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/core/suppressed.py": (
+                "class Sneaky(DOVariant):\n"
+                "    def execute(self, args):\n"
+                "        success, presult = self._compute(args)\n"
+                "        latency = 4 if presult else 9\n"
+                "        return VariantResult(success=success,"
+                " latency=latency)  # sdolint: disable=oblivious-timing\n"
+            )
+        }
+    )
+    result = _lint(ctx)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_out_of_scope_functions_ignored(make_ctx):
+    # Same flow, but neither an SDO subclass nor an oblivious-named
+    # function: the checker must not fire outside its scope.
+    ctx = make_ctx(
+        {
+            "src/repro/memory/normal.py": (
+                "class NormalPath:\n"
+                "    def load(self, addr, now):\n"
+                "        wait = addr % 4\n"
+                "        self.banks.reserve(now + wait)\n"
+            )
+        }
+    )
+    assert _lint(ctx).findings == []

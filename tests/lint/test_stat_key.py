@@ -1,0 +1,169 @@
+"""``stat-key``: non-literal keys, fixture cross-checks, stall identity."""
+
+import json
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import run_lint
+from repro.lint.findings import ERROR
+
+CHECKER = "stat-key"
+
+
+def _lint(ctx):
+    return run_lint(ctx, Baseline(), select=[CHECKER])
+
+
+def _errors(result):
+    return [f for f in result.findings if f.severity == ERROR]
+
+
+def test_fstring_key_is_flagged(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/memory/hier.py": (
+                "class H:\n"
+                "    def hit(self, level):\n"
+                "        self.stats.bump(f'hits_{level}')\n"
+            )
+        }
+    )
+    errors = _errors(_lint(ctx))
+    assert len(errors) == 1
+    assert "not statically resolvable" in errors[0].message
+    assert errors[0].line == 3
+
+
+def test_key_constant_subscript_resolves(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/memory/hier.py": (
+                "_HIT = {1: 'hits_l1', 2: 'hits_l2'}\n"
+                "class H:\n"
+                "    def hit(self, level):\n"
+                "        self.stats.bump(_HIT[level])\n"
+            )
+        }
+    )
+    assert _errors(_lint(ctx)) == []
+
+
+def test_loop_over_key_constant_resolves(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/pipeline/fold.py": (
+                "REASONS = ('frontend', 'memory')\n"
+                "class F:\n"
+                "    def fold(self):\n"
+                "        for reason in REASONS:\n"
+                "            self.stats.set(reason, 1)\n"
+            )
+        }
+    )
+    assert _errors(_lint(ctx)) == []
+
+
+def test_self_attribute_literal_key_resolves(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/pipeline/attr.py": (
+                "class A:\n"
+                "    def __init__(self, fast):\n"
+                "        self._key = 'fast_cycles' if fast else 'slow_cycles'\n"
+                "    def tick(self):\n"
+                "        self.stats.bump(self._key)\n"
+            )
+        }
+    )
+    assert _errors(_lint(ctx)) == []
+
+
+def test_golden_key_never_bumped_is_flagged(make_ctx):
+    golden = json.dumps(
+        {"cells": {"A/spectre": {"stats": {"core.typo_counter": 1}}}}
+    )
+    ctx = make_ctx(
+        {
+            "src/repro/pipeline/mod.py": (
+                "class M:\n"
+                "    def tick(self):\n"
+                "        self.stats.bump('real_counter')\n"
+            )
+        },
+        extra={"tests/golden/golden_stats.json": golden},
+    )
+    errors = _errors(_lint(ctx))
+    assert len(errors) == 1
+    assert "core.typo_counter" in errors[0].message
+
+
+def test_read_of_unbumped_key_is_flagged(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/pipeline/mod.py": (
+                "class M:\n"
+                "    def tick(self):\n"
+                "        self.stats.bump('real_counter')\n"
+            )
+        },
+        read_scan={
+            "tests/eval/test_read.py": (
+                "def test_read(metrics):\n"
+                "    assert metrics.stats.get('core.real_countr', 0) == 0\n"
+            )
+        },
+    )
+    errors = _errors(_lint(ctx))
+    assert len(errors) == 1
+    assert "core.real_countr" in errors[0].message
+
+
+def test_stall_identity_mismatch_flagged(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/pipeline/core.py": (
+                "STALL_REASONS = ('frontend',)\n"
+                "class Core:\n"
+                "    def _stall_reason(self):\n"
+                "        if self.empty:\n"
+                "            return 'frontend'\n"
+                "        return 'memory'\n"
+                "    def _fold_cycle_accounting(self):\n"
+                "        for reason in STALL_REASONS:\n"
+                "            self.stats.set(reason, 1)\n"
+            )
+        }
+    )
+    errors = _errors(_lint(ctx))
+    assert len(errors) == 1
+    assert "'memory'" in errors[0].message
+    assert "STALL_REASONS" in errors[0].message
+
+
+def test_inline_suppression_respected(make_ctx):
+    ctx = make_ctx(
+        {
+            "src/repro/memory/hier.py": (
+                "class H:\n"
+                "    def hit(self, level):\n"
+                "        self.stats.bump(f'hits_{level}')"
+                "  # sdolint: disable=stat-key\n"
+            )
+        }
+    )
+    result = _lint(ctx)
+    assert _errors(result) == []
+    assert result.suppressed == 1
+
+
+def test_non_sim_core_modules_not_scanned(make_ctx):
+    # eval/ is host-side: dynamic keys there are fine.
+    ctx = make_ctx(
+        {
+            "src/repro/eval/report.py": (
+                "class R:\n"
+                "    def note(self, name):\n"
+                "        self.stats.bump(f'report_{name}')\n"
+            )
+        }
+    )
+    assert _errors(_lint(ctx)) == []

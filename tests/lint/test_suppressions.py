@@ -1,0 +1,43 @@
+"""Inline ``# sdolint: disable=…`` parsing and application."""
+
+from repro.lint.source import SourceFile, parse_suppressions
+
+
+def test_single_id():
+    text = "x = 1  # sdolint: disable=stat-key\n"
+    assert parse_suppressions(text) == {1: frozenset({"stat-key"})}
+
+
+def test_multiple_ids_and_whitespace():
+    text = "y = 2  # sdolint: disable=stat-key, determinism\n"
+    assert parse_suppressions(text)[1] == frozenset({"stat-key", "determinism"})
+
+
+def test_all_wildcard():
+    source = SourceFile.__new__(SourceFile)
+    source.suppressions = parse_suppressions("z = 3  # sdolint: disable=all\n")
+    assert source.is_suppressed(1, "anything")
+    assert not source.is_suppressed(2, "anything")
+
+
+def test_unrelated_comments_ignored():
+    assert parse_suppressions("a = 1  # type: ignore\n# plain comment\n") == {}
+
+
+def test_line_attribution():
+    text = "a = 1\nb = 2  # sdolint: disable=oblivious-timing\nc = 3\n"
+    suppressions = parse_suppressions(text)
+    assert set(suppressions) == {2}
+
+
+def test_tokenize_error_tolerated():
+    # Unterminated string: tokenize raises, parser should swallow it.
+    assert parse_suppressions("x = 'unterminated\n") == {}
+
+
+def test_is_suppressed_matches_checker(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("value = compute()  # sdolint: disable=determinism\n")
+    source = SourceFile.load(path, tmp_path)
+    assert source.is_suppressed(1, "determinism")
+    assert not source.is_suppressed(1, "stat-key")

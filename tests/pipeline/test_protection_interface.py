@@ -1,5 +1,7 @@
 """Tests for the protection hook interface and its Unsafe default."""
 
+import dataclasses
+
 import pytest
 
 from repro.common.config import MemLevel
@@ -57,7 +59,7 @@ class TestIssueDecision:
 
     def test_frozen(self):
         decision = IssueDecision(LoadIssueAction.NORMAL)
-        with pytest.raises(Exception):
+        with pytest.raises(dataclasses.FrozenInstanceError):
             decision.action = LoadIssueAction.DELAY
 
 
