@@ -22,6 +22,7 @@ import time
 import pytest
 
 from repro.sim.api import Session
+from repro.sim.policies import CachePolicy, ExecutionPolicy
 from repro.workloads import suite
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -44,7 +45,10 @@ def sweep_session() -> Session:
     exists so a wedged run fails the benchmark job with a classified
     ``timeout`` instead of hanging CI until the job-level kill.
     """
-    return Session(jobs=_jobs(), cache=False, timeout=1800.0)
+    return Session(
+        execution=ExecutionPolicy(jobs=_jobs(), timeout=1800.0),
+        cache=CachePolicy(enabled=False),
+    )
 
 
 @pytest.fixture(scope="session")

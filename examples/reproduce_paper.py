@@ -26,7 +26,14 @@ import time
 from repro.common import AttackModel
 from repro.eval import build_figure6, build_figure7, build_figure8, to_csv
 from repro.eval.tables import render_table1, render_table2, render_table3, table3_rows
-from repro.sim import SDO_CONFIG_NAMES, JsonlEventLog, ProgressLine, Session
+from repro.sim import (
+    SDO_CONFIG_NAMES,
+    CachePolicy,
+    ExecutionPolicy,
+    JsonlEventLog,
+    ProgressLine,
+    Session,
+)
 from repro.workloads import suite
 
 
@@ -49,7 +56,11 @@ def main(argv=None) -> int:
     event_log = JsonlEventLog(args.events) if args.events else None
     if event_log is not None:
         observers.append(event_log)
-    session = Session(jobs=args.jobs, cache=not args.no_cache, observers=observers)
+    session = Session(
+        execution=ExecutionPolicy(jobs=args.jobs),
+        cache=CachePolicy(enabled=not args.no_cache),
+        observers=observers,
+    )
 
     started = time.time()
     try:

@@ -8,29 +8,33 @@ inventory, EXPERIMENTS.md for paper-vs-measured results.
 
 The most useful entry points:
 
->>> from repro import Session, config_by_name, suite, AttackModel
->>> session = Session(jobs=4)                        # doctest: +SKIP
->>> metrics = session.run(suite()[1], "Hybrid",
-...                       AttackModel.SPECTRE)       # doctest: +SKIP
->>> results = session.sweep(suite())                 # doctest: +SKIP
+>>> from repro import ExecutionPolicy, Session, config_by_name, suite
+>>> session = Session(execution=ExecutionPolicy(jobs=4))  # doctest: +SKIP
+>>> metrics = session.run(suite()[1], "Hybrid")           # doctest: +SKIP
+>>> results = session.sweep(suite())                      # doctest: +SKIP
 >>> from repro.security import run_spectre_v1
->>> run_spectre_v1("Unsafe").leaked                  # doctest: +SKIP
+>>> run_spectre_v1("Unsafe").leaked                       # doctest: +SKIP
 True
 
-``run_workload``/``run_suite`` are deprecated shims over the same API.
+Distributed sweeps go through :mod:`repro.fabric`: point the session's
+:class:`ExecutionPolicy` at a scheduler (``fabric="http://host:8700"``)
+and ``sweep()`` transparently fans out across its workers.
 """
 
 from repro.common.config import AttackModel, MachineConfig, MemLevel
 from repro.sim.api import RunFailure, RunMetrics, RunRequest, Session, execute
 from repro.sim.configs import EVALUATED_CONFIGS, config_by_name
-from repro.sim.runner import run_suite, run_workload
+from repro.sim.policies import CachePolicy, ExecutionPolicy, JournalPolicy
 from repro.workloads.spec17 import suite
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AttackModel",
+    "CachePolicy",
     "EVALUATED_CONFIGS",
+    "ExecutionPolicy",
+    "JournalPolicy",
     "MachineConfig",
     "MemLevel",
     "RunFailure",
@@ -39,8 +43,6 @@ __all__ = [
     "Session",
     "config_by_name",
     "execute",
-    "run_suite",
-    "run_workload",
     "suite",
     "__version__",
 ]

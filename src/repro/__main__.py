@@ -12,6 +12,10 @@ Commands:
                  (``--timeout``), retries for transient failures
                  (``--retries``), and resumable runs
                  (``--journal`` + ``--resume``)
+* ``fabric``   — the distributed sweep fabric: ``fabric serve`` runs the
+                 scheduler service, ``fabric work`` runs a worker agent
+                 against it, ``fabric status`` pings a scheduler.  Submit
+                 to a fabric with ``sweep --fabric http://host:8700``.
 * ``lint``     — run the sdolint invariant checkers (oblivious-timing,
                  stat-key, determinism, cache-schema, event-schema)
                  against the committed ratchet baseline
@@ -27,6 +31,7 @@ from repro.common.config import AttackModel
 from repro.eval.report import render_table, to_csv
 from repro.eval.tables import render_table1, render_table2
 from repro.sim.api import Instrumentation, Session
+from repro.sim.policies import CachePolicy, ExecutionPolicy, JournalPolicy
 from repro.sim.configs import EVALUATED_CONFIGS, SDO_CONFIG_NAMES, config_by_name
 from repro.sim.events import JsonlEventLog, ProgressLine
 from repro.workloads.spec17 import SPEC17_SUITE, suite, workload_by_name
@@ -54,15 +59,23 @@ def _cmd_spectre(args) -> int:
 
 
 def _session_from(args, observers=()) -> Session:
+    journal_path = getattr(args, "journal", None)
     return Session(
-        jobs=args.jobs,
-        cache=not args.no_cache,
-        cache_dir=args.cache_dir,
+        execution=ExecutionPolicy(
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            fabric=getattr(args, "fabric", None),
+        ),
+        cache=CachePolicy(
+            enabled=not args.no_cache,
+            cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        ),
+        journal=JournalPolicy(
+            path=str(journal_path) if journal_path else None,
+            resume=getattr(args, "resume", False),
+        ),
         observers=observers,
-        timeout=args.timeout,
-        retries=args.retries,
-        journal=getattr(args, "journal", None),
-        resume=getattr(args, "resume", False),
     )
 
 
@@ -215,6 +228,60 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_fabric(args) -> int:
+    if args.fabric_command == "serve":
+        from repro.fabric.scheduler import serve
+
+        serve(
+            args.state_dir,
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            lease_seconds=args.lease_seconds,
+        )
+        return 0
+    if args.fabric_command == "work":
+        import contextlib
+        import json
+        import os
+
+        from repro.fabric.worker import WorkerAgent
+        from repro.testing.faults import FaultPlan, inject
+
+        agent = WorkerAgent(
+            args.url,
+            cache_dir=args.cache_dir,
+            worker_id=args.worker_id,
+            max_idle_seconds=args.max_idle,
+        )
+        plan_path = os.environ.get("REPRO_FAULT_PLAN")
+        context = (
+            inject(FaultPlan.from_dict(json.loads(pathlib.Path(plan_path).read_text())))
+            if plan_path
+            else contextlib.nullcontext()
+        )
+        print(f"fabric-worker {agent.worker_id} polling {args.url}", flush=True)
+        with context:
+            stats = agent.run_forever()
+        print(f"fabric-worker {agent.worker_id} done: {json.dumps(stats)}", flush=True)
+        return 0
+    if args.fabric_command == "status":
+        from repro.fabric.transport import FabricError, HttpTransport
+
+        try:
+            reply = HttpTransport(args.url, timeout=5.0).get_json("/v1/ping")
+        except FabricError as exc:
+            print(f"unreachable: {exc}")
+            return 1
+        print(
+            f"scheduler at {args.url}: {reply['sweeps']} sweeps, "
+            f"{reply['cells']} cells ({reply['pending']} pending), "
+            f"wire schema v{reply['schema']}"
+        )
+        return 0
+    raise AssertionError(f"unhandled fabric command {args.fabric_command!r}")
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -302,7 +369,46 @@ def main(argv=None) -> int:
         help="load the --journal before running and skip every cell it "
              "already holds",
     )
+    sweep.add_argument(
+        "--fabric", default=None, metavar="URL",
+        help="submit the sweep to a fabric scheduler (e.g. "
+             "http://host:8700) instead of executing locally; --jobs and "
+             "--timeout/--retries then apply on the fabric's workers",
+    )
     _add_engine_options(sweep)
+
+    fabric = sub.add_parser(
+        "fabric", help="distributed sweep fabric: scheduler and workers"
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+    serve_p = fabric_sub.add_parser("serve", help="run the scheduler service")
+    serve_p.add_argument(
+        "--state-dir", default=".repro-fabric",
+        help="durable queue + artifact store directory (default .repro-fabric/)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8700)
+    serve_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared artifact store (default <state-dir>/artifacts)",
+    )
+    serve_p.add_argument(
+        "--lease-seconds", type=float, default=15.0,
+        help="cell lease duration; a worker silent this long is presumed dead",
+    )
+    work_p = fabric_sub.add_parser("work", help="run a worker agent")
+    work_p.add_argument("url", help="scheduler URL, e.g. http://host:8700")
+    work_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="worker-local result cache (checked before the artifact store)",
+    )
+    work_p.add_argument("--worker-id", default=None)
+    work_p.add_argument(
+        "--max-idle", type=float, default=None, metavar="SECONDS",
+        help="exit after this long without work (default: poll forever)",
+    )
+    status_p = fabric_sub.add_parser("status", help="ping a scheduler")
+    status_p.add_argument("url")
 
     from repro.lint.cli import add_lint_arguments
 
@@ -323,6 +429,7 @@ def main(argv=None) -> int:
         "spectre": _cmd_spectre,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "fabric": _cmd_fabric,
     }
     return handlers[args.command](args)
 

@@ -114,7 +114,13 @@ def sweep(
     across variants as well as configs.
     """
     if session is None:
-        session = Session(jobs=jobs, cache=False, check_golden=check_golden)
+        from repro.sim.policies import CachePolicy, ExecutionPolicy
+
+        session = Session(
+            execution=ExecutionPolicy(jobs=jobs),
+            cache=CachePolicy(enabled=False),
+            check_golden=check_golden,
+        )
     per_variant = ("Unsafe", *config_names)
     requests = [
         session.request(

@@ -1,0 +1,347 @@
+"""The scheduler's durable cell queue.
+
+A :class:`FabricQueue` generalizes the :class:`~repro.sim.cache.SweepJournal`
+idea — an append-only JSONL log keyed by content-addressed cache key — into
+a crash-recoverable job queue.  Four record kinds share the log::
+
+    {"kind": "sweep",   "sweep_id": ..., "cells": [key, ...], "retry": {...},
+     "timeout": ..., "schema": 1}
+    {"kind": "cell",    "key": ..., "request": {...RunRequest...},
+     "retry": {...RetryPolicy...}, "timeout": ..., "schema": 1}
+    {"kind": "attempt", "key": ..., "attempts": n, "failure": {...}, "schema": 1}
+    {"kind": "done",    "key": ..., "outcome": {"kind": ..., "payload": ...},
+     "schema": 1}
+
+Every mutation appends one flushed line, so a ``kill -9`` at any instant
+loses at most the line being written — and :meth:`load` skips torn trailing
+lines exactly like the sweep journal.  **Leases are deliberately not
+journalled**: a lease is a promise by a live worker, and after a scheduler
+crash no such promise is trustworthy, so non-``done`` cells simply reload
+as ``pending`` and get handed out again.  ``done`` cells reload as done —
+the crash-restart acceptance test in ``tests/fabric`` asserts completed
+cells are never re-executed.
+
+Failed attempts are journalled (``attempt`` records) so server-side retry
+budgets survive restarts too: a cell that crashed twice before the crash
+does not get a fresh budget after it.
+
+The queue itself is not thread-safe; the scheduler serializes access with
+one lock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fabric.wire import (
+    CELL_DONE,
+    CELL_LEASED,
+    CELL_PENDING,
+    decode_outcome,
+    encode_outcome,
+    envelope,
+)
+from repro.sim.api import FAILURE_CRASH, RunFailure, RunOutcome
+from repro.sim.engine import RetryPolicy
+
+
+@dataclass
+class Lease:
+    """An in-memory (never journalled) claim on a cell by one worker."""
+
+    worker: str
+    deadline: float  # monotonic seconds
+
+
+@dataclass
+class CellRecord:
+    """One unit of work: a request body plus its queue bookkeeping."""
+
+    key: str
+    request: dict
+    retry: RetryPolicy
+    timeout: float | None = None
+    state: str = CELL_PENDING
+    attempts: int = 0
+    outcome: RunOutcome | None = None
+    last_failure: RunFailure | None = None
+    lease: Lease | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.state == CELL_DONE
+
+
+@dataclass
+class SweepRecord:
+    """A submitted batch: ordered cell keys (duplicates allowed — two equal
+    requests in one batch share a key and a result)."""
+
+    sweep_id: str
+    cells: list[str] = field(default_factory=list)
+
+
+def worker_lost_failure(cell: CellRecord, worker: str) -> RunFailure:
+    """The synthetic failure recorded when a lease expires: the worker
+    stopped heartbeating (crashed host, OOM-killed agent, network split),
+    which is exactly the environmental-``crash`` case of the taxonomy."""
+    request = cell.request
+    return RunFailure(
+        workload=request["workload"]["name"],
+        config=request["config"]["name"],
+        attack_model=_attack_model(request),
+        error_type="WorkerLost",
+        message=f"lease by worker {worker!r} expired without completion",
+        kind=FAILURE_CRASH,
+        attempts=cell.attempts,
+    )
+
+
+def _attack_model(request: dict):
+    from repro.common.config import AttackModel
+
+    return AttackModel(request["attack_model"])
+
+
+class FabricQueue:
+    """Durable, restart-safe queue of sweep cells (see module docstring)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.cells: dict[str, CellRecord] = {}
+        self.sweeps: dict[str, SweepRecord] = {}
+        self._fh = None
+
+    # ------------------------------------------------------------- durability
+
+    def load(self) -> int:
+        """Replay the log; returns how many records were applied.
+
+        Records are applied in append order, so the last ``done`` for a key
+        wins and ``attempt`` counts accumulate.  Torn/corrupt lines (a crash
+        mid-write) are skipped.  Leased state is *not* restored — every
+        non-done cell comes back ``pending``.
+        """
+        if not self.path.exists():
+            return 0
+        applied = 0
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    self._apply(record)
+                except (ValueError, KeyError, TypeError):
+                    continue  # torn trailing line from a crash mid-write
+                applied += 1
+        return applied
+
+    def _apply(self, record: dict) -> None:
+        kind = record["kind"]
+        if kind == "cell":
+            key = record["key"]
+            if key not in self.cells:
+                self.cells[key] = CellRecord(
+                    key=key,
+                    request=record["request"],
+                    retry=RetryPolicy.from_dict(record["retry"]),
+                    timeout=record.get("timeout"),
+                )
+        elif kind == "sweep":
+            sweep = SweepRecord(record["sweep_id"], list(record["cells"]))
+            self.sweeps[sweep.sweep_id] = sweep
+        elif kind == "attempt":
+            cell = self.cells[record["key"]]
+            cell.attempts = max(cell.attempts, int(record["attempts"]))
+            failure = record.get("failure")
+            if failure is not None:
+                cell.last_failure = RunFailure.from_dict(failure)
+        elif kind == "done":
+            cell = self.cells[record["key"]]
+            cell.state = CELL_DONE
+            cell.lease = None
+            cell.outcome = decode_outcome(record["outcome"])
+        else:
+            raise ValueError(f"unknown queue record kind {kind!r}")
+
+    def _append(self, record: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------- submission
+
+    def submit(
+        self,
+        sweep_id: str,
+        cells: list[tuple[str, dict]],
+        *,
+        retry: RetryPolicy,
+        timeout: float | None = None,
+    ) -> SweepRecord:
+        """Enqueue a sweep: journal its ordered key list and any cells not
+        already known.  Cells whose key is already ``done`` stay done — the
+        new sweep simply observes the settled outcome (dedup across sweeps
+        is the artifact store working as intended).
+        """
+        if sweep_id in self.sweeps:
+            raise ValueError(f"sweep {sweep_id!r} already submitted")
+        for key, request in cells:
+            if key not in self.cells:
+                self.cells[key] = CellRecord(
+                    key=key, request=request, retry=retry, timeout=timeout
+                )
+                self._append(
+                    envelope(
+                        kind="cell",
+                        key=key,
+                        request=request,
+                        retry=retry.to_dict(),
+                        timeout=timeout,
+                    )
+                )
+        sweep = SweepRecord(sweep_id, [key for key, _ in cells])
+        self.sweeps[sweep_id] = sweep
+        self._append(
+            envelope(
+                kind="sweep",
+                sweep_id=sweep_id,
+                cells=sweep.cells,
+                retry=retry.to_dict(),
+                timeout=timeout,
+            )
+        )
+        return sweep
+
+    # ---------------------------------------------------------------- leasing
+
+    def claim(
+        self, worker: str, *, lease_seconds: float, now: float
+    ) -> CellRecord | None:
+        """Lease the first pending cell to ``worker`` (FIFO by submission
+        order, which preserves rough batch locality), or ``None`` if no
+        cell is pending."""
+        for cell in self.cells.values():
+            if cell.state == CELL_PENDING:
+                cell.state = CELL_LEASED
+                cell.attempts += 1
+                cell.lease = Lease(worker=worker, deadline=now + lease_seconds)
+                return cell
+        return None
+
+    def heartbeat(
+        self, key: str, worker: str, *, lease_seconds: float, now: float
+    ) -> bool:
+        """Renew ``worker``'s lease on ``key``; ``False`` if the lease is no
+        longer theirs (expired and re-queued, or completed elsewhere)."""
+        cell = self.cells.get(key)
+        if cell is None or cell.lease is None or cell.lease.worker != worker:
+            return False
+        cell.lease.deadline = now + lease_seconds
+        return True
+
+    def expire_leases(self, *, now: float) -> list[CellRecord]:
+        """Re-queue (or fail out) every cell whose lease deadline passed.
+
+        Each expiry is journalled as a crash-kind ``attempt``; the cell's
+        own retry policy then decides between ``pending`` again and a
+        terminal ``WorkerLost`` failure.  Returns the affected cells.
+        """
+        expired = []
+        for cell in self.cells.values():
+            if (
+                cell.state == CELL_LEASED
+                and cell.lease is not None
+                and cell.lease.deadline <= now
+            ):
+                failure = worker_lost_failure(cell, cell.lease.worker)
+                cell.lease = None
+                cell.last_failure = failure
+                self._append(
+                    envelope(
+                        kind="attempt",
+                        key=cell.key,
+                        attempts=cell.attempts,
+                        failure=failure.to_dict(),
+                    )
+                )
+                if cell.retry.should_retry(FAILURE_CRASH, cell.attempts):
+                    cell.state = CELL_PENDING
+                else:
+                    self._settle(cell, failure)
+                expired.append(cell)
+        return expired
+
+    # ------------------------------------------------------------- completion
+
+    def complete(self, key: str, outcome: RunOutcome) -> str:
+        """Apply a worker-reported terminal outcome for ``key``.
+
+        Returns the decision taken: ``"done"`` (outcome settled),
+        ``"retry"`` (transient failure with budget left — cell re-queued),
+        or ``"stale"`` (the cell already settled; duplicate completions are
+        expected — the simulation is deterministic, so any completion is as
+        good as any other, and at-least-once delivery is fine).
+        """
+        cell = self.cells.get(key)
+        if cell is None:
+            raise KeyError(f"unknown cell {key!r}")
+        if cell.done:
+            return "stale"
+        if isinstance(outcome, RunFailure):
+            cell.last_failure = outcome
+            self._append(
+                envelope(
+                    kind="attempt",
+                    key=key,
+                    attempts=cell.attempts,
+                    failure=outcome.to_dict(),
+                )
+            )
+            if cell.retry.should_retry(outcome.kind, cell.attempts):
+                cell.state = CELL_PENDING
+                cell.lease = None
+                return "retry"
+        self._settle(cell, outcome)
+        return "done"
+
+    def _settle(self, cell: CellRecord, outcome: RunOutcome) -> None:
+        if isinstance(outcome, RunFailure) and outcome.attempts != cell.attempts:
+            # The worker only knows its own attempt; the queue knows them all.
+            outcome = dataclasses.replace(outcome, attempts=max(cell.attempts, 1))
+        cell.state = CELL_DONE
+        cell.lease = None
+        cell.outcome = outcome
+        self._append(
+            envelope(kind="done", key=cell.key, outcome=encode_outcome(outcome))
+        )
+
+    # ----------------------------------------------------------------- status
+
+    def sweep_outcomes(self, sweep_id: str) -> list[RunOutcome | None]:
+        """Per-cell outcomes of a sweep in submission order (``None`` for
+        cells still pending/leased)."""
+        sweep = self.sweeps[sweep_id]
+        return [self.cells[key].outcome for key in sweep.cells]
+
+    def sweep_counts(self, sweep_id: str) -> dict[str, int]:
+        sweep = self.sweeps[sweep_id]
+        counts = {CELL_PENDING: 0, CELL_LEASED: 0, CELL_DONE: 0}
+        for key in sweep.cells:
+            counts[self.cells[key].state] += 1
+        return counts
+
+    def pending_count(self) -> int:
+        return sum(1 for c in self.cells.values() if c.state == CELL_PENDING)

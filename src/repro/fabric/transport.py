@@ -1,0 +1,96 @@
+"""Minimal HTTP/JSON transport shared by the worker agent and the client.
+
+One connection per request (``http.client``, standard library only): the
+fabric's requests are small and infrequent relative to simulation time, and
+fresh connections make scheduler restarts invisible — there is no stale
+keep-alive socket to trip over, only a clean refused connection that the
+caller retries.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from urllib.parse import urlsplit
+
+
+class FabricError(RuntimeError):
+    """A fabric endpoint could not be reached or rejected the request."""
+
+
+class HttpTransport:
+    """JSON requests against one fabric base URL (e.g. ``http://host:8700``)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http":
+            raise ValueError(
+                f"fabric URLs must be http:// (got {base_url!r}); the fabric "
+                "is a trusted-network service and speaks plain HTTP"
+            )
+        if not parts.hostname:
+            raise ValueError(f"fabric URL {base_url!r} has no host")
+        self.base_url = base_url.rstrip("/")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.prefix = parts.path.rstrip("/")
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, str]:
+        """One round trip; returns ``(status, body_text)``.
+
+        Connection-level problems (refused, reset, DNS, timeout) raise
+        :class:`FabricError`; HTTP error *statuses* are returned to the
+        caller, who knows which ones are meaningful (a 404 artifact miss
+        is normal, a 404 sweep is not).
+        """
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request(method, self.prefix + path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read().decode("utf-8")
+        except (OSError, socket.timeout, http.client.HTTPException) as exc:
+            raise FabricError(
+                f"{method} {self.base_url}{path} failed: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def _raise_for(self, method: str, path: str, status: int, text: str) -> None:
+        raise FabricError(f"{method} {self.base_url}{path} -> HTTP {status}: {text}")
+
+    def post_json(self, path: str, payload: dict) -> dict:
+        status, text = self.request("POST", path, payload)
+        if status != 200:
+            self._raise_for("POST", path, status, text)
+        return json.loads(text)
+
+    def get_json(self, path: str) -> dict:
+        status, text = self.request("GET", path)
+        if status != 200:
+            self._raise_for("GET", path, status, text)
+        return json.loads(text)
+
+    def get_json_or_none(self, path: str) -> dict | None:
+        """Like :meth:`get_json` but a 404 is an answer, not an error."""
+        status, text = self.request("GET", path)
+        if status == 404:
+            return None
+        if status != 200:
+            self._raise_for("GET", path, status, text)
+        return json.loads(text)
+
+    def get_lines(self, path: str) -> list[dict]:
+        """Fetch a JSONL endpoint as a list of parsed records."""
+        status, text = self.request("GET", path)
+        if status != 200:
+            self._raise_for("GET", path, status, text)
+        return [json.loads(line) for line in text.splitlines() if line.strip()]

@@ -1,0 +1,215 @@
+"""The fabric worker agent: claim, resolve, simulate, report.
+
+A worker is a loop around four steps:
+
+1. **Claim** a cell lease (``POST /v1/cells/claim``).
+2. **Resolve cheaply** if possible: first the worker's own local
+   :class:`~repro.sim.cache.ResultCache`, then the scheduler's shared
+   artifact store (``GET /v1/artifacts/<key>``).  Either hit is reported
+   as a completion without running the simulator — and an artifact-store
+   hit is written into the local cache on the way through.
+3. **Execute** misses through a one-cell
+   :class:`~repro.sim.engine.SweepEngine` with the cell's wall-clock
+   timeout, so kill/hang/timeout classification is byte-for-byte the same
+   as a local run.  A background thread heartbeats the lease while the
+   simulation runs.
+4. **Report** the terminal outcome (``POST /v1/cells/<key>/complete``);
+   the scheduler decides retry-vs-settle.
+
+The agent is deliberately stateless across cells: a worker crash loses at
+most the cell it was executing, which the scheduler re-queues when the
+lease expires.  For the crash-restart acceptance test, setting the
+``REPRO_FABRIC_EXEC_LOG`` environment variable makes every *real*
+execution (not cache or artifact hits) append ``<key> <worker>`` to that
+file — the test asserts no key appears after a scheduler restart that was
+already done before it.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+from repro.fabric.transport import FabricError, HttpTransport
+from repro.fabric.wire import encode_outcome, envelope
+from repro.sim.api import RunRequest
+from repro.sim.cache import ResultCache
+
+#: Environment variable naming the execution-ledger file (testing hook).
+EXEC_LOG_ENV = "REPRO_FABRIC_EXEC_LOG"
+
+#: How long a worker keeps re-trying to deliver a finished result while the
+#: scheduler is unreachable (a restart window), before abandoning the cell
+#: to lease expiry.
+COMPLETE_RETRY_SECONDS = 30.0
+
+
+class WorkerAgent:
+    """One worker process's claim/execute/report loop.
+
+    ``max_idle_seconds`` bounds how long the agent keeps polling an empty
+    (or unreachable) scheduler before :meth:`run_forever` returns — the
+    natural shutdown for batch deployments and tests.  ``None`` polls
+    forever (the ``repro fabric work`` default).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        cache_dir: str | Path | None = None,
+        worker_id: str | None = None,
+        poll_interval: float = 0.25,
+        max_idle_seconds: float | None = None,
+        request_timeout: float = 10.0,
+    ) -> None:
+        self.transport = HttpTransport(url, timeout=request_timeout)
+        self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.poll_interval = poll_interval
+        self.max_idle_seconds = max_idle_seconds
+        self.stats = {
+            "claims": 0,
+            "executed": 0,
+            "local_cache_hits": 0,
+            "artifact_hits": 0,
+            "delivery_failures": 0,
+            "network_errors": 0,
+        }
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask :meth:`run_forever` to exit after the current cell."""
+        self._stop.set()
+
+    # ------------------------------------------------------------------- loop
+
+    def run_forever(self) -> dict[str, int]:
+        """Poll for cells until stopped or idle too long; returns stats."""
+        last_activity = time.monotonic()
+        while not self._stop.is_set():
+            try:
+                worked = self.step()
+            except FabricError:
+                self.stats["network_errors"] += 1
+                worked = False
+            if worked:
+                last_activity = time.monotonic()
+                continue
+            if (
+                self.max_idle_seconds is not None
+                and time.monotonic() - last_activity >= self.max_idle_seconds
+            ):
+                break
+            self._stop.wait(self.poll_interval)
+        return dict(self.stats)
+
+    def step(self) -> bool:
+        """Claim and process at most one cell; ``False`` when idle."""
+        reply = self.transport.post_json(
+            "/v1/cells/claim", envelope(worker=self.worker_id)
+        )
+        cell = reply.get("cell")
+        if cell is None:
+            return False
+        self.stats["claims"] += 1
+        self._process(cell)
+        return True
+
+    # ------------------------------------------------------------------ cells
+
+    def _process(self, cell: dict) -> None:
+        key = cell["key"]
+        outcome, wall_time = self._resolve(key, cell)
+        self._deliver(key, outcome, wall_time)
+
+    def _resolve(self, key: str, cell: dict):
+        if self.cache is not None:
+            metrics = self.cache.get_key(key)
+            if metrics is not None:
+                self.stats["local_cache_hits"] += 1
+                return metrics, 0.0
+        stored = self._fetch_artifact(key)
+        if stored is not None:
+            self.stats["artifact_hits"] += 1
+            if self.cache is not None and not self.cache.has_key(key):
+                self.cache.put_key(key, stored)
+            return stored, 0.0
+        return self._execute(key, cell)
+
+    def _fetch_artifact(self, key: str):
+        from repro.sim.api import RunMetrics
+
+        try:
+            payload = self.transport.get_json_or_none(f"/v1/artifacts/{key}")
+        except FabricError:
+            return None  # store unreachable — fall through to executing
+        if payload is None:
+            return None
+        return RunMetrics.from_dict(payload["metrics"])
+
+    def _execute(self, key: str, cell: dict):
+        from repro.sim.engine import SweepEngine
+
+        self._ledger(key)
+        request = RunRequest.from_dict(cell["request"])
+        engine = SweepEngine(jobs=1, timeout=cell.get("timeout"), cache=self.cache)
+        heartbeat = self._start_heartbeat(key, cell.get("lease_seconds") or 15.0)
+        started = time.monotonic()
+        try:
+            outcome = engine.run([request])[0]
+        finally:
+            heartbeat.set()
+        self.stats["executed"] += 1
+        return outcome, time.monotonic() - started
+
+    def _start_heartbeat(self, key: str, lease_seconds: float) -> threading.Event:
+        """Renew the lease from a side thread until the returned event is
+        set.  Heartbeat failures are swallowed: if the scheduler is briefly
+        down, the completion retry loop is the recovery path; if the lease
+        truly expired, the completion comes back ``stale``, which is fine.
+        """
+        done = threading.Event()
+        interval = max(0.5, lease_seconds / 3.0)
+
+        def beat() -> None:
+            while not done.wait(interval):
+                try:
+                    self.transport.post_json(
+                        f"/v1/cells/{key}/heartbeat",
+                        envelope(worker=self.worker_id),
+                    )
+                except FabricError:
+                    pass
+
+        thread = threading.Thread(target=beat, daemon=True, name=f"hb-{key[:8]}")
+        thread.start()
+        return done
+
+    def _deliver(self, key: str, outcome, wall_time: float) -> None:
+        payload = envelope(
+            worker=self.worker_id,
+            outcome=encode_outcome(outcome),
+            wall_time=round(wall_time, 6),
+        )
+        deadline = time.monotonic() + COMPLETE_RETRY_SECONDS
+        while True:
+            try:
+                self.transport.post_json(f"/v1/cells/{key}/complete", payload)
+                return
+            except FabricError:
+                if time.monotonic() >= deadline or self._stop.is_set():
+                    # Abandon: the lease will expire and the cell re-queue.
+                    self.stats["delivery_failures"] += 1
+                    return
+                time.sleep(min(1.0, self.poll_interval * 4))
+
+    def _ledger(self, key: str) -> None:
+        path = os.environ.get(EXEC_LOG_ENV)
+        if not path:
+            return
+        with open(path, "a") as fh:
+            fh.write(f"{key} {self.worker_id}\n")

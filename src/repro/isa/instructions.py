@@ -161,6 +161,34 @@ class Instruction:
     def is_fp_transmitter(self) -> bool:
         return self.opcode in FP_TRANSMIT_OPS
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`).
+
+        ``None`` fields are dropped for compactness — a program is thousands
+        of instructions on the fabric wire.  The opcode travels by enum
+        *name* (``"FLOAD"``), which is stable across mnemonic edits.
+        """
+        payload: dict[str, object] = {"opcode": self.opcode.name}
+        for attr in ("rd", "rs1", "rs2", "target", "label"):
+            value = getattr(self, attr)
+            if value is not None:
+                payload[attr] = value
+        if self.imm != 0 or isinstance(self.imm, float):
+            payload["imm"] = self.imm
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Instruction":
+        return cls(
+            opcode=Opcode[payload["opcode"]],
+            rd=payload.get("rd"),
+            rs1=payload.get("rs1"),
+            rs2=payload.get("rs2"),
+            imm=payload.get("imm", 0),
+            target=payload.get("target"),
+            label=payload.get("label"),
+        )
+
     def sources(self) -> tuple[int, ...]:
         """Source registers actually read by this instruction."""
         srcs = []

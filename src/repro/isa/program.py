@@ -42,6 +42,34 @@ class Program:
     def __getitem__(self, pc: int) -> Instruction:
         return self.instructions[pc]
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`).
+
+        ``initial_memory`` becomes ``[[address, value], …]`` pairs: JSON
+        object keys are strings, and the addresses must survive as ints for
+        the cache key to be stable across the wire.
+        """
+        return {
+            "name": self.name,
+            "instructions": [inst.to_dict() for inst in self.instructions],
+            "initial_memory": [
+                [address, value] for address, value in self.initial_memory.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Program":
+        return cls(
+            instructions=[
+                Instruction.from_dict(inst) for inst in payload["instructions"]
+            ],
+            initial_memory={
+                int(address): value
+                for address, value in payload.get("initial_memory", [])
+            },
+            name=payload.get("name", "anonymous"),
+        )
+
     def listing(self) -> str:
         """Human-readable disassembly."""
         lines = []

@@ -14,6 +14,16 @@ every dataclass reachable from the key (mirroring ``_canonical``, which
 skips ``compare=False`` fields).  Any drift without a version bump is an
 error; after a legitimate bump the fingerprint is refreshed with
 ``repro lint --update-fingerprints``.
+
+The same fingerprint file carries a second, independently-versioned
+section for the **fabric wire schema**: ``WIRE_SCHEMA_VERSION``
+(``repro.fabric.wire``), ``EVENT_SCHEMA_VERSION`` (``repro.sim.events``),
+and the field sets of every dataclass that crosses a fabric connection —
+the Session policies, ``RunFailure``, ``RunEvent``, and ``RetryPolicy``.
+The cache section protects *one host against its own history*; the wire
+section protects *hosts against each other* — a renamed field here desyncs
+a scheduler from its workers mid-release, so it too must not drift without
+its version bump.
 """
 
 from __future__ import annotations
@@ -43,6 +53,21 @@ FINGERPRINTED = {
     "src/repro/isa/instructions.py": {"Instruction"},
     "src/repro/isa/program.py": {"Program"},
     "src/repro/workloads/workload.py": {"Workload"},
+}
+
+WIRE_MODULE = "src/repro/fabric/wire.py"
+EVENTS_MODULE = "src/repro/sim/events.py"
+
+#: Dataclasses whose ``to_dict`` output crosses a fabric connection and is
+#: therefore part of the wire contract between scheduler, workers, and
+#: submitting sessions.  (``RunRequest``/``RunMetrics`` travel too, but
+#: they are already pinned above — a change there trips both gates, which
+#: is correct: it invalidates caches *and* desyncs peers.)
+WIRE_FINGERPRINTED = {
+    "src/repro/sim/policies.py": {"ExecutionPolicy", "CachePolicy", "JournalPolicy"},
+    "src/repro/sim/api.py": {"RunFailure"},
+    "src/repro/sim/events.py": {"RunEvent"},
+    "src/repro/sim/engine.py": {"RetryPolicy"},
 }
 
 
@@ -89,6 +114,49 @@ def _dataclass_fields(node: ast.ClassDef) -> list[str]:
     return fields
 
 
+def _int_constant(
+    ctx: LintContext, rel: str, name: str, locations: dict[str, int]
+) -> int | None:
+    """Module-level ``NAME = <int literal>``; records its line under
+    ``name`` in ``locations``."""
+    source = ctx.file(rel)
+    if source is None:
+        return None
+    for node in source.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, int)
+        ):
+            locations[name] = node.lineno
+            return node.value.value
+    return None
+
+
+def _fingerprint_dataclasses(
+    ctx: LintContext,
+    wanted_by_file: dict[str, set[str] | None],
+    locations: dict[str, int],
+) -> dict[str, list[str]]:
+    classes: dict[str, list[str]] = {}
+    for rel, wanted in wanted_by_file.items():
+        source = ctx.file(rel)
+        if source is None:
+            continue
+        for node in source.tree.body:
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            if wanted is not None and node.name not in wanted:
+                continue
+            unit = f"{rel}::{node.name}"
+            classes[unit] = _dataclass_fields(node)
+            locations[unit] = node.lineno
+    return dict(sorted(classes.items()))
+
+
 def compute_fingerprint(
     ctx: LintContext,
 ) -> tuple[dict[str, object], dict[str, int]]:
@@ -101,6 +169,7 @@ def compute_fingerprint(
         "schema_version": None,
         "cache_key_material": [],
         "dataclasses": {},
+        "wire": {},
     }
     locations: dict[str, int] = {}
 
@@ -129,20 +198,20 @@ def compute_fingerprint(
                             fingerprint["cache_key_material"] = sorted(keys)
                         break
 
-    classes: dict[str, list[str]] = {}
-    for rel, wanted in FINGERPRINTED.items():
-        source = ctx.file(rel)
-        if source is None:
-            continue
-        for node in source.tree.body:
-            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
-                continue
-            if wanted is not None and node.name not in wanted:
-                continue
-            unit = f"{rel}::{node.name}"
-            classes[unit] = _dataclass_fields(node)
-            locations[unit] = node.lineno
-    fingerprint["dataclasses"] = dict(sorted(classes.items()))
+    fingerprint["dataclasses"] = _fingerprint_dataclasses(
+        ctx, FINGERPRINTED, locations
+    )
+    fingerprint["wire"] = {
+        "wire_schema_version": _int_constant(
+            ctx, WIRE_MODULE, "WIRE_SCHEMA_VERSION", locations
+        ),
+        "event_schema_version": _int_constant(
+            ctx, EVENTS_MODULE, "EVENT_SCHEMA_VERSION", locations
+        ),
+        "dataclasses": _fingerprint_dataclasses(
+            ctx, WIRE_FINGERPRINTED, locations
+        ),
+    }
     return fingerprint, locations
 
 
@@ -153,9 +222,10 @@ def write_fingerprint(ctx: LintContext) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "comment": (
-            "Pinned cache-key schema surface; regenerate with "
-            "`repro lint --update-fingerprints` AFTER bumping SCHEMA_VERSION "
-            "in src/repro/sim/cache.py."
+            "Pinned cache-key and fabric wire schema surfaces; regenerate "
+            "with `repro lint --update-fingerprints` AFTER bumping "
+            "SCHEMA_VERSION in src/repro/sim/cache.py (cache section) or "
+            "WIRE_SCHEMA_VERSION in src/repro/fabric/wire.py (wire section)."
         ),
     }
     payload.update(fingerprint)
@@ -183,9 +253,12 @@ def run(ctx: LintContext) -> Iterator[Finding]:
         "schema_version": stored_payload.get("schema_version"),
         "cache_key_material": stored_payload.get("cache_key_material", []),
         "dataclasses": stored_payload.get("dataclasses", {}),
+        "wire": stored_payload.get("wire", {}),
     }
     if current == stored:
         return
+
+    yield from _check_wire(current["wire"], stored["wire"], locations)
 
     if current["schema_version"] != stored["schema_version"]:
         yield Finding(
@@ -247,6 +320,82 @@ def run(ctx: LintContext) -> Iterator[Finding]:
                 "SCHEMA_VERSION bump — cached results keyed on the old "
                 "shape would be served for the new one; bump SCHEMA_VERSION "
                 "in src/repro/sim/cache.py then run "
+                "`repro lint --update-fingerprints`"
+            ),
+            severity=ERROR,
+        )
+
+
+def _check_wire(
+    current: dict, stored: dict, locations: dict[str, int]
+) -> Iterator[Finding]:
+    """Wire-section comparison: versions may move (refresh the pin), field
+    sets may not move *without* the matching version bump."""
+    if current == stored:
+        return
+    if not stored:
+        yield Finding(
+            path=FINGERPRINT_FILE,
+            line=0,
+            checker=CHECKER_ID,
+            message=(
+                "fingerprint file has no wire-schema section — regenerate "
+                "it with `repro lint --update-fingerprints`"
+            ),
+            severity=ERROR,
+        )
+        return
+
+    for field_name, rel, constant in (
+        ("wire_schema_version", WIRE_MODULE, "WIRE_SCHEMA_VERSION"),
+        ("event_schema_version", EVENTS_MODULE, "EVENT_SCHEMA_VERSION"),
+    ):
+        if current.get(field_name) != stored.get(field_name):
+            yield Finding(
+                path=rel,
+                line=locations.get(constant, 0),
+                checker=CHECKER_ID,
+                message=(
+                    f"{constant} is {current.get(field_name)} but the "
+                    f"committed fingerprint pins {stored.get(field_name)} — "
+                    "refresh it with `repro lint --update-fingerprints`"
+                ),
+                severity=ERROR,
+            )
+            return  # a bump legitimizes the field drift below
+
+    stored_classes: dict[str, list[str]] = stored.get("dataclasses", {})
+    current_classes: dict[str, list[str]] = current.get("dataclasses", {})
+    for unit in sorted(set(stored_classes) | set(current_classes)):
+        before = stored_classes.get(unit)
+        after = current_classes.get(unit)
+        if before == after:
+            continue
+        rel, _, name = unit.partition("::")
+        if after is None:
+            detail = "was removed (or is no longer a dataclass)"
+        elif before is None:
+            detail = "is newly on the wire"
+        else:
+            added = sorted(set(after) - set(before))
+            removed = sorted(set(before) - set(after))
+            parts = []
+            if added:
+                parts.append(f"added {added!r}")
+            if removed:
+                parts.append(f"removed {removed!r}")
+            detail = (
+                "changed fields: " + ", ".join(parts) if parts else "reordered fields"
+            )
+        yield Finding(
+            path=rel if after is not None else FINGERPRINT_FILE,
+            line=locations.get(unit, 0),
+            checker=CHECKER_ID,
+            message=(
+                f"wire-serialized field set of {name} {detail} without a "
+                "WIRE_SCHEMA_VERSION bump — a scheduler and its workers one "
+                "release apart would desync; bump WIRE_SCHEMA_VERSION in "
+                "src/repro/fabric/wire.py then run "
                 "`repro lint --update-fingerprints`"
             ),
             severity=ERROR,

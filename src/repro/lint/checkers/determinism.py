@@ -55,7 +55,6 @@ SIM_CORE_FILES = (
 ALLOWLISTED_PREFIXES = (
     "src/repro/sim/engine.py",
     "src/repro/sim/events.py",
-    "src/repro/sim/runner.py",
     "src/repro/analysis/",
     "src/repro/eval/",
     "src/repro/testing/",

@@ -8,8 +8,10 @@ built machine, and a :class:`~repro.sim.api.Session` batches requests
 through :mod:`repro.sim.engine`'s worker pool, the content-addressed
 :mod:`repro.sim.cache`, and the :mod:`repro.sim.events` observer stream.
 
-:mod:`repro.sim.runner` keeps the deprecated ``run_workload``/``run_suite``
-shims.
+Session behaviour is configured by the frozen policy objects in
+:mod:`repro.sim.policies`; an :class:`~repro.sim.policies.ExecutionPolicy`
+with a ``fabric`` URL routes sweeps to the distributed scheduler in
+:mod:`repro.fabric`.
 """
 
 from repro.sim.api import (
@@ -37,11 +39,13 @@ from repro.sim.configs import (
 )
 from repro.sim.engine import RetryPolicy, SweepEngine
 from repro.sim.events import JsonlEventLog, ProgressLine, RunEvent, read_events
-from repro.sim.runner import run_suite, run_workload
+from repro.sim.policies import CachePolicy, ExecutionPolicy, JournalPolicy
 
 __all__ = [
+    "CachePolicy",
     "EVALUATED_CONFIGS",
     "EvaluatedConfig",
+    "ExecutionPolicy",
     "FAILURE_BUDGET",
     "FAILURE_CANCELLED",
     "FAILURE_CRASH",
@@ -49,6 +53,7 @@ __all__ = [
     "FAILURE_KINDS",
     "FAILURE_TIMEOUT",
     "Instrumentation",
+    "JournalPolicy",
     "JsonlEventLog",
     "ProgressLine",
     "ResultCache",
@@ -67,6 +72,4 @@ __all__ = [
     "execute",
     "make_protection",
     "read_events",
-    "run_suite",
-    "run_workload",
 ]

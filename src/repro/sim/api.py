@@ -11,12 +11,12 @@ and results content-addressable.
 A :class:`Session` owns the pieces a sweep needs — worker pool size, the
 on-disk result cache, and event observers — and offers three entry points:
 
->>> session = Session(jobs=4)                       # doctest: +SKIP
->>> metrics = session.run(workload, "Hybrid")       # doctest: +SKIP
->>> results = session.sweep(suite())                # doctest: +SKIP
+>>> session = Session(execution=ExecutionPolicy(jobs=4))  # doctest: +SKIP
+>>> metrics = session.run(workload, "Hybrid")             # doctest: +SKIP
+>>> results = session.sweep(suite())                      # doctest: +SKIP
 
-The legacy ``repro.sim.runner.run_workload``/``run_suite`` functions are
-deprecated shims over this module.
+Session behaviour (worker pool, cache, journal, fabric routing) is
+configured by the frozen policy objects in :mod:`repro.sim.policies`.
 """
 
 from __future__ import annotations
@@ -38,8 +38,9 @@ from repro.sim.configs import (
 from repro.workloads.workload import Workload
 
 if TYPE_CHECKING:
-    from repro.sim.cache import ResultCache
+    from repro.sim.cache import ResultCache, SweepJournal
     from repro.sim.events import EventObserver
+    from repro.sim.policies import CachePolicy, ExecutionPolicy, JournalPolicy
 
 #: Default commit budget per run (the seed harness's historical default).
 DEFAULT_MAX_INSTRUCTIONS = 200_000
@@ -89,6 +90,28 @@ class Instrumentation:
     @property
     def active(self) -> bool:
         return self.traced or self.profile
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`).
+
+        Paths are serialized as strings; note that an *active*
+        instrumentation is host-bound and refused by the fabric client.
+        """
+        return {
+            "trace_jsonl": str(self.trace_jsonl) if self.trace_jsonl else None,
+            "trace_konata": str(self.trace_konata) if self.trace_konata else None,
+            "trace_buffer": self.trace_buffer,
+            "profile": self.profile,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Instrumentation":
+        return cls(
+            trace_jsonl=payload.get("trace_jsonl"),
+            trace_konata=payload.get("trace_konata"),
+            trace_buffer=payload.get("trace_buffer", 4096),
+            profile=payload.get("profile", False),
+        )
 
 
 @dataclass(frozen=True)
@@ -202,6 +225,48 @@ class RunRequest:
     #: default).  Also NOT part of the cache key: the watchdog can only
     #: abort a wedged run, never change the metrics of one that completes.
     hang_window: int | None = None
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready wire form of the request (inverse of :meth:`from_dict`).
+
+        This is what travels to the fabric scheduler: the whole workload
+        (program + warm set), the Table II config, the machine, and the run
+        limits — everything a remote worker needs to reproduce this cell
+        bit-identically, and exactly the material the content-addressed
+        cache key hashes.
+        """
+        return {
+            "workload": self.workload.to_dict(),
+            "config": self.config.to_dict(),
+            "attack_model": self.attack_model.value,
+            "machine": self.machine.to_dict(),
+            "check_golden": self.check_golden,
+            "max_instructions": self.max_instructions,
+            "instrumentation": (
+                self.instrumentation.to_dict() if self.instrumentation else None
+            ),
+            "hang_window": self.hang_window,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRequest":
+        instrumentation = payload.get("instrumentation")
+        return cls(
+            workload=Workload.from_dict(payload["workload"]),
+            config=EvaluatedConfig.from_dict(payload["config"]),
+            attack_model=AttackModel(payload["attack_model"]),
+            machine=MachineConfig.from_dict(payload["machine"]),
+            check_golden=payload.get("check_golden", True),
+            max_instructions=payload.get(
+                "max_instructions", DEFAULT_MAX_INSTRUCTIONS
+            ),
+            instrumentation=(
+                Instrumentation.from_dict(instrumentation)
+                if instrumentation
+                else None
+            ),
+            hang_window=payload.get("hang_window"),
+        )
 
 
 @dataclass(frozen=True)
@@ -346,97 +411,195 @@ def execute(request: RunRequest) -> RunMetrics:
     )
 
 
+#: Sentinel distinguishing "``cache`` not passed" from the legacy explicit
+#: ``cache=None`` (which meant "no caching" and still must).
+_UNSET = object()
+
+#: Legacy ``Session`` keyword → the policy expression that replaces it.
+_LEGACY_EXECUTION_KWARGS = {
+    "jobs": "execution=ExecutionPolicy(jobs=...)",
+    "timeout": "execution=ExecutionPolicy(timeout=...)",
+    "retries": "execution=ExecutionPolicy(retries=...)",
+    "hang_window": "execution=ExecutionPolicy(hang_window=...)",
+    "fail_on_unhalted": "execution=ExecutionPolicy(fail_on_unhalted=...)",
+}
+
+
+def _warn_legacy_kwarg(old: str, replacement: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"Session({old}=...) is deprecated; pass {replacement} instead "
+        "(the keyword will be removed in the next release)",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
 class Session:
     """Owns the sweep engine, the result cache, and the event observers.
+
+    Behaviour is configured by three frozen policy objects (see
+    :mod:`repro.sim.policies`):
+
+    >>> from repro.sim.policies import CachePolicy, ExecutionPolicy  # doctest: +SKIP
+    >>> Session(execution=ExecutionPolicy(jobs=4, retries=2))        # doctest: +SKIP
+    >>> Session(cache=CachePolicy(enabled=False))                    # doctest: +SKIP
+    >>> Session(execution=ExecutionPolicy(fabric="http://host:8700"))  # doctest: +SKIP
 
     Parameters
     ----------
     machine:
         Default machine for requests built by this session (Table I if
         omitted); per-request machines override it.
-    jobs:
-        Worker processes for batches.  ``1`` (default) runs in-process.
+    execution:
+        :class:`~repro.sim.policies.ExecutionPolicy` — worker count,
+        per-run timeout, retry policy, watchdog window, and the optional
+        ``fabric`` scheduler URL that routes sweeps to the distributed
+        fabric instead of the in-process pool.
     cache:
-        ``True`` → on-disk cache under ``cache_dir``; ``False``/``None`` →
-        no caching; or a ready-made :class:`~repro.sim.cache.ResultCache`.
-    cache_dir:
-        Cache root when ``cache=True`` (default ``.repro-cache/``).
+        :class:`~repro.sim.policies.CachePolicy`, or a ready-made
+        :class:`~repro.sim.cache.ResultCache`.  Defaults to the on-disk
+        cache under ``.repro-cache/``.
+    journal:
+        :class:`~repro.sim.policies.JournalPolicy`, or a ready-made
+        :class:`~repro.sim.cache.SweepJournal`.  Terminal outcomes are
+        recorded as they settle; ``resume`` replays recorded outcomes
+        instead of re-executing their cells.
     observers:
         Callables receiving every :class:`~repro.sim.events.RunEvent`.
-    timeout:
-        Per-run wall-clock budget in seconds; a run exceeding it has its
-        worker killed and becomes a ``timeout`` :class:`RunFailure`.
-    retries:
-        Extra attempts for transient failures — an int, or a full
-        :class:`~repro.sim.engine.RetryPolicy`.
-    journal:
-        Sweep journal for resumable runs — a path or a ready-made
-        :class:`~repro.sim.cache.SweepJournal`.  Terminal outcomes are
-        recorded as they settle.
-    resume:
-        Load the journal before running, replaying every recorded outcome
-        instead of re-executing its cell.  Requires ``journal``.
-    hang_window:
-        Default forward-progress watchdog window (cycles) for requests
-        built by this session; ``None`` keeps the core's default.
-    fail_on_unhalted:
-        Treat budget-exhausted runs as ``budget-exhausted`` failures.
+    check_golden / max_instructions:
+        Defaults for requests built by this session.
+
+    The pre-policy keyword arguments (``jobs``, ``cache_dir``, ``timeout``,
+    ``retries``, ``resume``, ``hang_window``, ``fail_on_unhalted``, and
+    boolean ``cache`` / path ``journal``) are still accepted for one release
+    but emit a :class:`DeprecationWarning` naming the replacement.
     """
 
     def __init__(
         self,
         machine: MachineConfig | None = None,
         *,
-        jobs: int = 1,
-        cache: "bool | ResultCache | None" = True,
-        cache_dir: str | Path | None = None,
+        execution: "ExecutionPolicy | None" = None,
+        cache: "CachePolicy | ResultCache | bool | None" = _UNSET,
+        journal: "JournalPolicy | SweepJournal | str | Path | None" = None,
         observers: Iterable["EventObserver"] = (),
         check_golden: bool = True,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-        timeout: float | None = None,
-        retries: "int | object | None" = None,
-        journal: "str | Path | object | None" = None,
-        resume: bool = False,
-        hang_window: int | None = None,
-        fail_on_unhalted: bool = False,
+        **legacy: object,
     ) -> None:
-        # Imported lazily: engine/cache depend on the types defined above.
+        # Imported lazily: engine/cache/policies depend on the types above.
         from repro.sim.cache import ResultCache, SweepJournal
         from repro.sim.engine import SweepEngine
+        from repro.sim.policies import CachePolicy, ExecutionPolicy, JournalPolicy
 
         self.machine = machine or MachineConfig()
         self.check_golden = check_golden
         self.max_instructions = max_instructions
-        self.hang_window = hang_window
-        if cache is True:
-            self.cache: ResultCache | None = ResultCache(cache_dir or ".repro-cache")
-        elif isinstance(cache, ResultCache):
-            # NB: not `elif cache:` — an *empty* ResultCache is falsy (__len__).
-            self.cache = cache
-        else:
-            self.cache = None
-        if isinstance(journal, (str, Path)):
-            journal = SweepJournal(journal)
+
+        overrides = {}
+        for name, replacement in _LEGACY_EXECUTION_KWARGS.items():
+            if name in legacy:
+                _warn_legacy_kwarg(name, replacement)
+                overrides[name] = legacy.pop(name)
+        if overrides:
+            if execution is not None:
+                raise TypeError(
+                    f"legacy keyword(s) {sorted(overrides)} conflict with "
+                    "execution=ExecutionPolicy(...); pass one or the other"
+                )
+            execution = ExecutionPolicy(**overrides)
+        self.execution = execution or ExecutionPolicy()
+        self.hang_window = self.execution.hang_window
+
+        cache_dir = legacy.pop("cache_dir", None)
+        if cache_dir is not None:
+            _warn_legacy_kwarg("cache_dir", "cache=CachePolicy(cache_dir=...)")
+        resume = bool(legacy.pop("resume", False))
         if resume:
-            if journal is None:
+            _warn_legacy_kwarg("resume", "journal=JournalPolicy(resume=True)")
+        if legacy:
+            raise TypeError(
+                f"Session() got unexpected keyword argument(s) {sorted(legacy)}"
+            )
+
+        if isinstance(cache, CachePolicy):
+            if cache_dir is not None:
+                raise TypeError("cache_dir conflicts with cache=CachePolicy(...)")
+            self.cache_policy = cache
+        elif isinstance(cache, ResultCache):
+            # NB: isinstance, not truthiness — an *empty* ResultCache is
+            # falsy (__len__).  A ready-made cache stays first-class.
+            self.cache_policy = CachePolicy(cache_dir=str(cache.root))
+        else:
+            if cache is not _UNSET:
+                _warn_legacy_kwarg("cache", "cache=CachePolicy(enabled=...)")
+            self.cache_policy = CachePolicy(
+                enabled=True if cache is _UNSET else bool(cache),
+                cache_dir=str(cache_dir) if cache_dir is not None else None,
+            )
+        self.cache: "ResultCache | None" = (
+            cache if isinstance(cache, ResultCache) else self.cache_policy.build()
+        )
+
+        if isinstance(journal, JournalPolicy):
+            if resume:
+                raise TypeError("resume conflicts with journal=JournalPolicy(...)")
+            self.journal_policy = journal
+        elif isinstance(journal, SweepJournal):
+            self.journal_policy = JournalPolicy(path=str(journal.path), resume=resume)
+            if resume:
+                journal.load()
+        else:
+            if isinstance(journal, (str, Path)):
+                _warn_legacy_kwarg("journal", "journal=JournalPolicy(path=...)")
+            elif journal is not None:
+                raise TypeError(
+                    "journal must be a JournalPolicy, SweepJournal, or path; "
+                    f"got {type(journal).__name__}"
+                )
+            if resume and journal is None:
                 raise ValueError("resume=True requires a journal")
-            journal.load()
-        self.journal = journal
+            self.journal_policy = JournalPolicy(
+                path=str(journal) if journal is not None else None, resume=resume
+            )
+        self.journal: "SweepJournal | None" = (
+            journal
+            if isinstance(journal, SweepJournal)
+            else self.journal_policy.build()
+        )
+
         self.engine = SweepEngine(
-            jobs=jobs,
+            jobs=self.execution.jobs,
             cache=self.cache,
             observers=observers,
-            timeout=timeout,
-            retry=retries,
-            journal=journal,
-            fail_on_unhalted=fail_on_unhalted,
+            timeout=self.execution.timeout,
+            retry=self.execution.retry_policy,
+            journal=self.journal,
+            fail_on_unhalted=self.execution.fail_on_unhalted,
         )
+        self._fabric_client = None
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def add_observer(self, observer: "EventObserver") -> None:
         self.engine.add_observer(observer)
 
     def close(self) -> None:
-        """Release session resources (currently: seal the sweep journal)."""
+        """Release session resources: the fabric client connection (if any)
+        and the sweep journal.  Idempotent — safe to call any number of
+        times, including via the context-manager protocol *and* explicitly.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._fabric_client is not None:
+            self._fabric_client.close()
+            self._fabric_client = None
         if self.journal is not None:
             self.journal.close()
 
@@ -445,6 +608,16 @@ class Session:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+    def _fabric(self):
+        """The lazily created fabric client (``execution.fabric`` is set)."""
+        if self._fabric_client is None:
+            from repro.fabric.client import FabricClient
+
+            self._fabric_client = FabricClient(
+                self.execution.fabric, execution=self.execution
+            )
+        return self._fabric_client
 
     def request(
         self,
@@ -518,8 +691,19 @@ class Session:
         With ``strict=False`` (default) crashed cells come back as
         :class:`RunFailure` entries; with ``strict=True`` the first failure
         raises ``RuntimeError`` after the whole batch has completed.
+
+        When the session's :class:`~repro.sim.policies.ExecutionPolicy`
+        names a ``fabric`` scheduler, the batch is submitted there instead
+        of the in-process pool; events stream back through the same
+        observers, and settled outcomes land in the local cache and journal
+        exactly as a local run's would.
         """
-        outcomes = self.engine.run(requests)
+        if self._closed:
+            raise RuntimeError("Session is closed")
+        if self.execution.fabric is not None:
+            outcomes = self._run_on_fabric(requests)
+        else:
+            outcomes = self.engine.run(requests)
         if strict:
             failures = [o for o in outcomes if isinstance(o, RunFailure)]
             if failures:
@@ -529,6 +713,35 @@ class Session:
                 raise RuntimeError(
                     f"{len(failures)}/{len(outcomes)} runs failed: {summary}"
                 ) from None
+        return outcomes
+
+    def _run_on_fabric(self, requests: Sequence[RunRequest]) -> list[RunOutcome]:
+        """Submit a batch to the fabric scheduler and await its outcomes.
+
+        Every request goes over the wire — including ones the local cache
+        could answer — so event indices line up with the submitted batch
+        and the scheduler's artifact store stays the source of truth.
+        Settled outcomes are then recorded locally (cache + journal) so a
+        later offline run of the same cells is free.
+        """
+        for request in requests:
+            if request.instrumentation is not None and request.instrumentation.active:
+                raise ValueError(
+                    "instrumented runs are host-bound (trace/profile output "
+                    "lands on the worker) and cannot be submitted to a "
+                    f"fabric: {request.workload.name}/{request.config.name}"
+                )
+        outcomes = self._fabric().run_many(requests, emit=self.engine.emit_event)
+        if self.cache is not None or self.journal is not None:
+            from repro.sim.cache import cache_key
+
+            for request, outcome in zip(requests, outcomes):
+                key = cache_key(request)
+                if self.cache is not None and isinstance(outcome, RunMetrics):
+                    if self.cache.get(request) is None:
+                        self.cache.put(request, outcome)
+                if self.journal is not None:
+                    self.journal.record(key, outcome)
         return outcomes
 
     def sweep(
@@ -545,9 +758,9 @@ class Session:
     ) -> list[RunOutcome]:
         """The full evaluation grid: every (model, workload, config) cell.
 
-        Result order matches the legacy ``run_suite`` iteration order —
-        attack models outermost, then workloads, then configs — regardless
-        of ``jobs`` or cache hits.
+        Result order is deterministic — attack models outermost, then
+        workloads, then configs — regardless of worker count, cache hits,
+        or fabric scheduling.
         """
         requests = [
             self.request(workload, config, attack_model, machine=machine)

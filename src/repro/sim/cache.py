@@ -103,20 +103,33 @@ class ResultCache:
         Identity fields (workload/config names, attack model) are taken from
         the request, since the key ignores them.
         """
-        key = cache_key(request)
+        metrics = self.get_key(cache_key(request))
+        if metrics is None:
+            return None
+        return _rebrand(metrics, request)
+
+    def get_key(self, key: str) -> RunMetrics | None:
+        """Key-level lookup (the artifact-store face of the cache).
+
+        Unlike :meth:`get` there is no request to rebrand against, so the
+        metrics come back with whatever identity fields the producer stored
+        — fabric callers rebrand against their own request.
+        """
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text())
             if payload.get("key") != key:
                 return None
-            metrics = RunMetrics.from_dict(payload["metrics"])
+            return RunMetrics.from_dict(payload["metrics"])
         except (OSError, ValueError, KeyError, TypeError):
             return None
-        return _rebrand(metrics, request)
 
     def put(self, request: RunRequest, metrics: RunMetrics) -> Path:
         """Store ``metrics`` for ``request``; atomic against readers."""
-        key = cache_key(request)
+        return self.put_key(cache_key(request), metrics)
+
+    def put_key(self, key: str, metrics: RunMetrics) -> Path:
+        """Key-level store (the artifact-store face of the cache)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"key": key, "schema": SCHEMA_VERSION, "metrics": metrics.to_dict()}
@@ -133,8 +146,11 @@ class ResultCache:
             raise
         return path
 
+    def has_key(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
     def __contains__(self, request: RunRequest) -> bool:
-        return self.path_for(cache_key(request)).exists()
+        return self.has_key(cache_key(request))
 
     def __len__(self) -> int:
         version_dir = self.root / f"v{SCHEMA_VERSION}"

@@ -49,6 +49,27 @@ class EvaluatedConfig:
             fp_transmitters=self.fp_transmitters,
         )
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "kind": self.kind.value,
+            "predictor": self.predictor.value if self.predictor else None,
+            "fp_transmitters": self.fp_transmitters,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EvaluatedConfig":
+        predictor = payload.get("predictor")
+        return cls(
+            name=payload["name"],
+            kind=ProtectionKind(payload["kind"]),
+            predictor=PredictorKind(predictor) if predictor else None,
+            fp_transmitters=payload.get("fp_transmitters", False),
+            description=payload.get("description", ""),
+        )
+
 
 EVALUATED_CONFIGS: tuple[EvaluatedConfig, ...] = (
     EvaluatedConfig(

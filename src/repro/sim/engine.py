@@ -158,6 +158,33 @@ class RetryPolicy:
         ``kind`` be tried again?"""
         return kind in self.retry_kinds and attempt <= self.max_retries
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (inverse of :meth:`from_dict`) — the
+        policy travels to the fabric scheduler, which drives retries
+        server-side."""
+        return {
+            "max_retries": self.max_retries,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "backoff_max": self.backoff_max,
+            "jitter": self.jitter,
+            "retry_kinds": sorted(self.retry_kinds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RetryPolicy":
+        kinds = payload.get("retry_kinds")
+        return cls(
+            max_retries=payload.get("max_retries", 0),
+            backoff_base=payload.get("backoff_base", 0.5),
+            backoff_factor=payload.get("backoff_factor", 2.0),
+            backoff_max=payload.get("backoff_max", 30.0),
+            jitter=payload.get("jitter", 0.1),
+            retry_kinds=(
+                frozenset(kinds) if kinds is not None else TRANSIENT_FAILURE_KINDS
+            ),
+        )
+
     def delay(self, key: str, attempt: int) -> float:
         """Backoff before the ``attempt``-th execution (attempt >= 2),
         deterministic in (cell key, attempt)."""
@@ -309,14 +336,22 @@ class SweepEngine:
     def _emit(self, kind: str, index: int, request: RunRequest, **extra) -> None:
         if not self.observers:
             return
-        event = RunEvent(
-            kind=kind,
-            index=index,
-            workload=request.workload.name,
-            config=request.config.name,
-            model=request.attack_model.value,
-            **extra,
+        self.emit_event(
+            RunEvent(
+                kind=kind,
+                index=index,
+                workload=request.workload.name,
+                config=request.config.name,
+                model=request.attack_model.value,
+                **extra,
+            )
         )
+
+    def emit_event(self, event: RunEvent) -> None:
+        """Deliver an already-built event to every observer (with the same
+        mute-on-first-failure behaviour as engine-originated events).  The
+        fabric client uses this to replay scheduler-streamed events into
+        the session's normal observer pipeline."""
         for observer in self.observers:
             # Observers are diagnostics; a broken one must not kill the runs
             # it is narrating.  First failure per observer warns, later ones

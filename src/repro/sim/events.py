@@ -5,7 +5,7 @@ records — ``queued`` when a request enters a batch, ``cache_hit`` when the
 on-disk cache already holds its result, ``started`` when it is handed to a
 worker, and ``finished``/``failed`` when it completes (with wall time and,
 on success, committed cycles).  Observers are plain callables taking one
-event; this replaces the ad-hoc ``progress`` callback the old ``run_suite``
+event; this replaces the ad-hoc ``progress`` callback the pre-1.1 harness
 took, and feeds both the terminal progress line and a machine-readable
 JSONL event log from the same stream.
 """
@@ -19,6 +19,14 @@ import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Callable, Protocol, TextIO, runtime_checkable
+
+#: Version stamp for serialized events.  Bump only on *incompatible*
+#: changes (renamed/retyped fields); purely additive fields keep the
+#: version — :meth:`RunEvent.from_dict` ignores unknown keys, so old
+#: readers parse new events and vice versa.  The fabric streams events
+#: across processes and hosts, where producer and consumer may be one
+#: release apart.
+EVENT_SCHEMA_VERSION = 1
 
 #: The lifecycle stages, in the order a single run can traverse them.
 #: ``queued → (cache_hit | cancelled | started → [timed_out → retrying →
@@ -64,13 +72,31 @@ class RunEvent:
     attempt: int | None = None
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-ready dict; ``None`` fields are dropped."""
-        return {k: v for k, v in asdict(self).items() if v is not None}
+        """JSON-ready dict; ``None`` fields are dropped.  Includes a
+        ``schema`` stamp (:data:`EVENT_SCHEMA_VERSION`) so wire consumers
+        can detect incompatible producers."""
+        payload: dict[str, object] = {"schema": EVENT_SCHEMA_VERSION}
+        payload.update(
+            {k: v for k, v in asdict(self).items() if v is not None}
+        )
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunEvent":
-        """Inverse of :meth:`to_dict`; tolerates the ``seq``/``ts`` bookkeeping
-        keys :class:`JsonlEventLog` adds and any future extras."""
+        """Inverse of :meth:`to_dict`, built for forward compatibility.
+
+        Unknown keys are ignored — the ``seq``/``ts`` bookkeeping keys
+        :class:`JsonlEventLog` adds, and any fields a *newer* producer
+        grew — so readers keep working across additive schema evolution.
+        An explicit ``schema`` stamp newer than ours is the one thing we
+        refuse: field meanings may have changed incompatibly.
+        """
+        schema = payload.get("schema", EVENT_SCHEMA_VERSION)
+        if schema > EVENT_SCHEMA_VERSION:
+            raise ValueError(
+                f"event schema v{schema} is newer than this reader "
+                f"(v{EVENT_SCHEMA_VERSION}); upgrade the consumer"
+            )
         fields = {f.name for f in dataclasses.fields(cls)}
         return cls(**{k: v for k, v in payload.items() if k in fields})
 

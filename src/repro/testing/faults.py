@@ -84,6 +84,17 @@ class FaultSpec:
                 f"{sorted(FAULT_KINDS)}"
             )
 
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "times": self.times, "seconds": self.seconds}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        return cls(
+            kind=payload["kind"],
+            times=int(payload.get("times", -1)),
+            seconds=float(payload.get("seconds", 3600.0)),
+        )
+
 
 class FaultPlan:
     """Maps sweep cells to :class:`FaultSpec` with cross-process counting.
@@ -104,6 +115,27 @@ class FaultPlan:
         if specific is not None:
             return specific
         return self.faults.get(workload)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form, so a plan can be handed to *other processes* —
+        the fabric e2e tests write one to a file and point worker agents at
+        it via the ``REPRO_FAULT_PLAN`` environment variable.  ``state_dir``
+        travels too: the cross-process attempt counter must be the same
+        directory in every process of the sweep."""
+        return {
+            "faults": {key: spec.to_dict() for key, spec in self.faults.items()},
+            "state_dir": str(self.state_dir),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            {
+                key: FaultSpec.from_dict(spec)
+                for key, spec in payload["faults"].items()
+            },
+            state_dir=payload["state_dir"],
+        )
 
     def claim(self, request: RunRequest, spec: FaultSpec) -> bool:
         """Atomically claim one injected attempt for this cell.

@@ -12,7 +12,7 @@ from repro.eval import (
 )
 from repro.eval.report import geometric_mean
 from repro.eval.tables import table1_rows, table2_rows, table3_rows
-from repro.sim.runner import RunMetrics
+from repro.sim.api import RunMetrics
 
 
 def metrics(workload, config, model=AttackModel.SPECTRE, cycles=1000,

@@ -4,31 +4,22 @@ representative protections (the Core's built-in check is live throughout)."""
 import pytest
 
 from repro.common.config import AttackModel
-from repro.sim import config_by_name, run_workload
+from repro.sim import CachePolicy, Session
 from repro.workloads import suite
 
 _SMALL_SUITE = [w for w in suite(scale=0.12)]
+_SESSION = Session(cache=CachePolicy(enabled=False), check_golden=True)
 
 
 @pytest.mark.parametrize("workload", _SMALL_SUITE, ids=lambda w: w.name)
 @pytest.mark.parametrize("config_name", ["Unsafe", "STT{ld}", "Hybrid"])
 def test_suite_commits_exactly(workload, config_name):
-    metrics = run_workload(
-        workload,
-        config_by_name(config_name),
-        AttackModel.SPECTRE,
-        check_golden=True,
-    )
+    metrics = _SESSION.run(workload, config_name, AttackModel.SPECTRE)
     assert metrics.instructions > 100
 
 
 @pytest.mark.parametrize("config_name", ["STT{ld+fp}", "Static L1", "Perfect"])
 def test_futuristic_model_commits_exactly(config_name):
     workload = _SMALL_SUITE[1]  # omnetpp_like: chasing + branches
-    metrics = run_workload(
-        workload,
-        config_by_name(config_name),
-        AttackModel.FUTURISTIC,
-        check_golden=True,
-    )
+    metrics = _SESSION.run(workload, config_name, AttackModel.FUTURISTIC)
     assert metrics.instructions > 100

@@ -1,11 +1,10 @@
-"""Tests for the Session/RunRequest API and the deprecated shims."""
+"""Tests for the Session/RunRequest API and the legacy-kwarg shims."""
 
 import dataclasses
 
 import pytest
 
 from repro.common.config import AttackModel, MachineConfig
-from repro.sim import run_suite, run_workload
 from repro.sim.api import (
     DEFAULT_MAX_INSTRUCTIONS,
     RunMetrics,
@@ -14,9 +13,11 @@ from repro.sim.api import (
     execute,
 )
 from repro.sim.configs import config_by_name
+from repro.sim.policies import CachePolicy, ExecutionPolicy, JournalPolicy
 from repro.workloads import make_indirect_stream
 
 WORKLOAD = make_indirect_stream("api_unit", table_words=512, iterations=60, seed=4)
+NO_CACHE = CachePolicy(enabled=False)
 
 
 class TestRunRequest:
@@ -88,28 +89,28 @@ class TestRunMetrics:
 
 class TestSession:
     def test_run_accepts_string_names(self):
-        session = Session(cache=False)
+        session = Session(cache=NO_CACHE)
         metrics = session.run(WORKLOAD, "Unsafe", "spectre")
         assert metrics.config == "Unsafe"
         assert metrics.attack_model is AttackModel.SPECTRE
 
     def test_run_accepts_prebuilt_request(self):
-        session = Session(cache=False)
+        session = Session(cache=NO_CACHE)
         request = session.request(WORKLOAD, "Unsafe")
         assert session.run(request) == session.run(WORKLOAD, "Unsafe")
 
     def test_run_requires_config_without_request(self):
-        session = Session(cache=False)
+        session = Session(cache=NO_CACHE)
         with pytest.raises(TypeError):
             session.run(WORKLOAD)
 
     def test_unknown_config_suggests_a_name(self):
-        session = Session(cache=False)
+        session = Session(cache=NO_CACHE)
         with pytest.raises(KeyError, match="did you mean 'Hybrid'"):
             session.run(WORKLOAD, "hybird")
 
     def test_session_defaults_flow_into_requests(self):
-        session = Session(check_golden=False, max_instructions=1234, cache=False)
+        session = Session(check_golden=False, max_instructions=1234, cache=NO_CACHE)
         request = session.request(WORKLOAD, "Unsafe")
         assert request.check_golden is False
         assert request.max_instructions == 1234
@@ -118,34 +119,88 @@ class TestSession:
         assert override.check_golden is True
 
 
-class TestDeprecatedShims:
-    def test_run_workload_warns_and_matches_execute(self):
-        config = config_by_name("Unsafe")
-        with pytest.warns(DeprecationWarning, match="run_workload"):
-            legacy = run_workload(WORKLOAD, config)
-        assert legacy == execute(RunRequest(WORKLOAD, config))
+class TestSessionLifecycle:
+    def test_close_is_idempotent(self):
+        session = Session(cache=NO_CACHE)
+        session.close()
+        session.close()  # second close is a no-op, not an error
+        assert session.closed
 
-    def test_run_suite_warns_and_matches_sweep(self):
-        configs = [config_by_name("Unsafe"), config_by_name("Hybrid")]
-        with pytest.warns(DeprecationWarning, match="run_suite"):
-            legacy = run_suite(
-                [WORKLOAD], configs, attack_models=(AttackModel.SPECTRE,)
-            )
-        session = Session(cache=False)
-        assert legacy == session.sweep(
-            [WORKLOAD], configs, attack_models=(AttackModel.SPECTRE,)
+    def test_context_manager_closes(self):
+        with Session(cache=NO_CACHE) as session:
+            session.run(WORKLOAD, "Unsafe")
+        assert session.closed
+
+    def test_closed_session_refuses_runs(self):
+        session = Session(cache=NO_CACHE)
+        session.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            session.run(WORKLOAD, "Unsafe")
+
+
+class TestLegacyKwargShims:
+    """The pre-policy Session keywords still work, but warn once each."""
+
+    def test_legacy_jobs_warns_and_configures_engine(self):
+        with pytest.warns(DeprecationWarning, match=r"ExecutionPolicy\(jobs="):
+            session = Session(jobs=2, cache=NO_CACHE)
+        assert session.engine.jobs == 2
+        assert session.execution.jobs == 2
+
+    def test_legacy_bool_cache_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"CachePolicy\(enabled="):
+            session = Session(cache=False)
+        assert session.cache is None
+
+    def test_legacy_timeout_and_retries_warn(self):
+        with pytest.warns(DeprecationWarning):
+            session = Session(cache=NO_CACHE, timeout=9.0, retries=3)
+        assert session.engine.timeout == 9.0
+        assert session.engine.retry.max_retries == 3
+
+    def test_legacy_conflicts_with_policy(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="conflict with execution="):
+                Session(execution=ExecutionPolicy(jobs=2), jobs=3)
+
+    def test_unknown_kwarg_rejected(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            Session(bogus=1)
+
+    def test_legacy_resume_without_journal_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="requires a journal"):
+                Session(cache=NO_CACHE, resume=True)
+
+    def test_legacy_journal_path_warns(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match=r"JournalPolicy\(path="):
+            session = Session(cache=NO_CACHE, journal=tmp_path / "journal.jsonl")
+        assert session.journal is not None
+        assert session.journal_policy == JournalPolicy(
+            path=str(tmp_path / "journal.jsonl")
         )
 
-    def test_run_suite_progress_callback_still_fires(self):
-        seen = []
-        with pytest.warns(DeprecationWarning):
-            run_suite(
-                [WORKLOAD],
-                [config_by_name("Unsafe")],
-                attack_models=(AttackModel.SPECTRE,),
-                progress=lambda w, c, m: seen.append((w, c, m)),
-            )
-        assert seen == [("api_unit", "Unsafe", AttackModel.SPECTRE)]
+
+class TestPolicySession:
+    def test_policies_configure_engine(self, tmp_path):
+        session = Session(
+            execution=ExecutionPolicy(jobs=2, timeout=30.0, retries=1),
+            cache=CachePolicy(cache_dir=tmp_path / "cache"),
+            journal=JournalPolicy(path=tmp_path / "journal.jsonl"),
+        )
+        assert session.engine.jobs == 2
+        assert session.engine.timeout == 30.0
+        assert session.engine.retry.max_retries == 1
+        assert session.cache is not None
+        assert str(session.cache.root) == str(tmp_path / "cache")
+        assert session.journal is not None
+        session.close()
+
+    def test_session_exposes_its_policies(self):
+        session = Session(cache=NO_CACHE)
+        assert session.execution == ExecutionPolicy()
+        assert session.cache_policy == NO_CACHE
+        assert session.journal_policy == JournalPolicy()
 
     def test_top_level_reexports(self):
         import repro
@@ -153,3 +208,6 @@ class TestDeprecatedShims:
         assert repro.Session is Session
         assert repro.RunRequest is RunRequest
         assert repro.execute is execute
+        assert repro.ExecutionPolicy is ExecutionPolicy
+        assert repro.CachePolicy is CachePolicy
+        assert repro.JournalPolicy is JournalPolicy

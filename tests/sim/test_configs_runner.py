@@ -8,15 +8,16 @@ from repro.pipeline.protection import UnsafeProtection
 from repro.sim import (
     EVALUATED_CONFIGS,
     SDO_CONFIG_NAMES,
+    CachePolicy,
+    Session,
     config_by_name,
     make_protection,
-    run_suite,
-    run_workload,
 )
 from repro.stt.protection import SttProtection
 from repro.workloads import make_indirect_stream
 
 WORKLOAD = make_indirect_stream("unit", table_words=512, iterations=60, seed=4)
+SESSION = Session(cache=CachePolicy(enabled=False))
 
 
 class TestConfigs:
@@ -57,8 +58,8 @@ class TestConfigs:
 
 
 class TestRunner:
-    def test_run_workload_returns_metrics(self):
-        metrics = run_workload(WORKLOAD, config_by_name("Unsafe"))
+    def test_run_returns_metrics(self):
+        metrics = SESSION.run(WORKLOAD, "Unsafe")
         assert metrics.cycles > 0
         assert metrics.instructions > 100
         assert 0 < metrics.ipc < 8
@@ -66,21 +67,21 @@ class TestRunner:
         assert metrics.config == "Unsafe"
 
     def test_normalization(self):
-        base = run_workload(WORKLOAD, config_by_name("Unsafe"))
+        base = SESSION.run(WORKLOAD, "Unsafe")
         assert base.normalized_to(base) == pytest.approx(1.0)
-        stt = run_workload(WORKLOAD, config_by_name("STT{ld}"))
+        stt = SESSION.run(WORKLOAD, "STT{ld}")
         assert stt.normalized_to(base) >= 0.9
 
     def test_fresh_machine_per_run(self):
         """Two identical runs must produce identical results (no state
         leakage between configurations)."""
-        a = run_workload(WORKLOAD, config_by_name("Hybrid"))
-        b = run_workload(WORKLOAD, config_by_name("Hybrid"))
+        a = SESSION.run(WORKLOAD, "Hybrid")
+        b = SESSION.run(WORKLOAD, "Hybrid")
         assert a.cycles == b.cycles
         assert a.stats == b.stats
 
-    def test_run_suite_covers_grid(self):
-        results = run_suite(
+    def test_sweep_covers_grid(self):
+        results = SESSION.sweep(
             [WORKLOAD],
             configs=[config_by_name("Unsafe"), config_by_name("Hybrid")],
             attack_models=(AttackModel.SPECTRE,),
@@ -88,23 +89,13 @@ class TestRunner:
         assert len(results) == 2
         assert {r.config for r in results} == {"Unsafe", "Hybrid"}
 
-    def test_progress_callback(self):
-        seen = []
-        run_suite(
-            [WORKLOAD],
-            configs=[config_by_name("Unsafe")],
-            attack_models=(AttackModel.SPECTRE,),
-            progress=lambda w, c, m: seen.append((w, c)),
-        )
-        assert seen == [("unit", "Unsafe")]
-
     def test_squash_metric(self):
-        metrics = run_workload(WORKLOAD, config_by_name("Static L1"))
+        metrics = SESSION.run(WORKLOAD, "Static L1")
         assert metrics.squashes >= 0
 
     def test_predictor_metrics_only_for_sdo(self):
-        stt = run_workload(WORKLOAD, config_by_name("STT{ld}"))
+        stt = SESSION.run(WORKLOAD, "STT{ld}")
         assert stt.predictor_precision == 0.0
-        sdo = run_workload(WORKLOAD, config_by_name("Perfect"))
+        sdo = SESSION.run(WORKLOAD, "Perfect")
         if sdo.stats.get("stt.sdo.predictions", 0):
             assert sdo.predictor_precision == pytest.approx(1.0)

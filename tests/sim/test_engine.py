@@ -8,9 +8,11 @@ from repro.sim.cache import ResultCache
 from repro.sim.configs import config_by_name
 from repro.sim.engine import SweepEngine
 from repro.sim.events import JsonlEventLog
+from repro.sim.policies import CachePolicy, ExecutionPolicy
 from repro.workloads import make_indirect_stream
 
 WORKLOAD = make_indirect_stream("engine_unit", table_words=512, iterations=60, seed=4)
+NO_CACHE = CachePolicy(enabled=False)
 CONFIG_NAMES = ("Unsafe", "STT{ld}", "Hybrid")
 
 
@@ -20,20 +22,20 @@ def make_requests(session):
 
 class TestDeterminism:
     def test_results_keep_request_order(self):
-        session = Session(cache=False)
+        session = Session(cache=NO_CACHE)
         results = session.run_many(make_requests(session))
         assert [r.config for r in results] == list(CONFIG_NAMES)
 
     def test_parallel_equals_serial(self):
         """jobs=N must produce results identical (ordering included) to
         jobs=1 — parallelism is a pure go-faster knob."""
-        serial = Session(cache=False, jobs=1)
-        parallel = Session(cache=False, jobs=2)
+        serial = Session(cache=NO_CACHE, execution=ExecutionPolicy(jobs=1))
+        parallel = Session(cache=NO_CACHE, execution=ExecutionPolicy(jobs=2))
         requests = make_requests(serial)
         assert parallel.run_many(requests) == serial.run_many(requests)
 
     def test_sweep_matches_legacy_iteration_order(self):
-        session = Session(cache=False)
+        session = Session(cache=NO_CACHE)
         results = session.sweep(
             [WORKLOAD],
             configs=[config_by_name("Unsafe"), config_by_name("Hybrid")],
@@ -52,7 +54,7 @@ class TestCacheIntegration:
         self, tmp_path, monkeypatch
     ):
         """Acceptance: the repeat sweep must not construct a single Core."""
-        first = Session(cache_dir=tmp_path)
+        first = Session(cache=CachePolicy(cache_dir=tmp_path))
         cold = first.run_many(make_requests(first))
 
         import repro.sim.api as api
@@ -62,15 +64,21 @@ class TestCacheIntegration:
 
         monkeypatch.setattr(api, "Core", no_core)
         events = []
-        second = Session(cache_dir=tmp_path, observers=[events.append])
+        second = Session(
+            cache=CachePolicy(cache_dir=tmp_path), observers=[events.append]
+        )
         warm = second.run_many(make_requests(second))
         assert warm == cold
         assert {e.kind for e in events} == {"queued", "cache_hit"}
 
     def test_cache_shared_between_serial_and_parallel(self, tmp_path):
-        serial = Session(cache_dir=tmp_path, jobs=1)
+        serial = Session(
+            cache=CachePolicy(cache_dir=tmp_path), execution=ExecutionPolicy(jobs=1)
+        )
         cold = serial.run_many(make_requests(serial))
-        parallel = Session(cache_dir=tmp_path, jobs=2)
+        parallel = Session(
+            cache=CachePolicy(cache_dir=tmp_path), execution=ExecutionPolicy(jobs=2)
+        )
         events = []
         parallel.add_observer(events.append)
         warm = parallel.run_many(make_requests(parallel))
@@ -96,7 +104,7 @@ class TestFaultIsolation:
             return real_execute(request)
 
         monkeypatch.setattr(engine_mod, "execute", flaky)
-        session = Session(cache=False, jobs=1)
+        session = Session(cache=NO_CACHE, execution=ExecutionPolicy(jobs=1))
         results = session.run_many(make_requests(session))
         assert isinstance(results[0], RunMetrics)
         assert isinstance(results[1], RunFailure)
@@ -125,7 +133,7 @@ class TestFaultIsolation:
             return real_execute(request)
 
         monkeypatch.setattr(engine_mod, "execute", flaky)
-        session = Session(cache=False, jobs=2)
+        session = Session(cache=NO_CACHE, execution=ExecutionPolicy(jobs=2))
         results = session.run_many(make_requests(session))
         assert [type(r) for r in results] == [RunMetrics, RunMetrics, RunFailure]
         assert results[2].error_type == "ValueError"
@@ -137,7 +145,7 @@ class TestFaultIsolation:
             raise RuntimeError("boom")
 
         monkeypatch.setattr(engine_mod, "execute", always_fail)
-        session = Session(cache=False)
+        session = Session(cache=NO_CACHE)
         with pytest.raises(RuntimeError, match="boom"):
             session.run(WORKLOAD, "Unsafe")
 
@@ -158,7 +166,7 @@ class TestFaultIsolation:
 class TestEvents:
     def test_lifecycle_sequence_serial(self):
         events = []
-        session = Session(cache=False, observers=[events.append])
+        session = Session(cache=NO_CACHE, observers=[events.append])
         session.run(WORKLOAD, "Unsafe")
         assert [e.kind for e in events] == ["queued", "started", "finished"]
         finished = events[-1]
@@ -175,14 +183,18 @@ class TestEvents:
 
         monkeypatch.setattr(engine_mod, "execute", always_fail)
         events = []
-        session = Session(cache=False, observers=[events.append])
+        session = Session(cache=NO_CACHE, observers=[events.append])
         session.run_many([session.request(WORKLOAD, "Unsafe")])
         assert [e.kind for e in events] == ["queued", "started", "failed"]
         assert "RuntimeError: boom" in events[-1].error
 
     def test_every_request_reaches_exactly_one_terminal_event(self, tmp_path):
         events = []
-        session = Session(cache_dir=tmp_path, jobs=2, observers=[events.append])
+        session = Session(
+            cache=CachePolicy(cache_dir=tmp_path),
+            execution=ExecutionPolicy(jobs=2),
+            observers=[events.append],
+        )
         session.run_many(make_requests(session))
         terminal = [e for e in events if e.kind in ("finished", "failed", "cache_hit")]
         assert sorted(e.index for e in terminal) == [0, 1, 2]
@@ -195,7 +207,9 @@ class TestEvents:
         jobs = 2
         log_path = tmp_path / "sweep.events.jsonl"
         with JsonlEventLog(log_path) as log:
-            session = Session(cache=False, jobs=jobs, observers=[log])
+            session = Session(
+                cache=NO_CACHE, execution=ExecutionPolicy(jobs=jobs), observers=[log]
+            )
             session.sweep(
                 [WORKLOAD],
                 configs=[config_by_name(name) for name in CONFIG_NAMES],
@@ -223,7 +237,7 @@ class TestEvents:
     def test_jsonl_event_log(self, tmp_path):
         log_path = tmp_path / "sweep.events.jsonl"
         with JsonlEventLog(log_path) as log:
-            session = Session(cache=False, observers=[log])
+            session = Session(cache=NO_CACHE, observers=[log])
             session.run(WORKLOAD, "Unsafe")
         import json
 
@@ -240,5 +254,5 @@ class TestEngineValidation:
             SweepEngine(jobs=0)
 
     def test_empty_batch(self):
-        session = Session(cache=False)
+        session = Session(cache=NO_CACHE)
         assert session.run_many([]) == []

@@ -14,7 +14,10 @@ from repro.sim.events import (
     RunEvent,
     read_events,
 )
+from repro.sim.policies import CachePolicy
 from repro.workloads import make_indirect_stream
+
+NO_CACHE = CachePolicy(enabled=False)
 
 
 @pytest.fixture
@@ -26,7 +29,7 @@ class TestJsonlRoundTrip:
     def test_events_survive_write_and_read(self, tmp_path, workload):
         path = tmp_path / "run.events.jsonl"
         with JsonlEventLog(path) as log:
-            session = Session(cache=False, observers=[log])
+            session = Session(cache=NO_CACHE, observers=[log])
             metrics = session.run(workload, "Unsafe")
         events = read_events(path)
         assert [e.kind for e in events] == [QUEUED, "started", FINISHED]
@@ -66,7 +69,7 @@ class TestObserverIsolation:
             raise RuntimeError("observer exploded")
 
         seen = []
-        session = Session(cache=False, observers=[bad_observer, seen.append])
+        session = Session(cache=NO_CACHE, observers=[bad_observer, seen.append])
         metrics = session.run(workload, "Unsafe")
         assert metrics.cycles > 0
         assert not isinstance(metrics, RunFailure)
@@ -82,7 +85,7 @@ class TestObserverIsolation:
             calls.append(event.kind)
             raise ValueError("always broken")
 
-        session = Session(cache=False, observers=[bad_observer])
+        session = Session(cache=NO_CACHE, observers=[bad_observer])
         session.run(workload, "Unsafe")
         session.run(workload, "Unsafe")
         assert len(calls) >= 4  # it kept being invoked...

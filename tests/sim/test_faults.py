@@ -21,6 +21,7 @@ from repro.sim.api import (
 )
 from repro.sim.engine import RetryPolicy, SweepEngine
 from repro.sim.events import TERMINAL_EVENTS
+from repro.sim.policies import CachePolicy, ExecutionPolicy, JournalPolicy
 from repro.testing.faults import FaultPlan, FaultSpec, InjectedCrash, inject
 from repro.workloads import make_indirect_stream
 
@@ -38,9 +39,29 @@ def cell(name, seed=1):
 
 
 def make_session(tmp_path=None, **kwargs):
-    kwargs.setdefault("cache", False)
+    """Build a Session from flat engine-ish kwargs via the policy objects
+    (keeps these tests terse without exercising the deprecated shim)."""
     kwargs.setdefault("max_instructions", 2_000)
-    return Session(**kwargs)
+    execution = ExecutionPolicy(
+        **{
+            name: kwargs.pop(name)
+            for name in (
+                "jobs", "timeout", "retries", "hang_window", "fail_on_unhalted"
+            )
+            if name in kwargs
+        }
+    )
+    cache_dir = kwargs.pop("cache_dir", None)
+    cache = CachePolicy(
+        enabled=bool(kwargs.pop("cache", False)),
+        cache_dir=str(cache_dir) if cache_dir else None,
+    )
+    journal_path = kwargs.pop("journal", None)
+    journal = JournalPolicy(
+        path=str(journal_path) if journal_path else None,
+        resume=kwargs.pop("resume", False),
+    )
+    return Session(execution=execution, cache=cache, journal=journal, **kwargs)
 
 
 class TestRetryPolicy:
@@ -361,7 +382,7 @@ class TestResume:
 
     def test_resume_without_journal_rejected(self):
         with pytest.raises(ValueError):
-            Session(cache=False, resume=True)
+            JournalPolicy(resume=True)
 
     def test_journal_records_cache_hits_too(self, tmp_path):
         """A cell served by the result cache still lands in the journal, so
