@@ -58,10 +58,7 @@ def sweep_results(sweep_session):
     started = time.time()
     results = sweep_session.sweep(workloads)
     elapsed = time.time() - started
-    print(
-        f"\n[sweep] {len(results)} runs in {elapsed:.0f}s "
-        f"(scale={_scale()}, jobs={_jobs()})"
-    )
+    print(f"\n[sweep] {len(results)} runs in {elapsed:.0f}s " f"(scale={_scale()}, jobs={_jobs()})")
     return results
 
 

@@ -45,12 +45,14 @@ def test_ablation_early_forwarding(benchmark, artifact_dir):
                 config_by_name(config_name).protection_config(AttackModel.SPECTRE),
                 early_forwarding=False,
             )
-            without_fwd = _run(
-                config_name, base_machine.with_protection(protection)
-            )
+            without_fwd = _run(config_name, base_machine.with_protection(protection))
             rows.append(
-                [config_name, with_fwd.cycles, without_fwd.cycles,
-                 without_fwd.cycles / with_fwd.cycles]
+                [
+                    config_name,
+                    with_fwd.cycles,
+                    without_fwd.cycles,
+                    without_fwd.cycles / with_fwd.cycles,
+                ]
             )
         return rows
 
@@ -79,9 +81,7 @@ def test_ablation_tlb_pressure(benchmark, artifact_dir):
             machine = dataclasses.replace(MachineConfig(), tlb=tlb)
             metrics = _run("Hybrid", machine)
             rows.append(
-                [label, metrics.cycles,
-                 metrics.stats.get("mem.obl_tlb_fails", 0),
-                 metrics.squashes]
+                [label, metrics.cycles, metrics.stats.get("mem.obl_tlb_fails", 0), metrics.squashes]
             )
         return rows
 

@@ -24,10 +24,7 @@ def test_figure6_regenerate(benchmark, sweep_results, artifact_dir):
     figure = benchmark.pedantic(build_figure6, args=(sweep_results,), rounds=1, iterations=1)
     for model in MODELS:
         save_artifact(artifact_dir, f"figure6_{model.value}.txt", figure.render(model))
-        rows = [
-            [w] + [figure.data[model][c][w] for c in figure.configs]
-            for w in figure.workloads
-        ]
+        rows = [[w] + [figure.data[model][c][w] for c in figure.configs] for w in figure.workloads]
         (artifact_dir / f"figure6_{model.value}.csv").write_text(
             to_csv(["benchmark"] + list(figure.configs), rows)
         )
@@ -46,9 +43,7 @@ class TestFigure6Shape:
         """STT+SDO outperforms STT with Hybrid and the best Static."""
         stt = figure6.average(model, "STT{ld}")
         assert figure6.average(model, "Hybrid") < stt
-        best_static = min(
-            figure6.average(model, f"Static L{i}") for i in (1, 2, 3)
-        )
+        best_static = min(figure6.average(model, f"Static L{i}") for i in (1, 2, 3))
         assert best_static < stt
 
     @pytest.mark.parametrize("model", MODELS)
@@ -59,10 +54,7 @@ class TestFigure6Shape:
 
     @pytest.mark.parametrize("model", MODELS)
     def test_stt_ldfp_at_least_stt_ld(self, figure6, model):
-        assert (
-            figure6.average(model, "STT{ld+fp}")
-            >= figure6.average(model, "STT{ld}") * 0.995
-        )
+        assert figure6.average(model, "STT{ld+fp}") >= figure6.average(model, "STT{ld}") * 0.995
 
     def test_fp_protection_bites_in_futuristic(self, figure6):
         """The {ld}->{ld+fp} gap is pronounced in the Futuristic model."""

@@ -39,9 +39,7 @@ class TestFigure7Shape:
         source of overhead' — paper, Section VIII-C."""
         for config in ("Static L1", "Static L2"):
             parts = figure7.data[model][config]
-            prediction_share = (
-                parts["inaccurate prediction"] + parts["imprecise prediction"]
-            )
+            prediction_share = parts["inaccurate prediction"] + parts["imprecise prediction"]
             assert prediction_share > 0.05
 
     @pytest.mark.parametrize("model", MODELS)

@@ -21,9 +21,7 @@ def test_figure8_regenerate(benchmark, sweep_results, artifact_dir):
     )
     for model in MODELS:
         text = figure.render(model)
-        text += (
-            f"\ncorrelation excl. Static L3: {figure.correlation(model):.3f}\n"
-        )
+        text += f"\ncorrelation excl. Static L3: {figure.correlation(model):.3f}\n"
         save_artifact(artifact_dir, f"figure8_{model.value}.txt", text)
 
 

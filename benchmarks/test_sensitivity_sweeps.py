@@ -9,9 +9,7 @@ from benchmarks.conftest import save_artifact
 from repro.eval.sweeps import dram_latency_variant, rob_variant, sweep
 from repro.workloads import make_indirect_stream
 
-_WORKLOAD = make_indirect_stream(
-    "sensitivity", table_words=16 * 1024, iterations=250, seed=31
-)
+_WORKLOAD = make_indirect_stream("sensitivity", table_words=16 * 1024, iterations=250, seed=31)
 
 
 def test_rob_sensitivity(benchmark, artifact_dir):

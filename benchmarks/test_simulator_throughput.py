@@ -11,9 +11,7 @@ from repro.common import AttackModel
 from repro.sim import RunRequest, config_by_name, execute
 from repro.workloads import make_indirect_stream
 
-_WORKLOAD = make_indirect_stream(
-    "bench_kernel", table_words=8192, iterations=250, seed=5
-)
+_WORKLOAD = make_indirect_stream("bench_kernel", table_words=8192, iterations=250, seed=5)
 
 
 @pytest.mark.parametrize("config_name", ["Unsafe", "STT{ld}", "Hybrid"])

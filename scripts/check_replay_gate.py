@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Prove the replay-equivalence CI gate actually fires.
+
+An equivalence gate that would pass even when replayed metrics drift is
+worse than no gate, so the ``replay-equivalence`` CI job runs this script
+alongside the grid in ``tests/replay/``.  It checks both directions:
+
+1. A live run and a replayed run of the same cell produce bit-identical
+   ``RunMetrics`` (the positive claim the grid pins at scale).
+2. A deliberately perturbed *replayed* metrics dict FAILS the same
+   comparison the tests use — the gate is sensitive to a single counter
+   drifting by one, not vacuously green.
+3. A deliberately perturbed *trace* makes the replayed run itself die with
+   ``GoldenModelMismatch`` — corrupt-but-checksum-valid recordings cannot
+   silently validate a run.
+
+Usage:
+
+    PYTHONPATH=src python scripts/check_replay_gate.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.common.config import AttackModel  # noqa: E402
+from repro.pipeline.core import GoldenModelMismatch  # noqa: E402
+from repro.replay.recorder import record_trace  # noqa: E402
+from repro.replay.replayer import replay_execute  # noqa: E402
+from repro.replay.trace import ArchTrace  # noqa: E402
+from repro.sim.api import RunRequest, execute  # noqa: E402
+from repro.sim.configs import config_by_name  # noqa: E402
+from repro.workloads import make_mixed_kernel  # noqa: E402
+
+
+def _request() -> RunRequest:
+    return RunRequest(
+        workload=make_mixed_kernel("gate_mixed", table_words=1024, iterations=24, seed=31),
+        config=config_by_name("Hybrid"),
+        attack_model=AttackModel.SPECTRE,
+    )
+
+
+def check_equivalence() -> dict:
+    request = _request()
+    live = execute(request).to_dict()
+    replayed = replay_execute(request, record_trace(request)).to_dict()
+    if replayed != live:
+        drifted = sorted(
+            key
+            for key in set(live) | set(replayed)
+            if live.get(key) != replayed.get(key)
+        )
+        raise SystemExit(f"FAIL: replayed metrics differ from live metrics in {drifted!r}")
+    print("ok: live and replayed RunMetrics are bit-identical")
+    return live
+
+
+def check_metric_perturbation_fails(live: dict) -> None:
+    perturbed = dict(live)
+    perturbed["cycles"] = perturbed["cycles"] + 1
+    if perturbed == live:
+        raise SystemExit(
+            "FAIL: the equivalence comparison did not notice a replayed "
+            "cycle count perturbed by one — the gate cannot fire"
+        )
+    print("ok: a single perturbed replayed metric fails the comparison")
+
+
+def check_trace_perturbation_fails() -> None:
+    request = _request()
+    records = record_trace(request).records()
+    victim = next(i for i, op in enumerate(records) if isinstance(op.result, int))
+    records[victim] = dataclasses.replace(records[victim], result=records[victim].result ^ 1)
+    try:
+        replay_execute(request, ArchTrace.from_records(records, halted=True))
+    except GoldenModelMismatch:
+        print("ok: a perturbed trace record aborts replay (GoldenModelMismatch)")
+        return
+    raise SystemExit(
+        "FAIL: replay against a perturbed trace completed without raising "
+        "GoldenModelMismatch — replayed runs are not actually verified"
+    )
+
+
+def main() -> None:
+    live = check_equivalence()
+    check_metric_perturbation_fails(live)
+    check_trace_perturbation_fails()
+    print("replay-equivalence gate validation passed")
+
+
+if __name__ == "__main__":
+    main()

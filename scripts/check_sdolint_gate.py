@@ -63,9 +63,7 @@ def run_lint(root: Path) -> tuple[int, dict]:
     except json.JSONDecodeError:
         print(proc.stdout)
         print(proc.stderr, file=sys.stderr)
-        raise SystemExit(
-            f"repro lint produced no JSON (exit {proc.returncode})"
-        ) from None
+        raise SystemExit(f"repro lint produced no JSON (exit {proc.returncode})") from None
     return proc.returncode, payload
 
 

@@ -66,6 +66,7 @@ def _session_from(args, observers=()) -> Session:
             timeout=args.timeout,
             retries=args.retries,
             fabric=getattr(args, "fabric", None),
+            replay=getattr(args, "replay", False),
         ),
         cache=CachePolicy(
             enabled=not args.no_cache,
@@ -374,6 +375,12 @@ def main(argv=None) -> int:
         help="submit the sweep to a fabric scheduler (e.g. "
              "http://host:8700) instead of executing locally; --jobs and "
              "--timeout/--retries then apply on the fabric's workers",
+    )
+    sweep.add_argument(
+        "--replay", action="store_true",
+        help="record each workload's architectural trace once and replay "
+             "it across every config/model cell sharing it (bit-identical "
+             "metrics; traces are stored beside the result cache)",
     )
     _add_engine_options(sweep)
 

@@ -60,6 +60,7 @@ from repro.sim.cache import ResultCache, cache_key
 from repro.sim.engine import RetryPolicy
 from repro.sim.events import (
     CACHE_HIT,
+    EVENT_SCHEMA_VERSION,
     FAILED,
     FINISHED,
     QUEUED,
@@ -110,8 +111,10 @@ class FabricScheduler:
         self, sweep_id: str, kind: str, index: int, cell: CellRecord, **extra
     ) -> None:
         request = cell.request
+        # Events are read back as RunEvent.from_dict, so they carry the
+        # *event* schema stamp, not the wire envelope's.
         event = {
-            "schema": WIRE_SCHEMA_VERSION,
+            "schema": EVENT_SCHEMA_VERSION,
             "kind": kind,
             "index": index,
             "workload": request["workload"]["name"],

@@ -22,7 +22,9 @@ from repro.sim.api import RunFailure, RunMetrics, RunOutcome
 #: Bump on incompatible wire changes (renamed/retyped fields, changed
 #: endpoint semantics).  Additive evolution — new optional fields, new
 #: endpoints — keeps the version.
-WIRE_SCHEMA_VERSION = 1
+#: v2: ExecutionPolicy gained the ``replay`` field (record-once/replay-many
+#: execution backend); old decoders default it to False.
+WIRE_SCHEMA_VERSION = 2
 
 #: Cell lifecycle states as the scheduler reports them.
 CELL_PENDING = "pending"

@@ -69,6 +69,15 @@ class WorkerAgent:
         self.transport = HttpTransport(url, timeout=request_timeout)
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        # Architectural traces share the cache root: a worker that keeps a
+        # result cache automatically keeps trace recordings beside it, so
+        # repeat cells over the same workload replay instead of re-running
+        # the functional ISS per commit.
+        self.trace_store = None
+        if cache_dir is not None:
+            from repro.replay.store import TraceStore
+
+            self.trace_store = TraceStore(Path(cache_dir) / "traces")
         self.poll_interval = poll_interval
         self.max_idle_seconds = max_idle_seconds
         self.stats = {
@@ -76,6 +85,7 @@ class WorkerAgent:
             "executed": 0,
             "local_cache_hits": 0,
             "artifact_hits": 0,
+            "trace_replays": 0,
             "delivery_failures": 0,
             "network_errors": 0,
         }
@@ -156,7 +166,20 @@ class WorkerAgent:
 
         self._ledger(key)
         request = RunRequest.from_dict(cell["request"])
-        engine = SweepEngine(jobs=1, timeout=cell.get("timeout"), cache=self.cache)
+        if self.trace_store is not None:
+            # Count resolutions the trace store will serve without a fresh
+            # recording — the replayed-trace rung of the resolution ladder
+            # (local cache → artifact store → replayed trace → full run).
+            from repro.replay.trace import trace_key
+
+            if self.trace_store.has(trace_key(request)):
+                self.stats["trace_replays"] += 1
+        engine = SweepEngine(
+            jobs=1,
+            timeout=cell.get("timeout"),
+            cache=self.cache,
+            trace_store=self.trace_store,
+        )
         heartbeat = self._start_heartbeat(key, cell.get("lease_seconds") or 15.0)
         started = time.monotonic()
         try:

@@ -24,6 +24,15 @@ The cache section protects *one host against its own history*; the wire
 section protects *hosts against each other* — a renamed field here desyncs
 a scheduler from its workers mid-release, so it too must not drift without
 its version bump.
+
+A third section pins the **trace schema** (``repro.replay.trace``):
+``TRACE_SCHEMA_VERSION`` and the ``trace_key`` material keys.  Recorded
+architectural traces are replayed as the golden reference of later runs, so
+a binary-layout or key-material change that still parses old files would
+silently validate new runs against stale recordings; like the other two
+sections, drift here requires its own version bump (which relocates the
+store's ``v<N>/`` directory, orphaning old traces) before the fingerprint
+may be refreshed.
 """
 
 from __future__ import annotations
@@ -57,6 +66,7 @@ FINGERPRINTED = {
 
 WIRE_MODULE = "src/repro/fabric/wire.py"
 EVENTS_MODULE = "src/repro/sim/events.py"
+TRACE_MODULE = "src/repro/replay/trace.py"
 
 #: Dataclasses whose ``to_dict`` output crosses a fabric connection and is
 #: therefore part of the wire contract between scheduler, workers, and
@@ -114,9 +124,7 @@ def _dataclass_fields(node: ast.ClassDef) -> list[str]:
     return fields
 
 
-def _int_constant(
-    ctx: LintContext, rel: str, name: str, locations: dict[str, int]
-) -> int | None:
+def _int_constant(ctx: LintContext, rel: str, name: str, locations: dict[str, int]) -> int | None:
     """Module-level ``NAME = <int literal>``; records its line under
     ``name`` in ``locations``."""
     source = ctx.file(rel)
@@ -170,6 +178,7 @@ def compute_fingerprint(
         "cache_key_material": [],
         "dataclasses": {},
         "wire": {},
+        "trace": {},
     }
     locations: dict[str, int] = {}
 
@@ -198,21 +207,40 @@ def compute_fingerprint(
                             fingerprint["cache_key_material"] = sorted(keys)
                         break
 
-    fingerprint["dataclasses"] = _fingerprint_dataclasses(
-        ctx, FINGERPRINTED, locations
-    )
+    fingerprint["dataclasses"] = _fingerprint_dataclasses(ctx, FINGERPRINTED, locations)
     fingerprint["wire"] = {
-        "wire_schema_version": _int_constant(
-            ctx, WIRE_MODULE, "WIRE_SCHEMA_VERSION", locations
-        ),
+        "wire_schema_version": _int_constant(ctx, WIRE_MODULE, "WIRE_SCHEMA_VERSION", locations),
         "event_schema_version": _int_constant(
             ctx, EVENTS_MODULE, "EVENT_SCHEMA_VERSION", locations
         ),
-        "dataclasses": _fingerprint_dataclasses(
-            ctx, WIRE_FINGERPRINTED, locations
-        ),
+        "dataclasses": _fingerprint_dataclasses(ctx, WIRE_FINGERPRINTED, locations),
+    }
+    fingerprint["trace"] = {
+        "trace_schema_version": _int_constant(ctx, TRACE_MODULE, "TRACE_SCHEMA_VERSION", locations),
+        "trace_key_material": _trace_key_material(ctx, locations),
     }
     return fingerprint, locations
+
+
+def _trace_key_material(ctx: LintContext, locations: dict[str, int]) -> list[str]:
+    """The string keys of the material dict inside ``trace_key`` — the
+    architectural inputs a recorded trace is addressed by."""
+    source = ctx.file(TRACE_MODULE)
+    if source is None:
+        return []
+    for node in source.tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "trace_key":
+            locations["trace_key"] = node.lineno
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Dict):
+                    keys = [
+                        k.value
+                        for k in sub.keys
+                        if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                    ]
+                    if "schema" in keys:
+                        return sorted(keys)
+    return []
 
 
 def write_fingerprint(ctx: LintContext) -> Path:
@@ -222,10 +250,12 @@ def write_fingerprint(ctx: LintContext) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
         "comment": (
-            "Pinned cache-key and fabric wire schema surfaces; regenerate "
-            "with `repro lint --update-fingerprints` AFTER bumping "
-            "SCHEMA_VERSION in src/repro/sim/cache.py (cache section) or "
-            "WIRE_SCHEMA_VERSION in src/repro/fabric/wire.py (wire section)."
+            "Pinned cache-key, fabric wire, and trace schema surfaces; "
+            "regenerate with `repro lint --update-fingerprints` AFTER "
+            "bumping SCHEMA_VERSION in src/repro/sim/cache.py (cache "
+            "section), WIRE_SCHEMA_VERSION in src/repro/fabric/wire.py "
+            "(wire section), or TRACE_SCHEMA_VERSION in "
+            "src/repro/replay/trace.py (trace section)."
         ),
     }
     payload.update(fingerprint)
@@ -254,11 +284,13 @@ def run(ctx: LintContext) -> Iterator[Finding]:
         "cache_key_material": stored_payload.get("cache_key_material", []),
         "dataclasses": stored_payload.get("dataclasses", {}),
         "wire": stored_payload.get("wire", {}),
+        "trace": stored_payload.get("trace", {}),
     }
     if current == stored:
         return
 
     yield from _check_wire(current["wire"], stored["wire"], locations)
+    yield from _check_trace(current["trace"], stored["trace"], locations)
 
     if current["schema_version"] != stored["schema_version"]:
         yield Finding(
@@ -326,9 +358,7 @@ def run(ctx: LintContext) -> Iterator[Finding]:
         )
 
 
-def _check_wire(
-    current: dict, stored: dict, locations: dict[str, int]
-) -> Iterator[Finding]:
+def _check_wire(current: dict, stored: dict, locations: dict[str, int]) -> Iterator[Finding]:
     """Wire-section comparison: versions may move (refresh the pin), field
     sets may not move *without* the matching version bump."""
     if current == stored:
@@ -384,9 +414,7 @@ def _check_wire(
                 parts.append(f"added {added!r}")
             if removed:
                 parts.append(f"removed {removed!r}")
-            detail = (
-                "changed fields: " + ", ".join(parts) if parts else "reordered fields"
-            )
+            detail = "changed fields: " + ", ".join(parts) if parts else "reordered fields"
         yield Finding(
             path=rel if after is not None else FINGERPRINT_FILE,
             line=locations.get(unit, 0),
@@ -396,6 +424,65 @@ def _check_wire(
                 "WIRE_SCHEMA_VERSION bump — a scheduler and its workers one "
                 "release apart would desync; bump WIRE_SCHEMA_VERSION in "
                 "src/repro/fabric/wire.py then run "
+                "`repro lint --update-fingerprints`"
+            ),
+            severity=ERROR,
+        )
+
+
+def _check_trace(current: dict, stored: dict, locations: dict[str, int]) -> Iterator[Finding]:
+    """Trace-section comparison: the version may move (refresh the pin); the
+    key material may not move *without* the version bump that orphans old
+    recordings."""
+    if current == stored:
+        return
+    if not stored:
+        yield Finding(
+            path=FINGERPRINT_FILE,
+            line=0,
+            checker=CHECKER_ID,
+            message=(
+                "fingerprint file has no trace-schema section — regenerate "
+                "it with `repro lint --update-fingerprints`"
+            ),
+            severity=ERROR,
+        )
+        return
+
+    if current.get("trace_schema_version") != stored.get("trace_schema_version"):
+        yield Finding(
+            path=TRACE_MODULE,
+            line=locations.get("TRACE_SCHEMA_VERSION", 0),
+            checker=CHECKER_ID,
+            message=(
+                f"TRACE_SCHEMA_VERSION is {current.get('trace_schema_version')} "
+                "but the committed fingerprint pins "
+                f"{stored.get('trace_schema_version')} — refresh it with "
+                "`repro lint --update-fingerprints`"
+            ),
+            severity=ERROR,
+        )
+        return  # the bump legitimizes the material drift below
+
+    if current.get("trace_key_material") != stored.get("trace_key_material"):
+        added = sorted(
+            set(current.get("trace_key_material", []))
+            - set(stored.get("trace_key_material", []))
+        )
+        removed = sorted(
+            set(stored.get("trace_key_material", []))
+            - set(current.get("trace_key_material", []))
+        )
+        yield Finding(
+            path=TRACE_MODULE,
+            line=locations.get("trace_key", 0),
+            checker=CHECKER_ID,
+            message=(
+                "trace_key material changed without a TRACE_SCHEMA_VERSION "
+                f"bump (added {added!r}, removed {removed!r}) — replayed runs "
+                "could validate against recordings of a different "
+                "architectural input; bump TRACE_SCHEMA_VERSION in "
+                "src/repro/replay/trace.py then run "
                 "`repro lint --update-fingerprints`"
             ),
             severity=ERROR,

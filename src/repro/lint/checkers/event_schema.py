@@ -50,9 +50,7 @@ def _module_string_constants(source: SourceFile) -> dict[str, str]:
     return out
 
 
-def _resolve_string_set(
-    node: ast.expr, constants: dict[str, str]
-) -> tuple[set[str], bool]:
+def _resolve_string_set(node: ast.expr, constants: dict[str, str]) -> tuple[set[str], bool]:
     """Resolve a frozenset/set display of names and literals.
 
     Returns ``(values, fully_resolved)``.
@@ -178,9 +176,7 @@ def run(ctx: LintContext) -> Iterator[Finding]:
     failure_kinds: set[str] = set()
     kinds_node = _find_assignment(api, "FAILURE_KINDS")
     if kinds_node is not None:
-        failure_kinds, resolved = _resolve_string_set(
-            kinds_node.value, failure_constants
-        )
+        failure_kinds, resolved = _resolve_string_set(kinds_node.value, failure_constants)
         if resolved:
             for name, value in sorted(failure_constants.items()):
                 if value not in failure_kinds:
@@ -197,9 +193,7 @@ def run(ctx: LintContext) -> Iterator[Finding]:
                     )
     transient_node = _find_assignment(api, "TRANSIENT_FAILURE_KINDS")
     if transient_node is not None and failure_kinds:
-        transient, resolved = _resolve_string_set(
-            transient_node.value, failure_constants
-        )
+        transient, resolved = _resolve_string_set(transient_node.value, failure_constants)
         if resolved:
             for value in sorted(transient - failure_kinds):
                 yield Finding(

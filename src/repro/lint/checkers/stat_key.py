@@ -129,9 +129,7 @@ class _KeyResolver(ast.NodeVisitor):
             and node.value.id == "self"
             and self.class_stack
         ):
-            attrs = self.ctx.self_attr_strings.get(
-                (self.source.rel, self.class_stack[-1]), {}
-            )
+            attrs = self.ctx.self_attr_strings.get((self.source.rel, self.class_stack[-1]), {})
             values = attrs.get(node.attr)
             return tuple(sorted(values)) if values else None
         return None
@@ -159,9 +157,7 @@ class _KeyResolver(ast.NodeVisitor):
             and func.attr in _STAT_METHODS
             and _stat_write_shape(func.attr, node)
         ):
-            self.writes.append(
-                (node.lineno, self.resolve(node.args[0]), func.attr)
-            )
+            self.writes.append((node.lineno, self.resolve(node.args[0]), func.attr))
         self.generic_visit(node)
 
     def visit_Assign(self, node: ast.Assign) -> None:
@@ -175,9 +171,7 @@ class _KeyResolver(ast.NodeVisitor):
                 and isinstance(target.slice.value, str)
                 and target.slice.value.startswith(_READ_PREFIXES)
             ):
-                self.writes.append(
-                    (node.lineno, (target.slice.value.rsplit(".", 1)[-1],), "set")
-                )
+                self.writes.append((node.lineno, (target.slice.value.rsplit(".", 1)[-1],), "set"))
         self.generic_visit(node)
 
 
@@ -198,11 +192,7 @@ def _collect_reads(files: list[SourceFile]) -> dict[str, int]:
                 key = node.args[0]
             elif isinstance(node, ast.Subscript) and _stats_receiver(node.value):
                 key = node.slice
-            if (
-                key is not None
-                and isinstance(key, ast.Constant)
-                and isinstance(key.value, str)
-            ):
+            if key is not None and isinstance(key, ast.Constant) and isinstance(key.value, str):
                 reads.setdefault(key.value, node.lineno)
     return reads
 
@@ -316,9 +306,7 @@ def run(ctx: LintContext) -> Iterator[Finding]:
     # are consumed wholesale by prefix loops (``core.stall.*`` folds,
     # decision tables) that no static read extraction can see.
     read_leaves = {key.rsplit(".", 1)[-1] for key in reads} | set(reads)
-    enumerated = {
-        value for values in ctx.key_constants.values() for value in values
-    }
+    enumerated = {value for values in ctx.key_constants.values() for value in values}
     unobserved = sorted(
         leaf
         for leaf in bumped
@@ -374,9 +362,6 @@ def run(ctx: LintContext) -> Iterator[Finding]:
                     path=GOLDEN_FIXTURE,
                     line=0,
                     checker=CHECKER_ID,
-                    message=(
-                        f"golden stall key {dotted!r} is not a STALL_REASONS "
-                        "member"
-                    ),
+                    message=f"golden stall key {dotted!r} is not a STALL_REASONS member",
                     severity=ERROR,
                 )

@@ -109,9 +109,7 @@ def run_lint_command(args, out: TextIO | None = None) -> int:
         out.write(f"cache-schema fingerprint written to {path}\n")
         return 0
 
-    baseline_path = (
-        Path(args.baseline) if args.baseline else root / BASELINE_NAME
-    )
+    baseline_path = Path(args.baseline) if args.baseline else root / BASELINE_NAME
     select = (
         [part.strip() for part in args.select.split(",") if part.strip()]
         if args.select
@@ -139,9 +137,7 @@ def run_lint_command(args, out: TextIO | None = None) -> int:
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro lint", description=__doc__
-    )
+    parser = argparse.ArgumentParser(prog="repro lint", description=__doc__)
     add_lint_arguments(parser)
     return run_lint_command(parser.parse_args(argv))
 

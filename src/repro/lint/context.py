@@ -133,9 +133,7 @@ class LintContext:
                     for sub in ast.walk(node):
                         if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
                             continue
-                        targets = (
-                            sub.targets if isinstance(sub, ast.Assign) else [sub.target]
-                        )
+                        targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
                         value = sub.value
                         for target in targets:
                             if not (

@@ -57,9 +57,7 @@ def load_context(root: Path, paths: Iterable[Path] | None = None) -> LintContext
 
         def selected(source: SourceFile) -> bool:
             resolved = source.path.resolve()
-            return any(
-                resolved == want or want in resolved.parents for want in wanted
-            )
+            return any(resolved == want or want in resolved.parents for want in wanted)
 
         # Keep every file in the context (indexes need the whole tree) but
         # remember the restriction for finding filtering.
@@ -116,9 +114,7 @@ def run_lint(
             if restricted is not None and finding.path not in restricted:
                 continue
             source = ctx.file(finding.path)
-            if source is not None and source.is_suppressed(
-                finding.line, finding.checker
-            ):
+            if source is not None and source.is_suppressed(finding.line, finding.checker):
                 result.suppressed += 1
                 continue
             result.findings.append(finding)

@@ -29,9 +29,7 @@ def parse_suppressions(text: str) -> dict[int, frozenset[str]]:
             match = _SUPPRESS_RE.search(token.string)
             if match is None:
                 continue
-            ids = frozenset(
-                part.strip() for part in match.group(1).split(",") if part.strip()
-            )
+            ids = frozenset(part.strip() for part in match.group(1).split(",") if part.strip())
             line = token.start[0]
             suppressions[line] = suppressions.get(line, frozenset()) | ids
     except tokenize.TokenError:

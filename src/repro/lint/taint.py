@@ -201,9 +201,7 @@ class FunctionTaint:
     def _stmt(self, stmt: ast.stmt, control: bool) -> None:
         if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
             value_taint = self.taint_of(stmt.value) or control
-            targets = (
-                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
-            )
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
             if (
                 isinstance(stmt, ast.Assign)
                 and len(targets) == 1
@@ -211,9 +209,7 @@ class FunctionTaint:
                 and isinstance(stmt.value, (ast.Tuple, ast.List))
                 and len(targets[0].elts) == len(stmt.value.elts)
             ):
-                for element, value in zip(
-                    targets[0].elts, stmt.value.elts, strict=True
-                ):
+                for element, value in zip(targets[0].elts, stmt.value.elts, strict=True):
                     self._bind(element, self.taint_of(value) or control)
             else:
                 for target in targets:

@@ -94,7 +94,23 @@ STALL_REASONS = (
 
 
 class GoldenModelMismatch(AssertionError):
-    """The OoO core committed something the ISS disagrees with."""
+    """The OoO core committed something the golden reference disagrees with."""
+
+
+class GoldenReference:
+    """Duck-typed protocol for the commit-time golden reference.
+
+    Anything with an :class:`~repro.isa.iss.Interpreter`-shaped ``step()``
+    — returning a record with ``seq``, ``pc``, ``opcode`` and ``result`` —
+    can be injected into :class:`Core` via the ``golden`` argument.  The
+    two in-tree implementations are the ISS itself (the default when
+    ``check_golden`` is set: full functional re-execution) and
+    ``repro.replay.TraceCursor`` (verification against a recorded
+    architectural trace, no functional re-execution).
+    """
+
+    def step(self):  # pragma: no cover - protocol stub
+        raise NotImplementedError
 
 
 class DeadlockError(RuntimeError):
@@ -243,6 +259,7 @@ class Core:
         hierarchy: MemoryHierarchy | None = None,
         observer: ResourceObserver | None = None,
         check_golden: bool = True,
+        golden: "GoldenReference | None" = None,
     ) -> None:
         self.program = program
         self.config = config or MachineConfig()
@@ -262,7 +279,15 @@ class Core:
         self.btb = BranchTargetBuffer()
 
         self.committed = ArchState(memory=dict(program.initial_memory))
-        self._golden = Interpreter(program) if check_golden else None
+        # The golden reference is pluggable: by default the functional ISS
+        # re-executes the program alongside the timing model, but any object
+        # with an :class:`Interpreter`-shaped ``step()`` (seq/pc/opcode/
+        # result) can stand in — e.g. a recorded architectural trace cursor
+        # (``repro.replay.TraceCursor``), which verifies the commit stream
+        # without re-running the functional model.
+        if golden is None and check_golden:
+            golden = Interpreter(program)
+        self._golden = golden
 
         self.cycle = 0
         self.halted = False

@@ -1,0 +1,50 @@
+"""Capture an architectural trace by running the functional ISS standalone.
+
+This is the ISS/timing split in action: recording needs *no* timing model
+at all.  The :class:`~repro.isa.iss.Interpreter` — the same golden model a
+live run steps at every commit — is simply run front to back and its
+commit stream packed into an :class:`~repro.replay.trace.ArchTrace`.
+Recording therefore costs one functional pass (orders of magnitude cheaper
+than one timed cell), and the result serves every timing configuration
+that shares the workload's :func:`~repro.replay.trace.trace_key`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.isa.iss import Interpreter
+from repro.replay.trace import ArchTrace
+
+if TYPE_CHECKING:
+    from repro.isa.program import Program
+    from repro.sim.api import RunRequest
+
+#: Extra instructions recorded beyond the request budget.  The core's run
+#: loop checks the budget once per cycle *after* committing up to
+#: ``commit_width`` instructions, so a timed run can overshoot the budget
+#: by at most one commit group; the margin (comfortably wider than any
+#: commit width) guarantees the trace always covers the overshoot.
+COMMIT_OVERSHOOT_MARGIN = 64
+
+
+class TraceRecorder:
+    """Records :class:`ArchTrace` objects for programs/requests."""
+
+    def record_program(self, program: "Program", max_instructions: int) -> ArchTrace:
+        """Run the ISS to HALT or the (margin-padded) budget; pack the
+        commit stream."""
+        interpreter = Interpreter(program)
+        records = interpreter.run(max_instructions=max_instructions + COMMIT_OVERSHOOT_MARGIN)
+        return ArchTrace.from_records(records, halted=interpreter.halted)
+
+    def record(self, request: "RunRequest") -> ArchTrace:
+        """The trace for ``request``'s workload under its instruction
+        budget — the recording every cell sharing the request's
+        :func:`~repro.replay.trace.trace_key` replays."""
+        return self.record_program(request.workload.program, request.max_instructions)
+
+
+def record_trace(request: "RunRequest") -> ArchTrace:
+    """Module-level convenience over :meth:`TraceRecorder.record`."""
+    return TraceRecorder().record(request)

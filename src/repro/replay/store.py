@@ -1,0 +1,74 @@
+"""Content-addressed on-disk trace store, kept alongside the result cache.
+
+Layout mirrors :class:`~repro.sim.cache.ResultCache`: entries live under
+``<root>/v<TRACE_SCHEMA_VERSION>/<key[:2]>/<key>.trace`` where the key is
+:func:`~repro.replay.trace.trace_key` — so a schema bump orphans old
+traces instead of misreading them, and the sharded layout stays ``ls``-able
+at scale.  Writes are atomic (tempfile + rename) against concurrent
+readers and crashing writers; a reader that does catch a torn, truncated,
+or corrupt file gets a **miss** (the format's length header and CRC make
+that detectable), never a wrong trace — the caller then records afresh or
+runs live.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+from repro.replay.trace import (
+    TRACE_SCHEMA_VERSION,
+    ArchTrace,
+    TraceFormatError,
+)
+
+
+class TraceStore:
+    """Filesystem map from :func:`~repro.replay.trace.trace_key` to
+    :class:`ArchTrace`."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"v{TRACE_SCHEMA_VERSION}" / key[:2] / f"{key}.trace"
+
+    def get(self, key: str) -> ArchTrace | None:
+        """The stored trace, or ``None`` on a miss *or* any detectable
+        corruption (torn write, truncation, checksum failure)."""
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return ArchTrace.from_bytes(blob)
+        except TraceFormatError:
+            return None
+
+    def put(self, key: str, trace: ArchTrace) -> Path:
+        """Store ``trace`` under ``key``; atomic against readers."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(trace.to_bytes())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        version_dir = self.root / f"v{TRACE_SCHEMA_VERSION}"
+        if not version_dir.is_dir():
+            return 0
+        return sum(1 for _ in version_dir.glob("*/*.trace"))

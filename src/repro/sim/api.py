@@ -329,7 +329,7 @@ class RunFailure:
 RunOutcome = Union[RunMetrics, RunFailure]
 
 
-def execute(request: RunRequest) -> RunMetrics:
+def execute(request: RunRequest, *, golden=None) -> RunMetrics:
     """Simulate one request on a freshly built machine.
 
     A fresh core + hierarchy is built per call (no state leaks between
@@ -341,6 +341,14 @@ def execute(request: RunRequest) -> RunMetrics:
     If the request carries an active :class:`Instrumentation`, the run is
     additionally traced (cycle trace → JSONL and/or Konata files) and/or
     profiled (``profile.*`` wall-time stats merged into the result).
+
+    ``golden`` injects a commit-time golden reference into the core in
+    place of the default functional ISS (see
+    :class:`~repro.pipeline.core.GoldenReference`).  The reference is pure
+    validation — it can abort a wrong run but never changes the metrics of
+    a correct one — so ``repro.replay`` uses this hook to drive the timing
+    pipeline from a recorded architectural trace while producing
+    bit-identical :class:`RunMetrics`.
     """
     instrumentation = request.instrumentation
     profiler = None
@@ -373,6 +381,7 @@ def execute(request: RunRequest) -> RunMetrics:
             protection=protection,
             hierarchy=hierarchy,
             check_golden=request.check_golden,
+            golden=golden,
         )
         if instrumentation is not None and instrumentation.traced:
             from repro.analysis.trace import CycleTracer
@@ -570,6 +579,20 @@ class Session:
             else self.journal_policy.build()
         )
 
+        # The trace store lives next to the result cache so the same root
+        # directory carries both content-addressed artifact kinds.
+        self.trace_store = None
+        if self.execution.replay:
+            from repro.replay.store import TraceStore
+
+            if self.cache is not None:
+                trace_root = Path(self.cache.root) / "traces"
+            else:
+                trace_root = (
+                    Path(self.cache_policy.cache_dir or ".repro-cache") / "traces"
+                )
+            self.trace_store = TraceStore(trace_root)
+
         self.engine = SweepEngine(
             jobs=self.execution.jobs,
             cache=self.cache,
@@ -578,6 +601,7 @@ class Session:
             retry=self.execution.retry_policy,
             journal=self.journal,
             fail_on_unhalted=self.execution.fail_on_unhalted,
+            trace_store=self.trace_store,
         )
         self._fabric_client = None
         self._closed = False

@@ -87,9 +87,15 @@ _TICK = 0.05
 
 
 def _execute_indexed(
-    index: int, request: RunRequest
+    index: int, request: RunRequest, trace_dir: str | None = None
 ) -> tuple[int, RunMetrics | None, _ErrorInfo | None, float]:
     """Worker entry point: run one request, never raise.
+
+    With ``trace_dir`` set, the request is resolved through the replay
+    backend first: a recorded architectural trace covering the request
+    replaces the per-commit functional ISS (bit-identical metrics, see
+    ``repro.replay``), and any missing/torn/outrun trace falls back to a
+    plain live run.
 
     A :class:`SimulationHang` from the core's forward-progress watchdog is
     classified ``hang`` (its message carries the diagnostics snapshot —
@@ -98,7 +104,12 @@ def _execute_indexed(
     """
     started = time.perf_counter()
     try:
-        metrics = execute(request)
+        if trace_dir is not None:
+            from repro.replay.replayer import replay_or_execute
+
+            metrics = replay_or_execute(request, trace_dir)
+        else:
+            metrics = execute(request)
     except SimulationHang as exc:
         info = (type(exc).__name__, str(exc), traceback.format_exc(), FAILURE_HANG)
         return index, None, info, time.perf_counter() - started
@@ -108,7 +119,7 @@ def _execute_indexed(
     return index, metrics, None, time.perf_counter() - started
 
 
-def _worker_main(worker_id: int, inbox, outbox) -> None:
+def _worker_main(worker_id: int, inbox, outbox, trace_dir: str | None = None) -> None:
     """Worker-process loop: execute tasks until told to stop (``None``)."""
     # Workers must not react to the terminal's Ctrl-C themselves: the
     # parent decides whether to drain or kill them.
@@ -121,7 +132,7 @@ def _worker_main(worker_id: int, inbox, outbox) -> None:
         if task is None:
             return
         index, request = task
-        outbox.put((worker_id, *_execute_indexed(index, request)))
+        outbox.put((worker_id, *_execute_indexed(index, request, trace_dir)))
 
 
 def _pool_context():
@@ -204,12 +215,12 @@ class _WorkerSlot:
 
     __slots__ = ("worker_id", "process", "inbox", "busy_index", "started_at")
 
-    def __init__(self, worker_id: int, ctx, outbox) -> None:
+    def __init__(self, worker_id: int, ctx, outbox, trace_dir: str | None = None) -> None:
         self.worker_id = worker_id
         self.inbox = ctx.Queue(1)
         self.process = ctx.Process(
             target=_worker_main,
-            args=(worker_id, self.inbox, outbox),
+            args=(worker_id, self.inbox, outbox, trace_dir),
             daemon=True,
         )
         self.process.start()
@@ -299,6 +310,18 @@ class SweepEngine:
         Treat a run that exhausted its cycle/instruction budget without
         halting as a ``budget-exhausted`` :class:`RunFailure` instead of
         returning its (suspect) metrics.
+    trace_store:
+        Optional :class:`~repro.replay.store.TraceStore` enabling the
+        record-once/replay-many backend.  Before dispatch, the engine
+        groups the cells that miss the cache by
+        :func:`~repro.replay.trace.trace_key` (cells differing only in
+        protection scheme, attack model, or machine parameters share a
+        key) and records each group's architectural trace **once** with
+        the standalone functional ISS; every execution then replays the
+        trace through the timing pipeline instead of re-running the ISS
+        per commit.  Replayed metrics are bit-identical to live ones, so
+        cache entries, journals, and events are unaffected; a missing,
+        torn, or outrun trace silently falls back to live execution.
     """
 
     def __init__(
@@ -311,6 +334,7 @@ class SweepEngine:
         retry: "RetryPolicy | int | None" = None,
         journal: "SweepJournal | None" = None,
         fail_on_unhalted: bool = False,
+        trace_store=None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -327,6 +351,7 @@ class SweepEngine:
         self.retry = retry
         self.journal = journal
         self.fail_on_unhalted = fail_on_unhalted
+        self.trace_store = trace_store
         self._muted_observers: set[int] = set()
         self._keys: dict[int, str] = {}
 
@@ -397,6 +422,8 @@ class SweepEngine:
             pending.append(index)
 
         if pending:
+            if self.trace_store is not None:
+                self._prepare_traces(requests, pending)
             with _SignalGuard() as guard:
                 use_pool = self.jobs > 1 and len(pending) > 1
                 if self.timeout is not None:
@@ -408,6 +435,38 @@ class SweepEngine:
 
         assert all(outcome is not None for outcome in results)
         return results  # type: ignore[return-value]
+
+    def _trace_dir(self) -> str | None:
+        if self.trace_store is None:
+            return None
+        return str(self.trace_store.root)
+
+    def _prepare_traces(self, requests, pending) -> None:
+        """Record (once, in the parent) the architectural trace of every
+        distinct :func:`~repro.replay.trace.trace_key` among the pending
+        cells.  Recording is one functional-ISS pass per unique workload ×
+        budget — far cheaper than a single timed cell — and is purely an
+        accelerator: any failure here leaves the store unchanged and the
+        affected cells simply run live."""
+        from repro.replay.recorder import record_trace
+        from repro.replay.trace import trace_key
+
+        seen: set[str] = set()
+        for index in pending:
+            request = requests[index]
+            try:
+                key = trace_key(request)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if not self.trace_store.has(key):
+                    self.trace_store.put(key, record_trace(request))
+            except Exception as exc:
+                print(
+                    f"warning: trace recording for cell {index} failed with "
+                    f"{type(exc).__name__}: {exc} (cell will run live)",
+                    file=sys.stderr,
+                )
 
     def _resolve_without_running(
         self, index: int, request: RunRequest, results
@@ -464,7 +523,9 @@ class SweepEngine:
                     attempt=attempt if attempt > 1 else None,
                 )
                 try:
-                    _, metrics, error, wall = _execute_indexed(index, request)
+                    _, metrics, error, wall = _execute_indexed(
+                        index, request, self._trace_dir()
+                    )
                 except KeyboardInterrupt:
                     guard.cancelled = True
                     self._settle_cancelled(requests, results, index)
@@ -491,7 +552,9 @@ class SweepEngine:
         ctx = _pool_context()
         workers = min(self.jobs, len(pending))
         outbox = ctx.Queue()
-        slots = [_WorkerSlot(i, ctx, outbox) for i in range(workers)]
+        slots = [
+            _WorkerSlot(i, ctx, outbox, self._trace_dir()) for i in range(workers)
+        ]
         ready: deque[int] = deque(pending)
         delayed: list[tuple[float, int]] = []  # (ready_at, index) heap
         attempts: dict[int, int] = {index: 1 for index in pending}
@@ -595,7 +658,9 @@ class SweepEngine:
             wall = now - slot.started_at
             slot.busy_index = None
             slot.kill()
-            slots[position] = _WorkerSlot(slot.worker_id, ctx, outbox)
+            slots[position] = _WorkerSlot(
+                slot.worker_id, ctx, outbox, self._trace_dir()
+            )
             if timed_out:
                 self._emit(
                     TIMED_OUT, index, request,

@@ -57,6 +57,12 @@ class ExecutionPolicy:
         submitted to the distributed fabric instead of the local pool.
     ``fail_on_unhalted``
         Classify budget-exhausted runs as ``budget-exhausted`` failures.
+    ``replay``
+        Enable the record-once/replay-many execution backend: the session
+        keeps a trace store next to its result cache, records each distinct
+        architectural trace with the functional ISS before dispatch, and
+        cells sharing a trace replay it instead of re-running the ISS per
+        commit.  Metrics are bit-identical to live execution.
     """
 
     jobs: int = 1
@@ -65,6 +71,7 @@ class ExecutionPolicy:
     hang_window: int | None = None
     fabric: str | None = None
     fail_on_unhalted: bool = False
+    replay: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -96,6 +103,7 @@ class ExecutionPolicy:
             "hang_window": self.hang_window,
             "fabric": self.fabric,
             "fail_on_unhalted": self.fail_on_unhalted,
+            "replay": self.replay,
         }
 
     @classmethod
@@ -108,6 +116,7 @@ class ExecutionPolicy:
             hang_window=payload.get("hang_window"),
             fabric=payload.get("fabric"),
             fail_on_unhalted=payload.get("fail_on_unhalted", False),
+            replay=payload.get("replay", False),
         )
 
 

@@ -29,12 +29,29 @@ _API = (
 )
 
 
+_TRACE_V1 = (
+    "TRACE_SCHEMA_VERSION = 1\n"
+    "def trace_key(request):\n"
+    "    material = {\n"
+    "        'schema': TRACE_SCHEMA_VERSION,\n"
+    "        'instructions': request.instructions,\n"
+    "        'initial_memory': request.initial_memory,\n"
+    "        'max_instructions': request.max_instructions,\n"
+    "    }\n"
+    "    return material\n"
+)
+
+
 def _lint(ctx):
     return run_lint(ctx, Baseline(), select=[CHECKER])
 
 
-def _files(cache=_CACHE_V1, api=_API):
-    return {"src/repro/sim/cache.py": cache, "src/repro/sim/api.py": api}
+def _files(cache=_CACHE_V1, api=_API, trace=_TRACE_V1):
+    return {
+        "src/repro/sim/cache.py": cache,
+        "src/repro/sim/api.py": api,
+        "src/repro/replay/trace.py": trace,
+    }
 
 
 def test_missing_fingerprint_is_flagged(make_ctx):
@@ -93,6 +110,35 @@ def test_material_key_change_is_flagged(make_ctx):
     result = _lint(make_ctx(_files(cache=changed)))
     assert len(result.findings) == 1
     assert "cache_key material" in result.findings[0].message
+
+
+def test_trace_material_change_without_bump_is_flagged(make_ctx):
+    write_fingerprint(make_ctx(_files()))
+    changed = _TRACE_V1.replace(
+        "        'max_instructions': request.max_instructions,\n", ""
+    )
+    result = _lint(make_ctx(_files(trace=changed)))
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert "trace_key material" in finding.message
+    assert "TRACE_SCHEMA_VERSION" in finding.message
+
+
+def test_trace_version_bump_asks_for_fingerprint_refresh(make_ctx):
+    write_fingerprint(make_ctx(_files()))
+    bumped = _TRACE_V1.replace(
+        "TRACE_SCHEMA_VERSION = 1", "TRACE_SCHEMA_VERSION = 2"
+    ).replace("        'max_instructions': request.max_instructions,\n", "")
+    result = _lint(make_ctx(_files(trace=bumped)))
+    assert len(result.findings) == 1
+    assert "refresh it with" in result.findings[0].message
+
+
+def test_trace_refresh_after_bump_is_clean(make_ctx):
+    bumped = _TRACE_V1.replace("TRACE_SCHEMA_VERSION = 1", "TRACE_SCHEMA_VERSION = 2")
+    ctx = make_ctx(_files(trace=bumped))
+    write_fingerprint(ctx)
+    assert _lint(ctx).findings == []
 
 
 def test_inline_suppression_respected(make_ctx):

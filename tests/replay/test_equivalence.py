@@ -1,0 +1,116 @@
+"""Replay equivalence: replayed metrics are bit-identical to live ones.
+
+The tentpole claim of the trace-capture/replay backend, mirrored after the
+fast-forward equivalence suite: across protection schemes, attack models,
+and workload shapes, feeding a recorded architectural trace through the
+timing pipeline produces the *same complete* ``RunMetrics`` — cycles,
+instructions, and every stats key — as re-running the functional ISS at
+every commit.  The ``replay-equivalence`` CI job runs this grid (20 cells)
+plus the negative controls proving the gate can actually fire.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import AttackModel
+from repro.pipeline.core import GoldenModelMismatch
+from repro.replay.recorder import TraceRecorder, record_trace
+from repro.replay.replayer import replay_execute
+from repro.replay.trace import ArchTrace, TraceCursor, trace_key
+from repro.sim.api import DEFAULT_MAX_INSTRUCTIONS, RunRequest, execute
+from repro.sim.configs import config_by_name
+from repro.workloads import make_mixed_kernel, make_pointer_chase
+
+#: Two shapes, exercised deliberately small so the full live+replay grid
+#: stays cheap: a mixed kernel (branches + FP + loads) and a cold pointer
+#: chase (serial DRAM misses, the replay-throughput sweet spot).
+WORKLOADS = {
+    "mixed": make_mixed_kernel(
+        "rp_mixed", table_words=1024, iterations=24, seed=11
+    ),
+    "pointer_chase": make_pointer_chase(
+        "rp_chase", nodes=512, iterations=40, seed=12, warm_table=False
+    ),
+}
+CONFIG_NAMES = ("Unsafe", "STT{ld}", "STT{ld+fp}", "Hybrid", "Perfect")
+MODELS = (AttackModel.SPECTRE, AttackModel.FUTURISTIC)
+
+#: One recording per workload, shared by all 10 of its grid cells.
+_TRACES = {
+    name: TraceRecorder().record_program(
+        workload.program, DEFAULT_MAX_INSTRUCTIONS
+    )
+    for name, workload in WORKLOADS.items()
+}
+
+
+def _request(workload_name, config_name, model):
+    return RunRequest(
+        workload=WORKLOADS[workload_name],
+        config=config_by_name(config_name),
+        attack_model=model,
+    )
+
+
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("config_name", CONFIG_NAMES)
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_replay_is_bit_identical(workload_name, config_name, model):
+    """The 2 workloads x 5 configs x 2 models = 20-cell equivalence grid."""
+    request = _request(workload_name, config_name, model)
+    live = execute(request)
+    replayed = replay_execute(request, _TRACES[workload_name])
+    assert replayed.cycles == live.cycles
+    assert replayed.instructions == live.instructions
+    assert replayed.to_dict() == live.to_dict()
+
+
+def test_cells_of_one_workload_share_one_trace():
+    """The throughput win rests on this: every scheme x model cell of a
+    workload resolves to the same content address."""
+    keys = {
+        trace_key(_request("mixed", config_name, model))
+        for config_name in CONFIG_NAMES
+        for model in MODELS
+    }
+    assert len(keys) == 1
+
+
+def test_replay_actually_verifies_every_commit():
+    """Guard against the cursor silently not being consulted (which would
+    keep the grid green while voiding the verification)."""
+    request = _request("mixed", "Hybrid", AttackModel.SPECTRE)
+    cursor = TraceCursor(_TRACES["mixed"])
+    metrics = execute(request, golden=cursor)
+    assert cursor.position == metrics.instructions > 0
+
+
+def test_perturbed_trace_is_caught():
+    """Negative control: corrupt one committed result in a checksum-valid
+    trace and the replayed run must die with GoldenModelMismatch — the same
+    alarm a live golden check raises on a real divergence."""
+    request = _request("mixed", "Unsafe", AttackModel.SPECTRE)
+    records = record_trace(request).records()
+    victim = next(
+        i for i, op in enumerate(records)
+        if isinstance(op.result, int) and op.result is not None
+    )
+    records[victim] = dataclasses.replace(
+        records[victim], result=records[victim].result ^ 1
+    )
+    poisoned = ArchTrace.from_records(records, halted=True)
+    with pytest.raises(GoldenModelMismatch):
+        replay_execute(request, poisoned)
+
+
+def test_perturbed_pc_is_caught():
+    request = _request("pointer_chase", "STT{ld}", AttackModel.SPECTRE)
+    records = record_trace(request).records()
+    middle = len(records) // 2
+    records[middle] = dataclasses.replace(
+        records[middle], pc=records[middle].pc + 4
+    )
+    poisoned = ArchTrace.from_records(records, halted=True)
+    with pytest.raises(GoldenModelMismatch):
+        replay_execute(request, poisoned)
