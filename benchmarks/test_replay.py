@@ -33,8 +33,8 @@ from repro.sim.engine import SweepEngine
 from repro.workloads import make_mixed_kernel
 
 #: One workload, many timing cells — the shape replay is built for.  All
-#: eight Table II configs x both attack models: the 16 cells a real sweep
-#: serves from one recording.
+#: ten evaluated configs (Table II plus the competing baselines) x both
+#: attack models: the 20 cells a real sweep serves from one recording.
 _WORKLOAD = make_mixed_kernel("replay_bench", table_words=4096, iterations=400, seed=13)
 _REQUESTS = [
     RunRequest(
@@ -57,7 +57,7 @@ def _best_of(n, fn):
 
 
 def test_replay_reference_speedup_at_least_3x(tmp_path):
-    """>= 3x on the functional-reference path across a 16-cell sweep."""
+    """>= 3x on the functional-reference path across a 20-cell sweep."""
     budget = _REQUESTS[0].max_instructions + COMMIT_OVERSHOOT_MARGIN
     store = TraceStore(tmp_path / "traces")
 

@@ -4,6 +4,8 @@ Commands:
 
 * ``info``     — print Table I (machine) and Table II (variants)
 * ``spectre``  — run the Spectre V1 penetration test across all configs
+* ``interfere`` — run the forward-speculative-interference penetration
+                 test (squashed-path resource contention) across all configs
 * ``run``      — run one workload under one configuration and print metrics
 * ``sweep``    — the full evaluation sweep (Figures 6/7/8, Table III),
                  parallel (``--jobs N``) and cached (``.repro-cache/``,
@@ -55,6 +57,24 @@ def _cmd_spectre(args) -> int:
                      result.recovered if result.recovered is not None else "-"])
     print(render_table(["configuration", "outcome", "recovered"], rows,
                        title=f"Spectre V1, secret={args.secret}, model={args.model}"))
+    return 0
+
+
+def _cmd_interfere(args) -> int:
+    from repro.security.forward_interference import run_forward_interference
+
+    rows = []
+    for config in EVALUATED_CONFIGS:
+        result = run_forward_interference(config, AttackModel(args.model))
+        rows.append([
+            config.name,
+            "LEAKED" if result.leaked else "blocked",
+            f"{result.delta_cycles:+d}",
+        ])
+    print(render_table(
+        ["configuration", "outcome", "cycle delta"], rows,
+        title=f"forward speculative interference, model={args.model}",
+    ))
     return 0
 
 
@@ -317,6 +337,14 @@ def main(argv=None) -> int:
     spectre.add_argument("--secret", type=int, default=5)
     spectre.add_argument("--model", choices=["spectre", "futuristic"], default="spectre")
 
+    interfere = sub.add_parser(
+        "interfere",
+        help="run the forward-speculative-interference penetration test",
+    )
+    interfere.add_argument(
+        "--model", choices=["spectre", "futuristic"], default="spectre"
+    )
+
     run = sub.add_parser("run", help="run one workload under one configuration")
     run.add_argument("workload")
     run.add_argument("config")
@@ -434,6 +462,7 @@ def main(argv=None) -> int:
     handlers = {
         "info": _cmd_info,
         "spectre": _cmd_spectre,
+        "interfere": _cmd_interfere,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "fabric": _cmd_fabric,

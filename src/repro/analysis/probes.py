@@ -95,19 +95,25 @@ class MlpProbe:
     def _wrap(self, core: Core) -> None:
         original_normal = core._issue_load_normal
         original_obl = core._issue_load_oblivious
+        original_buffered = core._issue_load_buffered
         original_writeback = core._writeback
         original_step = core.step
 
-        def issue_normal(uop, forward):
-            original_normal(uop, forward)
+        def track(uop):
             if uop.actual_level is not None and uop.actual_level > MemLevel.L1:
                 self._in_flight[uop.seq] = core.cycle
-            return None
 
-        def issue_obl(uop, forward, level):
-            original_obl(uop, forward, level)
-            if uop.actual_level is not None and uop.actual_level > MemLevel.L1:
-                self._in_flight[uop.seq] = core.cycle
+        def issue_normal(uop, forward, decision):
+            original_normal(uop, forward, decision)
+            track(uop)
+
+        def issue_obl(uop, forward, decision):
+            original_obl(uop, forward, decision)
+            track(uop)
+
+        def issue_buffered(uop, forward, decision):
+            original_buffered(uop, forward, decision)
+            track(uop)
 
         def writeback(uop, value):
             original_writeback(uop, value)
@@ -120,6 +126,7 @@ class MlpProbe:
 
         core._issue_load_normal = issue_normal
         core._issue_load_oblivious = issue_obl
+        core._issue_load_buffered = issue_buffered
         core._writeback = writeback
         core.step = step
 

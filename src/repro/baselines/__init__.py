@@ -1,0 +1,21 @@
+"""Competing published protection schemes, as first-class baselines.
+
+The paper evaluates SDO only against STT variants and an unsafe baseline
+(Table II).  This package adds the two most relevant published alternatives
+behind the same :class:`~repro.pipeline.protection.ProtectionScheme` hook
+interface, so the whole figure matrix — and the security harnesses — can
+compare them head-to-head:
+
+* :class:`~repro.baselines.specbox.SpecBoxProtection` — label-based
+  transparent speculation (SpecBox, arXiv 2107.08367): speculative loads
+  execute, but their cache side effects are confined to a speculative
+  buffer until commit.
+* :class:`~repro.baselines.delay_on_miss.DelayOnMissProtection` —
+  delay-on-miss (Sakalis et al. / InvisiSpec-family): speculative loads
+  that hit the L1 proceed; misses are delayed to the visibility point.
+"""
+
+from repro.baselines.delay_on_miss import DelayOnMissProtection
+from repro.baselines.specbox import SpecBoxProtection
+
+__all__ = ["DelayOnMissProtection", "SpecBoxProtection"]

@@ -77,11 +77,17 @@ class AttackModel(enum.Enum):
 
 
 class ProtectionKind(enum.Enum):
-    """Top-level protection scheme (Table II rows)."""
+    """Top-level protection scheme (Table II rows, plus the competing
+    published baselines evaluated alongside them)."""
 
     UNSAFE = "unsafe"
     STT = "stt"
     STT_SDO = "stt+sdo"
+    #: SpecBox-style label-based transparent speculation (arXiv 2107.08367).
+    SPECBOX = "specbox"
+    #: Delay-on-miss / InvisiSpec-style: speculative L1 misses are delayed
+    #: to the visibility point, speculative L1 hits proceed.
+    DELAY_ON_MISS = "delay-on-miss"
 
 
 class PredictorKind(enum.Enum):
@@ -245,6 +251,10 @@ class ProtectionConfig:
         """Human-readable Table II style label."""
         if self.kind is ProtectionKind.UNSAFE:
             return "Unsafe"
+        if self.kind is ProtectionKind.SPECBOX:
+            return "SpecBox"
+        if self.kind is ProtectionKind.DELAY_ON_MISS:
+            return "DelayOnMiss"
         suffix = "{ld+fp}" if self.fp_transmitters else "{ld}"
         if self.kind is ProtectionKind.STT:
             return f"STT{suffix}"

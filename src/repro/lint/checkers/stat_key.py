@@ -44,6 +44,7 @@ SIM_CORE_PREFIXES = (
     "src/repro/workloads/",
     "src/repro/common/",
     "src/repro/security/",
+    "src/repro/baselines/",
 )
 
 _STAT_METHODS = frozenset({"bump", "set", "histogram"})

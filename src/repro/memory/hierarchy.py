@@ -21,6 +21,18 @@ Two access paths:
     address-independent slot, changes no cache state, and responds after the
     level's fixed latency.  The returned per-level response schedule is what
     the core's wait buffer consumes.
+
+``speculative_load`` / ``release_speculative`` / ``drop_speculative``
+    The transparent-speculation path (SpecBox-style label-based schemes):
+    the load executes with its real address-dependent timing — banks, ports,
+    MSHRs and the DRAM row buffer are all used for real — but **no cache
+    array state changes**; the fetched line parks in a per-core speculative
+    buffer instead.  ``release_speculative`` merges the line into the caches
+    when the load commits; ``drop_speculative`` discards it on squash,
+    leaving no cache-state trace.  Note what this path deliberately does
+    *not* hide: transient DRAM row-buffer state and bank/MSHR contention
+    remain address-dependent, which is exactly the residual channel the
+    forward-interference harness measures.
 """
 
 from __future__ import annotations
@@ -196,6 +208,11 @@ class MemoryHierarchy:
         self.directory = Directory(num_cores)
         self._core_node = core_id % self.mesh.num_nodes
         self._obl_l3_round_trip = self.mesh.max_round_trip(self._core_node)
+        # Speculative buffer (transparent-speculation path): line -> count
+        # of in-flight buffered loads holding it.  Capacity is bounded by
+        # the LQ (every entry belongs to an in-flight load), so no separate
+        # eviction policy is needed.
+        self._spec_buffer: dict[int, int] = {}
 
     @staticmethod
     def _make_level(config: CacheConfig) -> _Level:
@@ -385,6 +402,144 @@ class MemoryHierarchy:
             victim_slice.banks.reserve(bank, cycle, BANK_OCCUPANCY)
             victim_slice.array.fill(evicted.line, dirty=True)
         # A dirty L3 victim goes to DRAM; no cache state to update.
+
+    # ------------------------------------------------------------------ #
+    # Transparent-speculation path (SpecBox-style speculative buffer)
+    # ------------------------------------------------------------------ #
+
+    def speculative_load(self, addr: int, now: int) -> LoadResponse:
+        """A speculative load whose cache side effects are confined.
+
+        Timing mirrors the normal path — same TLB access, port grants, bank
+        reservations, MSHR allocations and DRAM row-buffer timing — but the
+        cache arrays are only *probed*, never filled or LRU-promoted.  The
+        fetched line parks in the speculative buffer; later buffered loads
+        of the same line hit it at L1 latency.  The caller must pair every
+        call with ``release_speculative`` (commit) or ``drop_speculative``
+        (squash).
+        """
+        self.stats.bump("spec_loads")
+        line = self.line_of(addr)
+        tlb_hit, tlb_latency = self.tlb.access(addr)
+        if not tlb_hit:
+            self.observer.emit(now, "TLB", "walk", self.tlb.page_of(addr))
+        cursor = now + tlb_latency
+
+        if self._spec_buffer.get(line, 0) > 0:
+            # Buffer hit: served beside the L1, paying an L1 port/bank slot
+            # (the buffer is probed through the same load pipe).
+            self.stats.bump("spec_buffer_hits")
+            grant = self.l1.ports.grant(cursor)
+            start = self.l1.banks.reserve(
+                self.l1.array.bank_index(line), grant, BANK_OCCUPANCY
+            )
+            self.observer.emit(start, "SpecBuf", "hit", line)
+            self._spec_buffer[line] += 1
+            return LoadResponse(
+                complete_at=start + self.l1.config.latency,
+                level=self.residence_level(addr),
+                tlb_hit=tlb_hit,
+            )
+
+        level_found, cursor = self._walk_caches_transparent(line, cursor)
+        self.stats.bump(_HIT_COUNTERS[level_found])
+        self._spec_buffer[line] = self._spec_buffer.get(line, 0) + 1
+        self.observer.emit(cursor, "SpecBuf", "insert", line)
+        return LoadResponse(
+            complete_at=cursor, level=level_found, tlb_hit=tlb_hit
+        )
+
+    def _walk_caches_transparent(
+        self, line: int, cursor: int
+    ) -> tuple[MemLevel, int]:
+        """The normal walk's timing without its cache-state changes.
+
+        Structure mirrors ``_walk_caches``: misses cross the same MSHR
+        files, reserve the same banks and pay the same latencies, and a
+        DRAM access opens its row for real — but ``probe`` replaces
+        ``access``, so there are no fills, promotions or evictions.
+        """
+        # --- L1 ---
+        grant = self.l1.ports.grant(cursor)
+        start = self.l1.banks.reserve(self.l1.array.bank_index(line), grant, BANK_OCCUPANCY)
+        self.observer.emit(start, "L1D.bank", "reserve", self.l1.array.bank_index(line))
+        cursor = start + self.l1.config.latency
+        if self.l1.array.probe(line):
+            self.observer.emit(cursor, "L1D", "respond", self.l1.array.set_index(line))
+            return MemLevel.L1, cursor
+        if self.l1.mshrs.would_merge(line, cursor):
+            self.stats.bump("mshr_merges")
+            merge = self.l1.mshrs.allocate(line, cursor, cursor)
+            return MemLevel.L2, max(cursor, merge.release)
+        misses_crossed: list[MshrFile] = [self.l1.mshrs]
+
+        # --- L2 ---
+        grant = self.l2.ports.grant(cursor)
+        start = self.l2.banks.reserve(self.l2.array.bank_index(line), grant, BANK_OCCUPANCY)
+        self.observer.emit(start, "L2.bank", "reserve", self.l2.array.bank_index(line))
+        cursor = start + self.l2.config.latency
+        if self.l2.array.probe(line):
+            self.observer.emit(cursor, "L2", "respond", self.l2.array.set_index(line))
+            cursor = self._allocate_miss_mshrs(misses_crossed, line, start, cursor)
+            return MemLevel.L2, cursor
+        misses_crossed.append(self.l2.mshrs)
+
+        # --- L3 slice (over the mesh) ---
+        slice_index = self.slice_of(line)
+        slice_level = self.l3_slices[slice_index]
+        wire = self.mesh.latency(self._core_node, slice_node(slice_index, self.mesh))
+        arrive = cursor + wire
+        grant = slice_level.ports.grant(arrive)
+        start = slice_level.banks.reserve(
+            slice_level.array.bank_index(line), grant, BANK_OCCUPANCY
+        )
+        self.observer.emit(
+            start, "L3.slice", "reserve", (slice_index, slice_level.array.bank_index(line))
+        )
+        cursor = start + slice_level.config.latency + wire
+        if slice_level.array.probe(line):
+            self.observer.emit(cursor, "L3", "respond", slice_index)
+            cursor = self._allocate_miss_mshrs(misses_crossed, line, start, cursor)
+            return MemLevel.L3, cursor
+        misses_crossed.append(slice_level.mshrs)
+
+        # --- DRAM (row-buffer state changes for real: the one piece of
+        # shared timing state transparent speculation cannot hide) ---
+        dram_latency = self.dram.access(line)
+        self.observer.emit(
+            cursor, "DRAM.row", "access", (self.dram.bank_of(line), self.dram.row_of(line))
+        )
+        cursor += dram_latency
+        cursor = self._allocate_miss_mshrs(misses_crossed, line, cursor, cursor)
+        return MemLevel.DRAM, cursor
+
+    def release_speculative(self, addr: int, now: int) -> None:
+        """A buffered load committed: its line becomes architecturally
+        visible, merging from the speculative buffer into the caches (the
+        fills a normal load would have done at issue happen here instead).
+        """
+        line = self.line_of(addr)
+        self.stats.bump("spec_releases")
+        self._spec_buffer.pop(line, None)
+        self.observer.emit(now, "SpecBuf", "release", line)
+        evicted = self.l1.array.fill(line, dirty=False)
+        self._note_eviction(evicted, self.l2, now, "L1D")
+        evicted = self.l2.array.fill(line, dirty=False)
+        self._note_eviction(evicted, None, now, "L2")
+        evicted = self.l3_slices[self.slice_of(line)].array.fill(line, dirty=False)
+        self._note_eviction(evicted, None, now, "L3")
+
+    def drop_speculative(self, addr: int) -> None:
+        """A buffered load squashed: drop its buffer reference.  Once no
+        in-flight load holds the line, the entry vanishes without ever
+        touching cache state."""
+        line = self.line_of(addr)
+        self.stats.bump("spec_drops")
+        held = self._spec_buffer.get(line, 0)
+        if held <= 1:
+            self._spec_buffer.pop(line, None)
+        else:
+            self._spec_buffer[line] = held - 1
 
     # ------------------------------------------------------------------ #
     # Data-oblivious path (Obl-Ld variants, Section VI-B2)

@@ -48,6 +48,7 @@ from repro.pipeline.protection import (
     FP_DECISION_COUNTERS,
     LOAD_DECISION_COUNTERS,
     FpIssueAction,
+    IssueDecision,
     LoadIssueAction,
     ProtectionScheme,
     UnsafeProtection,
@@ -1006,16 +1007,15 @@ class Core:
             uop.value = float(raw)
         else:
             uop.value = wrap64(int(raw))
-        if decision.action is LoadIssueAction.NORMAL:
-            self._issue_load_normal(uop, forward)
-        else:
-            self._issue_load_oblivious(uop, forward, decision.predicted_level)
+        getattr(self, self._LOAD_ISSUE_GATES[decision.action])(uop, forward, decision)
         self.stats.bump("issued")
         if self.tracer is not None:
             self.tracer.on_issue(uop, self.cycle)
         return True
 
-    def _issue_load_normal(self, uop: DynInst, forward: DynInst | None) -> None:
+    def _issue_load_normal(
+        self, uop: DynInst, forward: DynInst | None, decision: IssueDecision
+    ) -> None:
         if forward is not None:
             uop.sq_forward_seq = forward.seq
             uop.actual_level = None
@@ -1032,8 +1032,27 @@ class Core:
             self._train_predictor(uop)
         self._schedule(response.complete_at, "complete", uop)
 
+    def _issue_load_buffered(
+        self, uop: DynInst, forward: DynInst | None, decision: IssueDecision
+    ) -> None:
+        """Transparent speculation (SpecBox-style): execute now with real
+        timing, but park the line in the hierarchy's speculative buffer.
+        The scheme's ``on_commit``/``on_squash`` hooks release or drop the
+        buffered line, so cache state only ever reflects committed loads.
+        """
+        if forward is not None:
+            uop.sq_forward_seq = forward.seq
+            uop.actual_level = None
+            self.stats.bump("sq_forwards")
+            self._schedule(self.cycle + _SQ_FORWARD_LATENCY, "complete", uop)
+            return
+        response = self.hierarchy.speculative_load(uop.addr, self.cycle)
+        uop.actual_level = response.level
+        uop.spec_buffered = True
+        self._schedule(response.complete_at, "complete", uop)
+
     def _issue_load_oblivious(
-        self, uop: DynInst, forward: DynInst | None, level: MemLevel
+        self, uop: DynInst, forward: DynInst | None, decision: IssueDecision
     ) -> None:
         """Event A of Section V-C2: issue as an Obl-Ld.
 
@@ -1041,6 +1060,7 @@ class Core:
         (uniform resource usage) but correct data is forwarded from the SQ
         once all responses return.
         """
+        level = decision.predicted_level
         response = self.hierarchy.oblivious_load(uop.addr, level, self.cycle)
         uop.obl_state = OblState.INFLIGHT
         uop.obl_response = response
@@ -1062,6 +1082,19 @@ class Core:
         for _, respond_cycle, _ in response.responses:
             self._schedule(respond_cycle, "obl_resp", uop)
         self._protected_watch.append(uop)
+
+    #: The issue gate (scheme-agnostic): every LoadIssueAction maps to one
+    #: core-side issue path.  DELAY is handled before the gate (a delayed
+    #: load never issues).  A new protection scheme plugs in by returning a
+    #: different action — _try_issue_load itself never special-cases any
+    #: scheme.  The table holds method *names*, resolved through the
+    #: instance at dispatch time, so observers that wrap a gate on a Core
+    #: instance (e.g. analysis probes) still intercept every call.
+    _LOAD_ISSUE_GATES = {
+        LoadIssueAction.NORMAL: "_issue_load_normal",
+        LoadIssueAction.OBLIVIOUS: "_issue_load_oblivious",
+        LoadIssueAction.BUFFERED: "_issue_load_buffered",
+    }
 
     def _older_loads_done(self, uop: DynInst) -> bool:
         """The InvisiSpec exposure condition, evaluated at the safe point:

@@ -4,8 +4,10 @@ The pipeline is substrate; Unsafe/STT/STT+SDO are policies over it.  A
 :class:`ProtectionScheme` decides, per uop:
 
 * how taint is assigned and propagated at rename,
-* whether a ready load may issue normally, must be delayed (STT), or should
-  issue as an oblivious load at some predicted level (SDO),
+* whether a ready load may issue normally, must be delayed (STT,
+  delay-on-miss), should issue as an oblivious load at some predicted level
+  (SDO), or should issue transparently into the speculative buffer
+  (SpecBox-style label-based speculation),
 * whether a ready FP transmitter may issue normally, must be delayed
   (STT{ld+fp}), or issues on the statically predicted fast path (SDO),
 * whether a resolved branch may *apply* its resolution (STT's
@@ -13,7 +15,14 @@ The pipeline is substrate; Unsafe/STT/STT+SDO are policies over it.  A
 * when a given taint root is safe (the untaint frontier).
 
 ``UnsafeProtection`` is the do-nothing baseline ("an unmodified insecure
-processor", Table II).  STT lives in ``repro.stt``; SDO in ``repro.core``.
+processor", Table II).  STT lives in ``repro.stt``; SDO in ``repro.core``;
+the competing published baselines (SpecBox-style transparent speculation,
+delay-on-miss) in ``repro.baselines``.
+
+The core consumes these decisions through its *issue gate*: every
+:class:`LoadIssueAction` maps to exactly one core-side issue path
+(``Core._LOAD_ISSUE_GATES``), so a new scheme only returns a different
+action — it never patches core plumbing.
 """
 
 from __future__ import annotations
@@ -34,6 +43,10 @@ class LoadIssueAction(enum.Enum):
     NORMAL = "normal"
     OBLIVIOUS = "oblivious"
     DELAY = "delay"
+    #: Execute now, but confine all cache-state side effects to the
+    #: hierarchy's speculative buffer until the load commits (SpecBox-style
+    #: transparent speculation).
+    BUFFERED = "buffered"
 
 
 class FpIssueAction(enum.Enum):
@@ -53,6 +66,7 @@ LOAD_DECISION_COUNTERS = {
     LoadIssueAction.NORMAL: "load_normal",
     LoadIssueAction.OBLIVIOUS: "load_oblivious",
     LoadIssueAction.DELAY: "load_delay",
+    LoadIssueAction.BUFFERED: "load_buffered",
 }
 FP_DECISION_COUNTERS = {
     FpIssueAction.NORMAL: "fp_normal",

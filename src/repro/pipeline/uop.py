@@ -60,6 +60,9 @@ class DynInst:
         "use_exposure", "validation_done", "validation_complete_cycle",
         "pending_squash", "obl_forwarded", "predicted_level", "actual_level",
         "invalidated_while_inflight",
+        # SpecBox-style transparent speculation: this load's cache effects
+        # live in the hierarchy's speculative buffer until commit/squash
+        "spec_buffered",
         # FP SDO state
         "fp_predicted_fast", "fp_actually_slow",
         # taint
@@ -111,6 +114,7 @@ class DynInst:
         self.predicted_level: MemLevel | None = None
         self.actual_level: MemLevel | None = None
         self.invalidated_while_inflight = False
+        self.spec_buffered = False
 
         self.fp_predicted_fast = False
         self.fp_actually_slow = False

@@ -50,6 +50,11 @@ def check_non_interference(
 
     Returns ``(ok, traces)`` so a failing test can diff the traces.
     """
+    if len(operands) < 2:
+        raise ValueError(
+            "need at least 2 operands: non-interference is a statement about "
+            f"*pairs* of operand assignments, got {len(operands)}"
+        )
     traces = [
         resource_trace_of(make_action(operand), machine, prepare)
         for operand in operands

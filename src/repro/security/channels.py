@@ -26,8 +26,12 @@ class CacheTimingReceiver:
         self.hierarchy = hierarchy
         config = hierarchy.config
         # Anything at L3-or-worse counts as "flushed"; private-cache hits
-        # count as "the victim touched this".
-        self.threshold = config.l1d.latency + config.l2.latency + config.l3.latency
+        # count as "the victim touched this".  The cut sits midway between
+        # the L2 and L3 round trips so neither an L2 hit inflated by a few
+        # cycles of contention nor a marginally fast L3 hit flips class.
+        l2_round_trip = config.l1d.latency + config.l2.latency
+        l3_round_trip = l2_round_trip + config.l3.latency
+        self.threshold = (l2_round_trip + l3_round_trip) // 2
 
     def flush(self, addrs) -> None:
         """Evict the monitored lines from every cache level (clflush)."""
@@ -51,6 +55,13 @@ class CacheTimingReceiver:
         Returns the slot index with a hit, or None if no slot (or more than
         one ambiguous slot) hit — i.e. no leak observed.
         """
+        line_size = self.hierarchy.config.line_size
+        if stride < line_size:
+            raise ValueError(
+                f"probe stride {stride} is smaller than the {line_size}-byte "
+                "cache line: adjacent slots would alias onto one line and the "
+                "recovered index would be meaningless"
+            )
         addrs = [base + stride * i for i in range(count)]
         hits = [r for r in self.reload(addrs, now) if r.hit]
         if len(hits) != 1:

@@ -1,0 +1,211 @@
+"""Forward speculative interference penetration test (arXiv 2109.10774).
+
+"It's a Trap" observes that making speculation *invisible* (confining a
+speculative load's cache-state side effects until commit, as SpecBox-style
+schemes do) is not the same as making it *harmless*: a bound-to-be-squashed
+speculative instruction still contends on shared resources with older
+bound-to-commit instructions, so a transiently-read secret can modulate the
+timing of the committed path itself — no flush+reload receiver required.
+
+The victim here is a Spectre-v1 gadget with one extra, **older** committed
+load per round (the probe), whose address is held back by a dependency
+chain so that the *younger* gadget issues first.  The bounds check's limit
+is derived from the *end* of the same chain, which both opens the transient
+window (the branch cannot resolve before the chain drains) and makes the
+probe the round's critical committed instruction — nothing slower hides
+its latency::
+
+    for round in range(TRAIN_ROUNDS + 1):
+        p      = probe_ptr[round]      # per-round cold probe address
+        p      = delay_chain(p)        # older probe issues ~CHAIN cycles late
+        limit  = (p - p) + 8           # bound: ready only after the chain
+        sink   = *p                    # OLDER probe, bound to commit
+        addr   = idx[round]
+        if addr < limit:               # mispredicted on the attack round
+            val = A[addr]              # reads the secret when oob
+            tmp = C[val * ROW_BYTES]   # YOUNGER, bound to squash: opens a
+                                       # DRAM row the older probe shares
+
+On the attack round the transient loads ``C_BASE + secret * ROW_BYTES``
+(secret is 0 or 1); the attack round's probe address sits in the *same DRAM
+row* as the ``secret == 1`` target but on a different cache line.  With
+secret 1 the squashed load opens that row before the older probe reaches
+DRAM, so the committed probe sees a row-buffer hit (60 cycles) instead of a
+row miss (100): the total committed-path cycle count shifts even though the
+committed instruction stream is bit-identical for both secrets.
+
+What each scheme does with this:
+
+* **Unsafe / SpecBox**: the speculative load reaches DRAM (normally, or via
+  the transparent probe-only walk) and opens the row — **leak**.  This is
+  the harness's point: cache-state invisibility does not close resource
+  interference channels.
+* **STT / SDO**: the transmitter's operand is tainted, so it is delayed to
+  the visibility point (STT) or executed at an address-invariant predicted
+  level that never reaches DRAM (SDO) — no row opens, no leak.
+* **Delay-on-miss**: the transient misses the L1 and is delayed — the DRAM
+  channel is closed.  (Its accepted residue, the speculative L1-*hit* fast
+  path, is below this harness's resolution.)
+
+Model caveat: this simulator prices each access *eagerly at issue*, so
+younger→older contention on ports/banks of already-issued accesses cannot
+be expressed; interference is carried by persistent shared state (here the
+per-bank DRAM open-row registers) touched at the squashed load's issue.
+That is the load-bearing subset of the attack — and the part invisible
+speculation provably does not hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import AttackModel, MachineConfig
+from repro.isa.assembler import assemble
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.core import Core
+from repro.sim.configs import EvaluatedConfig, config_by_name, make_protection
+
+TRAIN_ROUNDS = 12
+#: Dependent no-op adds holding back the older probe's address, so the
+#: younger transient issues (and touches DRAM) first.
+CHAIN_LENGTH = 40
+ROW_BYTES = 8192  # DramConfig.row_size default; one row per secret value
+
+_IDX_BASE = 0x10000
+_PTR_BASE = 0x30000
+_A_BASE = 0x40000
+_SECRET_ADDR = 0x80008  # "behind" the array; never legally readable
+#: The interfering array: C_BASE is row-aligned so secret 0 stays in the
+#: (training-warmed) row and secret 1 opens the next row over.
+_C_BASE = 0x400000
+#: Attack-round probe: same DRAM row as the secret-1 target, next line over.
+_TARGET_PROBE = _C_BASE + ROW_BYTES + 64
+#: Training-round probes: fresh cold rows well away from the target row, so
+#: they never open it themselves.
+_DECOY_BASE = 0x500000
+
+
+@dataclass(frozen=True)
+class InterferenceResult:
+    """Committed-path timing for both secret values under one scheme."""
+
+    config: str
+    attack_model: AttackModel
+    cycles_by_secret: dict[int, int]
+    instructions_by_secret: dict[int, int]
+
+    @property
+    def leaked(self) -> bool:
+        """The committed stream is identical for both secrets (asserted by
+        the runner), so *any* committed-cycle difference is interference."""
+        cycles = set(self.cycles_by_secret.values())
+        return len(cycles) > 1
+
+    @property
+    def delta_cycles(self) -> int:
+        return self.cycles_by_secret[1] - self.cycles_by_secret[0]
+
+
+def build_forward_interference(secret: int):
+    """Assemble the victim and its memory image for one secret value."""
+    if secret not in (0, 1):
+        raise ValueError("secret selects a DRAM row; it must be 0 or 1")
+    memory: dict[int, int | float] = {_SECRET_ADDR: secret}
+    for round_index in range(TRAIN_ROUNDS + 1):
+        # Per-round probe pointers: decoy rows while training, the target
+        # row on the attack round.
+        memory[_PTR_BASE + 8 * round_index] = (
+            _TARGET_PROBE
+            if round_index == TRAIN_ROUNDS
+            else _DECOY_BASE + ROW_BYTES * round_index
+        )
+    for i in range(8):
+        memory[_A_BASE + 8 * i] = 0  # in-bounds values keep the warm row
+    for round_index in range(TRAIN_ROUNDS):
+        memory[_IDX_BASE + 8 * round_index] = round_index % 8
+    memory[_IDX_BASE + 8 * TRAIN_ROUNDS] = (_SECRET_ADDR - _A_BASE) // 8
+
+    chain = "\n".join("        addi r17, r17, 0" for _ in range(CHAIN_LENGTH))
+    source = f"""
+        li r1, 0
+        li r2, {TRAIN_ROUNDS + 1}
+        li r12, 3
+        li r13, 13                   ; val * ROW_BYTES
+    loop:
+        shl r9, r1, r12
+        load r17, r9, {_PTR_BASE}    ; this round's probe pointer
+{chain}
+        sub r6, r17, r17             ; the bound: 0, ready after the chain
+        addi r6, r6, 8               ; ... + array length
+        load r5, r17, 0              ; older probe, bound to commit
+        add r20, r20, r5
+        load r4, r9, {_IDX_BASE}     ; attacker-controlled index
+        bge r4, r6, skip             ; bounds check — mispredicted last round
+        shl r10, r4, r12
+        load r7, r10, {_A_BASE}      ; access: reads the secret when oob
+        shl r8, r7, r13
+        load r11, r8, {_C_BASE}      ; younger interferer, bound to squash
+        add r3, r3, r11
+    skip:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """
+    return assemble(source, memory, name="forward_interference")
+
+
+def _run_one(
+    config: EvaluatedConfig, attack_model: AttackModel,
+    secret: int, machine: MachineConfig,
+):
+    program = build_forward_interference(secret)
+    hierarchy = MemoryHierarchy(machine)
+    core = Core(
+        program,
+        config=machine,
+        protection=make_protection(config, attack_model),
+        hierarchy=hierarchy,
+    )
+    # The usual Spectre preamble: the victim touched the secret legitimately
+    # just before, so the transient access chain is fast enough to fit the
+    # window.  Nothing about the interference channel itself is warmed.
+    hierarchy.warm([_SECRET_ADDR, _A_BASE])
+    metrics = core.run(max_cycles=200_000)
+    return metrics
+
+
+def run_forward_interference(
+    config: EvaluatedConfig | str = "Unsafe",
+    attack_model: AttackModel = AttackModel.SPECTRE,
+    machine: MachineConfig | None = None,
+) -> InterferenceResult:
+    """Run the victim with secret 0 and secret 1 and compare committed time.
+
+    The committed instruction stream is secret-invariant by construction
+    (the secret is only ever read transiently); the runner asserts the
+    committed instruction counts agree, so a cycle difference can only be
+    speculative interference on the committed path.
+    """
+    if isinstance(config, str):
+        config = config_by_name(config)
+    machine = machine or MachineConfig()
+    machine = machine.with_protection(config.protection_config(attack_model))
+    cycles: dict[int, int] = {}
+    instructions: dict[int, int] = {}
+    for secret in (0, 1):
+        metrics = _run_one(config, attack_model, secret, machine)
+        cycles[secret] = metrics.cycles
+        instructions[secret] = metrics.instructions
+    if instructions[0] != instructions[1]:
+        raise RuntimeError(
+            "committed stream is not secret-invariant "
+            f"({instructions[0]} vs {instructions[1]} instructions); the "
+            "harness victim is broken — a timing difference would not prove "
+            "interference"
+        )
+    return InterferenceResult(
+        config=config.name,
+        attack_model=attack_model,
+        cycles_by_secret=cycles,
+        instructions_by_secret=instructions,
+    )

@@ -1,4 +1,4 @@
-"""The evaluated design variants (Table II).
+"""The evaluated design variants (Table II, plus competing baselines).
 
 ==============  ==============================================================
 Unsafe          an unmodified insecure processor
@@ -7,12 +7,16 @@ STT{ld+fp}      STT, delaying unsafe loads and fmul/fdiv/fsqrt micro-ops
 Static L1/2/3   SDO with a predictor always predicting that cache level
 Hybrid          SDO with the hybrid location predictor (Section V-D)
 Perfect         SDO with an oracle predictor
+SpecBox         label-based transparent speculation (speculative buffer)
+DelayOnMiss     speculative L1 misses delayed to the visibility point
 ==============  ==============================================================
 
 Per Section VIII-A, every SDO configuration also protects FP transmitters by
 statically predicting normal inputs (Obl-FP), and handles virtual memory
 with the single L1-TLB DO variant.  Each configuration can be instantiated
-under either attack model.
+under either attack model.  The last two rows are not from the paper: they
+are published competing schemes added as first-class baselines so the
+figure matrix and the security harnesses can compare against them.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from repro.common.config import (
     ProtectionConfig,
     ProtectionKind,
 )
+from repro.baselines import DelayOnMissProtection, SpecBoxProtection
 from repro.core.predictors import make_predictor
 from repro.core.protection import SdoProtection
 from repro.pipeline.protection import ProtectionScheme, UnsafeProtection
@@ -109,6 +114,17 @@ EVALUATED_CONFIGS: tuple[EvaluatedConfig, ...] = (
         fp_transmitters=True,
         description="SDO with oracle predictor always predicting correctly",
     ),
+    EvaluatedConfig(
+        "SpecBox", ProtectionKind.SPECBOX,
+        description="Label-based transparent speculation: speculative loads "
+                    "fill a speculative buffer, released into the caches at "
+                    "commit and dropped on squash",
+    ),
+    EvaluatedConfig(
+        "DelayOnMiss", ProtectionKind.DELAY_ON_MISS,
+        description="Speculative loads that miss the L1 are delayed to the "
+                    "visibility point; L1 hits proceed",
+    ),
 )
 
 #: The SDO rows of Table II (used by Figure 8 / Table III harnesses).
@@ -152,6 +168,10 @@ def make_protection(
         return SttProtection(
             attack_model=attack_model, fp_transmitters=config.fp_transmitters
         )
+    if config.kind is ProtectionKind.SPECBOX:
+        return SpecBoxProtection(attack_model=attack_model)
+    if config.kind is ProtectionKind.DELAY_ON_MISS:
+        return DelayOnMissProtection(attack_model=attack_model)
     return SdoProtection(
         make_predictor(config.predictor),
         attack_model=attack_model,

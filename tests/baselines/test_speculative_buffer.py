@@ -1,0 +1,73 @@
+"""The hierarchy's speculative buffer: SpecBox's transparent-load substrate.
+
+The invariant the scheme rests on: a speculative (buffered) load leaves
+**no cache-state trace** until it commits — the caches see neither fills
+nor replacement updates — while still paying the real address-dependent
+walk timing.  Release at commit makes the fill architectural; drop on
+squash erases the entry.
+"""
+
+import pytest
+
+from repro.common.config import MachineConfig, MemLevel
+from repro.memory.hierarchy import MemoryHierarchy
+
+COLD = 0x900000
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(MachineConfig())
+
+
+class TestSpeculativeLoadTransparency:
+    def test_no_cache_trace_before_release(self, hierarchy):
+        response = hierarchy.speculative_load(COLD, 0)
+        assert response.level is MemLevel.DRAM
+        assert hierarchy.residence_level(COLD) is MemLevel.DRAM
+        assert not hierarchy.line_in_l1(COLD)
+
+    def test_walk_timing_matches_normal_path(self, hierarchy):
+        """Transparency hides *state*, not *time*: the probe-only walk costs
+        the same as a normal cold walk would."""
+        normal = MemoryHierarchy(MachineConfig()).load(COLD, 0)
+        speculative = hierarchy.speculative_load(COLD, 0)
+        assert speculative.complete_at == normal.complete_at
+
+    def test_flush_reload_cannot_see_a_buffered_line(self, hierarchy):
+        from repro.security.channels import CacheTimingReceiver
+
+        receiver = CacheTimingReceiver(hierarchy)
+        receiver.flush([COLD])
+        hierarchy.speculative_load(COLD, 0)
+        [probe] = receiver.reload([COLD], now=1000)
+        assert not probe.hit
+
+    def test_release_makes_the_fill_architectural(self, hierarchy):
+        hierarchy.speculative_load(COLD, 0)
+        hierarchy.release_speculative(COLD, 500)
+        assert hierarchy.line_in_l1(COLD)
+        assert hierarchy.residence_level(COLD) is MemLevel.L1
+
+    def test_drop_leaves_nothing(self, hierarchy):
+        hierarchy.speculative_load(COLD, 0)
+        hierarchy.drop_speculative(COLD)
+        assert hierarchy.residence_level(COLD) is MemLevel.DRAM
+        assert hierarchy.stats["spec_drops"] == 1
+
+    def test_buffer_hit_is_l1_fast(self, hierarchy):
+        first = hierarchy.speculative_load(COLD, 0)
+        start = first.complete_at + 1
+        second = hierarchy.speculative_load(COLD, start)
+        assert hierarchy.stats["spec_buffer_hits"] == 1
+        latency = second.complete_at - start
+        assert latency <= MachineConfig().l1d.latency + 2  # +TLB
+
+    def test_refcount_survives_partial_drop(self, hierarchy):
+        first = hierarchy.speculative_load(COLD, 0)
+        hierarchy.speculative_load(COLD, first.complete_at + 1)
+        hierarchy.drop_speculative(COLD)
+        # One of the two in-flight loads squashed; the other still hits.
+        third = hierarchy.speculative_load(COLD, first.complete_at + 100)
+        assert hierarchy.stats["spec_buffer_hits"] == 2
+        assert third.level is not None

@@ -41,7 +41,10 @@ WORKLOADS = {
         "ff_ind", table_words=262144, iterations=80, seed=9, warm_table=False
     ),
 }
-CONFIG_NAMES = ("Unsafe", "STT{ld}", "STT{ld+fp}", "Hybrid", "Perfect")
+CONFIG_NAMES = (
+    "Unsafe", "STT{ld}", "STT{ld+fp}", "Hybrid", "Perfect",
+    "SpecBox", "DelayOnMiss",
+)
 
 
 def _run(workload, config_name, attack_model, fast_forward):

@@ -5,7 +5,7 @@ fast-forward equivalence suite: across protection schemes, attack models,
 and workload shapes, feeding a recorded architectural trace through the
 timing pipeline produces the *same complete* ``RunMetrics`` — cycles,
 instructions, and every stats key — as re-running the functional ISS at
-every commit.  The ``replay-equivalence`` CI job runs this grid (20 cells)
+every commit.  The ``replay-equivalence`` CI job runs this grid (28 cells)
 plus the negative controls proving the gate can actually fire.
 """
 
@@ -33,10 +33,13 @@ WORKLOADS = {
         "rp_chase", nodes=512, iterations=40, seed=12, warm_table=False
     ),
 }
-CONFIG_NAMES = ("Unsafe", "STT{ld}", "STT{ld+fp}", "Hybrid", "Perfect")
+CONFIG_NAMES = (
+    "Unsafe", "STT{ld}", "STT{ld+fp}", "Hybrid", "Perfect",
+    "SpecBox", "DelayOnMiss",
+)
 MODELS = (AttackModel.SPECTRE, AttackModel.FUTURISTIC)
 
-#: One recording per workload, shared by all 10 of its grid cells.
+#: One recording per workload, shared by all 14 of its grid cells.
 _TRACES = {
     name: TraceRecorder().record_program(
         workload.program, DEFAULT_MAX_INSTRUCTIONS
@@ -57,7 +60,7 @@ def _request(workload_name, config_name, model):
 @pytest.mark.parametrize("config_name", CONFIG_NAMES)
 @pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
 def test_replay_is_bit_identical(workload_name, config_name, model):
-    """The 2 workloads x 5 configs x 2 models = 20-cell equivalence grid."""
+    """The 2 workloads x 7 configs x 2 models = 28-cell equivalence grid."""
     request = _request(workload_name, config_name, model)
     live = execute(request)
     replayed = replay_execute(request, _TRACES[workload_name])

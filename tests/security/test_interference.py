@@ -1,0 +1,52 @@
+"""Forward speculative interference: the penetration test for invisible
+speculation ("It's a Trap").  Cache-state confinement (SpecBox) must fail
+here, exactly where the delay-based schemes (STT, SDO, delay-on-miss) hold:
+the squashed load's DRAM row-open modulates an older committed load."""
+
+import pytest
+
+from repro.common.config import AttackModel
+from repro.security.forward_interference import (
+    build_forward_interference,
+    run_forward_interference,
+)
+
+MODELS = [AttackModel.SPECTRE, AttackModel.FUTURISTIC]
+VULNERABLE = ["Unsafe", "SpecBox"]
+PROTECTED = [
+    "STT{ld}", "STT{ld+fp}",
+    "Static L1", "Static L2", "Static L3", "Hybrid", "Perfect",
+    "DelayOnMiss",
+]
+
+
+class TestForwardInterference:
+    @pytest.mark.parametrize("config", VULNERABLE)
+    @pytest.mark.parametrize("model", MODELS)
+    def test_invisible_speculation_still_interferes(self, config, model):
+        result = run_forward_interference(config, model)
+        assert result.leaked
+        # The secret-1 run is the *faster* one: the squashed load opened the
+        # probe's DRAM row, so the committed probe row-hits.
+        assert result.delta_cycles < 0
+
+    @pytest.mark.parametrize("config", PROTECTED)
+    @pytest.mark.parametrize("model", MODELS)
+    def test_delay_based_schemes_close_the_channel(self, config, model):
+        result = run_forward_interference(config, model)
+        assert not result.leaked
+
+    def test_committed_stream_is_secret_invariant(self):
+        result = run_forward_interference("Unsafe")
+        counts = set(result.instructions_by_secret.values())
+        assert len(counts) == 1
+
+    def test_secret_must_select_a_row(self):
+        with pytest.raises(ValueError):
+            build_forward_interference(secret=2)
+        with pytest.raises(ValueError):
+            build_forward_interference(secret=-1)
+
+    def test_victim_program_is_well_formed(self):
+        program = build_forward_interference(secret=1)
+        assert len(program) > 40  # the delay chain alone is 40 micro-ops

@@ -85,6 +85,15 @@ class TestNormalPathLeaks:
         assert ok
 
 
+class TestOperandValidation:
+    @pytest.mark.parametrize("operands", [[], [0x40000]])
+    def test_too_few_operands_is_a_clear_error(self, operands):
+        # Regression: an empty operand list used to escape as a bare
+        # IndexError from ``traces[0]``; one operand passed vacuously.
+        with pytest.raises(ValueError, match="at least 2 operands"):
+            check_non_interference(_obl_action(MemLevel.L1), operands)
+
+
 class TestTraceMachinery:
     def test_prepare_events_are_excluded(self):
         def action(hierarchy):

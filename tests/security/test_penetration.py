@@ -12,6 +12,7 @@ from repro.common.config import MachineConfig
 PROTECTED = [
     "STT{ld}", "STT{ld+fp}",
     "Static L1", "Static L2", "Static L3", "Hybrid", "Perfect",
+    "SpecBox", "DelayOnMiss",
 ]
 MODELS = [AttackModel.SPECTRE, AttackModel.FUTURISTIC]
 
@@ -79,3 +80,40 @@ class TestReceiver:
         assert results[0].hit
         assert not results[1].hit
         assert results[0].latency < results[1].latency
+
+    def test_threshold_sits_strictly_between_l2_and_l3_round_trips(self):
+        # Regression: the threshold used to equal the L3 round trip exactly,
+        # so a marginally fast L3-class latency was misread as a hit.
+        config = MachineConfig()
+        receiver = CacheTimingReceiver(MemoryHierarchy(config))
+        l2_round_trip = config.l1d.latency + config.l2.latency
+        l3_round_trip = l2_round_trip + config.l3.latency
+        assert l2_round_trip < receiver.threshold < l3_round_trip
+
+    def test_boundary_latencies_classify_as_documented(self):
+        # An L2-round-trip latency is a hit; an L3 round trip is a miss —
+        # and so is anything even one cycle short of the L3 round trip.
+        config = MachineConfig()
+        receiver = CacheTimingReceiver(MemoryHierarchy(config))
+        l2_round_trip = config.l1d.latency + config.l2.latency
+        l3_round_trip = l2_round_trip + config.l3.latency
+        assert l2_round_trip < receiver.threshold
+        assert not l3_round_trip < receiver.threshold
+        assert not (l3_round_trip - 1) < receiver.threshold
+
+    @pytest.mark.parametrize("stride", [0, 1, 8, 63])
+    def test_sub_line_stride_is_rejected(self, stride):
+        # Regression: stride 0 used to raise a bare ZeroDivisionError, and
+        # sub-line strides silently aliased slots onto one cache line.
+        receiver = CacheTimingReceiver(MemoryHierarchy(MachineConfig()))
+        with pytest.raises(ValueError, match="cache line"):
+            receiver.recover_index(0x100000, stride, 8)
+
+    def test_line_sized_stride_is_accepted(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        receiver = CacheTimingReceiver(hierarchy)
+        line = hierarchy.config.line_size
+        addrs = [0x100000 + line * i for i in range(8)]
+        receiver.flush(addrs)
+        hierarchy.load(addrs[2], 0)
+        assert receiver.recover_index(0x100000, line, 8, now=1000) == 2

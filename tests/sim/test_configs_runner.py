@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.baselines import DelayOnMissProtection, SpecBoxProtection
 from repro.common.config import AttackModel, PredictorKind, ProtectionKind
 from repro.core.protection import SdoProtection
 from repro.pipeline.protection import UnsafeProtection
@@ -21,8 +22,10 @@ SESSION = Session(cache=CachePolicy(enabled=False))
 
 
 class TestConfigs:
-    def test_table2_has_eight_rows(self):
-        assert len(EVALUATED_CONFIGS) == 8
+    def test_table2_plus_baselines_has_ten_rows(self):
+        # The paper's eight Table II rows plus the two competing baselines
+        # (SpecBox, DelayOnMiss).
+        assert len(EVALUATED_CONFIGS) == 10
 
     def test_lookup(self):
         assert config_by_name("Hybrid").predictor is PredictorKind.HYBRID
@@ -43,6 +46,13 @@ class TestConfigs:
         assert stt.fp_transmitters
         sdo = make_protection(config_by_name("Static L3"), AttackModel.SPECTRE)
         assert isinstance(sdo, SdoProtection)
+        specbox = make_protection(config_by_name("SpecBox"), AttackModel.SPECTRE)
+        assert isinstance(specbox, SpecBoxProtection)
+        dom = make_protection(config_by_name("DelayOnMiss"), AttackModel.FUTURISTIC)
+        assert isinstance(dom, DelayOnMissProtection)
+        # Neither competing baseline gates FP transmitters.
+        assert not specbox.fp_transmitters
+        assert not dom.fp_transmitters
 
     def test_all_sdo_configs_protect_fp(self):
         """Section VIII-A: all SDO configurations protect subnormal FP
