@@ -16,8 +16,10 @@ Commands:
                  (``--journal`` + ``--resume``)
 * ``fabric``   — the distributed sweep fabric: ``fabric serve`` runs the
                  scheduler service, ``fabric work`` runs a worker agent
-                 against it, ``fabric status`` pings a scheduler.  Submit
-                 to a fabric with ``sweep --fabric http://host:8700``.
+                 against it, ``fabric status`` pings a scheduler, and
+                 ``fabric chaos`` interposes a seeded fault-injecting
+                 proxy for resilience drills.  Submit to a fabric with
+                 ``sweep --fabric http://host:8700``.
 * ``lint``     — run the sdolint invariant checkers (oblivious-timing,
                  stat-key, determinism, cache-schema, event-schema)
                  against the committed ratchet baseline
@@ -251,14 +253,22 @@ def _cmd_sweep(args) -> int:
 
 def _cmd_fabric(args) -> int:
     if args.fabric_command == "serve":
-        from repro.fabric.scheduler import serve
+        from repro.fabric.scheduler import DEFAULT_COMPACT_EVERY, serve
 
+        if args.compact_every is None:
+            compact_every = DEFAULT_COMPACT_EVERY
+        elif args.compact_every == 0:
+            compact_every = None  # 0 on the CLI disables auto-compaction
+        else:
+            compact_every = args.compact_every
         serve(
             args.state_dir,
             host=args.host,
             port=args.port,
             cache_dir=args.cache_dir,
             lease_seconds=args.lease_seconds,
+            max_pending=args.max_pending,
+            compact_every=compact_every,
         )
         return 0
     if args.fabric_command == "work":
@@ -266,14 +276,19 @@ def _cmd_fabric(args) -> int:
         import json
         import os
 
+        from repro.fabric.transport import TransportPolicy
         from repro.fabric.worker import WorkerAgent
         from repro.testing.faults import FaultPlan, inject
 
+        policy = None
+        if args.transport_retries is not None:
+            policy = TransportPolicy(retries=args.transport_retries)
         agent = WorkerAgent(
             args.url,
             cache_dir=args.cache_dir,
             worker_id=args.worker_id,
             max_idle_seconds=args.max_idle,
+            transport_policy=policy,
         )
         plan_path = os.environ.get("REPRO_FAULT_PLAN")
         context = (
@@ -299,6 +314,49 @@ def _cmd_fabric(args) -> int:
             f"{reply['cells']} cells ({reply['pending']} pending), "
             f"wire schema v{reply['schema']}"
         )
+        return 0
+    if args.fabric_command == "chaos":
+        import json
+        import time
+
+        from repro.fabric.chaos import ChaosPlan, ChaosProxy, ChaosSpec
+
+        if args.plan is not None:
+            plan = ChaosPlan.from_dict(
+                json.loads(pathlib.Path(args.plan).read_text())
+            )
+        else:
+            rate = args.rate
+            plan = ChaosPlan(
+                args.seed,
+                {
+                    "*": ChaosSpec(
+                        drop_request=rate,
+                        drop_response=rate,
+                        delay=rate,
+                        duplicate=rate,
+                        truncate=rate,
+                        corrupt=rate,
+                    )
+                },
+            )
+        proxy = ChaosProxy(
+            args.upstream, plan, host=args.host, port=args.port, ledger=args.ledger
+        )
+        proxy.start()
+        print(
+            f"chaos proxy listening on {proxy.url} -> {args.upstream} "
+            f"(seed {plan.seed})",
+            flush=True,
+        )
+        try:
+            while True:
+                time.sleep(1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            proxy.stop()
+            print(f"chaos proxy stats: {json.dumps(proxy.stats)}", flush=True)
         return 0
     raise AssertionError(f"unhandled fabric command {args.fabric_command!r}")
 
@@ -431,6 +489,17 @@ def main(argv=None) -> int:
         "--lease-seconds", type=float, default=15.0,
         help="cell lease duration; a worker silent this long is presumed dead",
     )
+    serve_p.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="admission control: reject submissions (HTTP 429 + Retry-After) "
+             "that would push the pending queue past N cells (default: "
+             "unbounded)",
+    )
+    serve_p.add_argument(
+        "--compact-every", type=int, default=None, metavar="N",
+        help="compact the durable queue journal after every N appended "
+             "records (default 4096; 0 disables auto-compaction)",
+    )
     work_p = fabric_sub.add_parser("work", help="run a worker agent")
     work_p.add_argument("url", help="scheduler URL, e.g. http://host:8700")
     work_p.add_argument(
@@ -442,8 +511,40 @@ def main(argv=None) -> int:
         "--max-idle", type=float, default=None, metavar="SECONDS",
         help="exit after this long without work (default: poll forever)",
     )
+    work_p.add_argument(
+        "--transport-retries", type=int, default=None, metavar="N",
+        help="retry budget for transient scheduler request failures "
+             "(default: the TransportPolicy default)",
+    )
     status_p = fabric_sub.add_parser("status", help="ping a scheduler")
     status_p.add_argument("url")
+    chaos_p = fabric_sub.add_parser(
+        "chaos",
+        help="run a fault-injecting proxy in front of a scheduler",
+    )
+    chaos_p.add_argument("upstream", help="scheduler URL to proxy, e.g. http://host:8700")
+    chaos_p.add_argument("--host", default="127.0.0.1")
+    chaos_p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default: an ephemeral port, printed on start)",
+    )
+    chaos_p.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="JSON ChaosPlan (seed + per-endpoint fault specs); overrides "
+             "--seed/--rate",
+    )
+    chaos_p.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the built-in uniform plan (default 0)",
+    )
+    chaos_p.add_argument(
+        "--rate", type=float, default=0.05, metavar="P",
+        help="per-fault-kind rate for the built-in uniform plan (default 0.05)",
+    )
+    chaos_p.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="append a JSONL record of every injected fault to FILE",
+    )
 
     from repro.lint.cli import add_lint_arguments
 

@@ -27,9 +27,14 @@ from __future__ import annotations
 
 import dataclasses
 import time
+import uuid
 from typing import Callable, Sequence
 
-from repro.fabric.transport import FabricError, HttpTransport
+from repro.fabric.transport import (
+    FabricError,
+    RetryingTransport,
+    TransportPolicy,
+)
 from repro.fabric.wire import decode_outcome, envelope
 from repro.sim.api import RunFailure, RunOutcome, RunRequest, _rebrand
 from repro.sim.events import QUEUED, TERMINAL_EVENTS, RunEvent
@@ -49,8 +54,16 @@ class FabricClient:
         poll_interval: float = 0.2,
         request_timeout: float = 10.0,
         give_up_after: float = DEFAULT_GIVE_UP_AFTER,
+        transport_policy: TransportPolicy | None = None,
     ) -> None:
-        self.transport = HttpTransport(url, timeout=request_timeout)
+        if transport_policy is None:
+            transport_policy = (
+                getattr(execution, "transport", None) or TransportPolicy()
+            )
+        self.transport_policy = transport_policy
+        self.transport = RetryingTransport(
+            url, timeout=request_timeout, policy=transport_policy
+        )
         self.execution = execution
         self.poll_interval = poll_interval
         self.give_up_after = give_up_after
@@ -65,15 +78,22 @@ class FabricClient:
 
     def submit(self, requests: Sequence[RunRequest]) -> dict:
         """``POST /v1/sweeps``; returns the scheduler's reply (sweep id,
-        per-cell keys, total)."""
+        per-cell keys, total).
+
+        Each submission carries a fresh idempotency token, which makes the
+        POST safe to retry through a lost response: the scheduler resolves
+        the re-send to the sweep the first delivery created instead of
+        enqueueing a twin batch.
+        """
         execution = (
             self.execution.to_dict() if self.execution is not None else None
         )
         payload = envelope(
             requests=[request.to_dict() for request in requests],
             execution=execution,
+            token=uuid.uuid4().hex,
         )
-        return self.transport.post_json("/v1/sweeps", payload)
+        return self.transport.post_json("/v1/sweeps", payload, idempotent=True)
 
     # -------------------------------------------------------------- the wait
 

@@ -11,6 +11,7 @@ a crash-recoverable job queue.  Four record kinds share the log::
     {"kind": "attempt", "key": ..., "attempts": n, "failure": {...}, "schema": 1}
     {"kind": "done",    "key": ..., "outcome": {"kind": ..., "payload": ...},
      "schema": 1}
+    {"kind": "token",   "key": ..., "token": ..., "decision": ..., "schema": 1}
 
 Every mutation appends one flushed line, so a ``kill -9`` at any instant
 loses at most the line being written — and :meth:`load` skips torn trailing
@@ -23,7 +24,21 @@ cells are never re-executed.
 
 Failed attempts are journalled (``attempt`` records) so server-side retry
 budgets survive restarts too: a cell that crashed twice before the crash
-does not get a fresh budget after it.
+does not get a fresh budget after it.  ``token`` records make completion
+delivery idempotent across duplicate network deliveries *and* restarts: a
+completion carrying an already-seen token replays the recorded decision
+without touching the cell again (see :meth:`complete`).
+
+**Compaction** keeps the journal bounded: the append-only log grows with
+every attempt, heartbeat-expiry, and duplicate delivery, but the live
+state it encodes does not.  :meth:`compact` rewrites the log as one
+snapshot — the minimal record set that reloads to the current in-memory
+state — written to a temporary file, fsynced, and atomically
+``os.replace``-d over the journal.  A crash at any instant during
+compaction therefore leaves either the complete old journal (the tmp file
+is garbage and is deleted on the next load) or the complete new one;
+there is no torn intermediate.  ``compact_every`` auto-compacts after
+that many appended records.
 
 The queue itself is not thread-safe; the scheduler serializes access with
 one lock.
@@ -33,6 +48,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -69,6 +85,8 @@ class CellRecord:
     outcome: RunOutcome | None = None
     last_failure: RunFailure | None = None
     lease: Lease | None = None
+    #: Idempotency-token → recorded decision, for duplicate completions.
+    tokens: dict[str, str] = field(default_factory=dict)
 
     @property
     def done(self) -> bool:
@@ -78,10 +96,13 @@ class CellRecord:
 @dataclass
 class SweepRecord:
     """A submitted batch: ordered cell keys (duplicates allowed — two equal
-    requests in one batch share a key and a result)."""
+    requests in one batch share a key and a result).  ``token`` is the
+    submitter's idempotency token, so a duplicated submission resolves to
+    this sweep instead of creating a twin."""
 
     sweep_id: str
     cells: list[str] = field(default_factory=list)
+    token: str | None = None
 
 
 def worker_lost_failure(cell: CellRecord, worker: str) -> RunFailure:
@@ -107,13 +128,27 @@ def _attack_model(request: dict):
 
 
 class FabricQueue:
-    """Durable, restart-safe queue of sweep cells (see module docstring)."""
+    """Durable, restart-safe queue of sweep cells (see module docstring).
 
-    def __init__(self, path: str | Path) -> None:
+    ``compact_every`` auto-compacts the journal after that many appended
+    records (``None`` disables auto-compaction; :meth:`compact` can still
+    be called explicitly).
+    """
+
+    def __init__(self, path: str | Path, *, compact_every: int | None = None) -> None:
+        if compact_every is not None and compact_every < 1:
+            raise ValueError(f"compact_every must be >= 1, got {compact_every}")
         self.path = Path(path)
+        self.compact_every = compact_every
         self.cells: dict[str, CellRecord] = {}
         self.sweeps: dict[str, SweepRecord] = {}
+        self.compactions = 0
+        self._appends_since_compact = 0
         self._fh = None
+
+    @property
+    def _compact_tmp(self) -> Path:
+        return self.path.with_name(self.path.name + ".compact")
 
     # ------------------------------------------------------------- durability
 
@@ -123,8 +158,13 @@ class FabricQueue:
         Records are applied in append order, so the last ``done`` for a key
         wins and ``attempt`` counts accumulate.  Torn/corrupt lines (a crash
         mid-write) are skipped.  Leased state is *not* restored — every
-        non-done cell comes back ``pending``.
+        non-done cell comes back ``pending``.  A leftover compaction tmp
+        file — a crash mid-snapshot — is discarded: the journal itself is
+        still complete, which is exactly why the snapshot is written to the
+        side and renamed atomically.
         """
+        if self._compact_tmp.exists():
+            self._compact_tmp.unlink()
         if not self.path.exists():
             return 0
         applied = 0
@@ -153,7 +193,9 @@ class FabricQueue:
                     timeout=record.get("timeout"),
                 )
         elif kind == "sweep":
-            sweep = SweepRecord(record["sweep_id"], list(record["cells"]))
+            sweep = SweepRecord(
+                record["sweep_id"], list(record["cells"]), token=record.get("token")
+            )
             self.sweeps[sweep.sweep_id] = sweep
         elif kind == "attempt":
             cell = self.cells[record["key"]]
@@ -166,6 +208,9 @@ class FabricQueue:
             cell.state = CELL_DONE
             cell.lease = None
             cell.outcome = decode_outcome(record["outcome"])
+        elif kind == "token":
+            cell = self.cells[record["key"]]
+            cell.tokens[record["token"]] = record["decision"]
         else:
             raise ValueError(f"unknown queue record kind {kind!r}")
 
@@ -175,11 +220,101 @@ class FabricQueue:
             self._fh = self.path.open("a")
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
+        self._appends_since_compact += 1
+        if (
+            self.compact_every is not None
+            and self._appends_since_compact >= self.compact_every
+        ):
+            self.compact()
 
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    # ------------------------------------------------------------- compaction
+
+    def snapshot_records(self) -> list[dict]:
+        """The minimal record list that reloads to the current state:
+        per cell its definition, one folded ``attempt`` (current count +
+        last failure), its ``done`` outcome, and its seen tokens; then the
+        sweep membership records.  Leases are in-memory promises and are
+        deliberately not snapshotted (same rule as :meth:`load`)."""
+        records: list[dict] = []
+        for cell in self.cells.values():
+            records.append(
+                envelope(
+                    kind="cell",
+                    key=cell.key,
+                    request=cell.request,
+                    retry=cell.retry.to_dict(),
+                    timeout=cell.timeout,
+                )
+            )
+            if cell.attempts:
+                records.append(
+                    envelope(
+                        kind="attempt",
+                        key=cell.key,
+                        attempts=cell.attempts,
+                        failure=(
+                            cell.last_failure.to_dict()
+                            if cell.last_failure is not None
+                            else None
+                        ),
+                    )
+                )
+            if cell.done:
+                records.append(
+                    envelope(
+                        kind="done",
+                        key=cell.key,
+                        outcome=encode_outcome(cell.outcome),
+                    )
+                )
+            for token, decision in cell.tokens.items():
+                records.append(
+                    envelope(
+                        kind="token", key=cell.key, token=token, decision=decision
+                    )
+                )
+        for sweep in self.sweeps.values():
+            records.append(
+                envelope(
+                    kind="sweep",
+                    sweep_id=sweep.sweep_id,
+                    cells=sweep.cells,
+                    token=sweep.token,
+                )
+            )
+        return records
+
+    def compact(self) -> int:
+        """Atomically replace the journal with its snapshot; returns the
+        number of records written.
+
+        Crash-consistency argument: the snapshot is written to a sibling
+        tmp file and fsynced *before* ``os.replace`` swaps it in.  A crash
+        during the write leaves the old journal untouched (the torn tmp is
+        deleted on the next :meth:`load`); ``os.replace`` itself is atomic
+        on POSIX; a crash immediately after it leaves the complete new
+        journal.  Either way a restart recovers the full queue state.
+        """
+        records = self.snapshot_records()
+        tmp = self._compact_tmp
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with tmp.open("w") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        os.replace(tmp, self.path)
+        self._appends_since_compact = 0
+        self.compactions += 1
+        return len(records)
 
     # ------------------------------------------------------------- submission
 
@@ -190,11 +325,14 @@ class FabricQueue:
         *,
         retry: RetryPolicy,
         timeout: float | None = None,
+        token: str | None = None,
     ) -> SweepRecord:
         """Enqueue a sweep: journal its ordered key list and any cells not
         already known.  Cells whose key is already ``done`` stay done — the
         new sweep simply observes the settled outcome (dedup across sweeps
-        is the artifact store working as intended).
+        is the artifact store working as intended).  ``token`` is the
+        submitter's idempotency token, journalled with the sweep so
+        duplicate submissions dedup across restarts too.
         """
         if sweep_id in self.sweeps:
             raise ValueError(f"sweep {sweep_id!r} already submitted")
@@ -212,7 +350,7 @@ class FabricQueue:
                         timeout=timeout,
                     )
                 )
-        sweep = SweepRecord(sweep_id, [key for key, _ in cells])
+        sweep = SweepRecord(sweep_id, [key for key, _ in cells], token=token)
         self.sweeps[sweep_id] = sweep
         self._append(
             envelope(
@@ -221,9 +359,17 @@ class FabricQueue:
                 cells=sweep.cells,
                 retry=retry.to_dict(),
                 timeout=timeout,
+                token=token,
             )
         )
         return sweep
+
+    def sweep_by_token(self, token: str) -> SweepRecord | None:
+        """The sweep a submission token already created, if any."""
+        for sweep in self.sweeps.values():
+            if sweep.token is not None and sweep.token == token:
+                return sweep
+        return None
 
     # ---------------------------------------------------------------- leasing
 
@@ -286,7 +432,9 @@ class FabricQueue:
 
     # ------------------------------------------------------------- completion
 
-    def complete(self, key: str, outcome: RunOutcome) -> str:
+    def complete(
+        self, key: str, outcome: RunOutcome, *, token: str | None = None
+    ) -> str:
         """Apply a worker-reported terminal outcome for ``key``.
 
         Returns the decision taken: ``"done"`` (outcome settled),
@@ -294,12 +442,22 @@ class FabricQueue:
         or ``"stale"`` (the cell already settled; duplicate completions are
         expected — the simulation is deterministic, so any completion is as
         good as any other, and at-least-once delivery is fine).
+
+        ``token`` is the delivery's idempotency token: a completion whose
+        token was already processed **replays the recorded decision**
+        without touching the cell — a duplicated network delivery can
+        never double-settle, double-count an attempt, or burn retry
+        budget.  Tokens are journalled, so the guarantee holds across
+        scheduler restarts too.
         """
         cell = self.cells.get(key)
         if cell is None:
             raise KeyError(f"unknown cell {key!r}")
+        if token is not None and token in cell.tokens:
+            return cell.tokens[token]
         if cell.done:
             return "stale"
+        decision = "done"
         if isinstance(outcome, RunFailure):
             cell.last_failure = outcome
             self._append(
@@ -313,9 +471,15 @@ class FabricQueue:
             if cell.retry.should_retry(outcome.kind, cell.attempts):
                 cell.state = CELL_PENDING
                 cell.lease = None
-                return "retry"
-        self._settle(cell, outcome)
-        return "done"
+                decision = "retry"
+        if decision == "done":
+            self._settle(cell, outcome)
+        if token is not None:
+            cell.tokens[token] = decision
+            self._append(
+                envelope(kind="token", key=key, token=token, decision=decision)
+            )
+        return decision
 
     def _settle(self, cell: CellRecord, outcome: RunOutcome) -> None:
         if isinstance(outcome, RunFailure) and outcome.attempts != cell.attempts:

@@ -23,7 +23,17 @@ stamped; a newer ``schema`` than the server's is rejected with 400):
 ``POST /v1/cells/<key>/complete``           report a terminal outcome
 ``GET /v1/artifacts/<key>``                 artifact-store read-through
 ``GET /v1/ping``                            liveness + schema + queue depth
+``GET /v1/health``                          queue depth by state, lease
+                                            count, uptime, compactions
 ==========================================  =================================
+
+Hardening (wire schema v3): sweep submissions and completions carry
+idempotency tokens — a duplicated submission resolves to the original
+sweep, a duplicated completion replays the recorded decision without
+re-settling or re-narrating the cell.  Artifact payloads carry a CRC-32
+of their canonical metrics JSON.  ``max_pending`` bounds the pending
+queue: a submission that would overflow it is refused with HTTP 429 and
+a ``Retry-After`` header instead of being accepted and starved.
 
 The scheduler owns the **shared artifact store** — a plain
 :class:`~repro.sim.cache.ResultCache` on its disk.  Completed metrics are
@@ -54,6 +64,7 @@ from repro.fabric.wire import (
     check_schema,
     encode_outcome,
     envelope,
+    payload_crc32,
 )
 from repro.sim.api import RunFailure, RunMetrics, RunOutcome, RunRequest
 from repro.sim.cache import ResultCache, cache_key
@@ -72,6 +83,23 @@ from repro.sim.events import (
 #: Default lease duration; a healthy worker heartbeats at a fraction of it.
 DEFAULT_LEASE_SECONDS = 15.0
 
+#: Auto-compact the journal after this many appended records.  High enough
+#: that a busy scheduler compacts at most every few sweeps, low enough that
+#: the journal never grows past a few MB of dead history.
+DEFAULT_COMPACT_EVERY = 4096
+
+
+class AdmissionFull(RuntimeError):
+    """A submission refused because the pending queue is at ``max_pending``.
+
+    Carries the seconds a polite client should wait before retrying; the
+    HTTP layer turns this into 429 + ``Retry-After``.
+    """
+
+    def __init__(self, message: str, *, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
 
 class FabricScheduler:
     """The scheduler's state machine, independent of HTTP plumbing.
@@ -87,13 +115,21 @@ class FabricScheduler:
         *,
         cache_dir: str | Path | None = None,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        max_pending: int | None = None,
+        compact_every: int | None = DEFAULT_COMPACT_EVERY,
         clock=time.monotonic,
     ) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.state_dir = Path(state_dir)
-        self.queue = FabricQueue(self.state_dir / "queue.jsonl")
+        self.queue = FabricQueue(
+            self.state_dir / "queue.jsonl", compact_every=compact_every
+        )
         self.store = ResultCache(cache_dir or self.state_dir / "artifacts")
         self.lease_seconds = lease_seconds
+        self.max_pending = max_pending
         self.clock = clock
+        self.started_at = clock()
         self._lock = threading.Lock()
         #: sweep_id → ordered event dicts (in-memory; regenerated on restart,
         #: so delivery is at-least-once, never exactly-once).
@@ -172,10 +208,37 @@ class FabricScheduler:
             else RetryPolicy(max_retries=0)
         )
         timeout = execution.get("timeout")
+        token = payload.get("token")
         with self._lock:
+            if token is not None:
+                existing = self.queue.sweep_by_token(str(token))
+                if existing is not None:
+                    # Duplicated submission (client retried through a lost
+                    # response): resolve to the original sweep unchanged.
+                    return envelope(
+                        sweep_id=existing.sweep_id,
+                        keys=list(existing.cells),
+                        total=len(existing.cells),
+                        deduplicated=True,
+                    )
             sweep_id = f"sweep-{len(self.queue.sweeps):04d}-{int(self.clock() * 1e3):x}"
             cells = [(cache_key(r), r.to_dict()) for r in requests]
-            self.queue.submit(sweep_id, cells, retry=retry, timeout=timeout)
+            if self.max_pending is not None:
+                self._expire()
+                incoming = {
+                    key for key, _ in cells if key not in self.queue.cells
+                }
+                depth = self.queue.pending_count() + len(incoming)
+                if depth > self.max_pending:
+                    raise AdmissionFull(
+                        f"pending queue full: {depth} > max_pending="
+                        f"{self.max_pending}",
+                        retry_after=max(1.0, self.lease_seconds / 2),
+                    )
+            self.queue.submit(
+                sweep_id, cells, retry=retry, timeout=timeout,
+                token=None if token is None else str(token),
+            )
             for index, (key, _) in enumerate(cells):
                 self._watchers.setdefault(key, []).append((sweep_id, index))
                 self._event(sweep_id, QUEUED, index, self.queue.cells[key])
@@ -256,6 +319,27 @@ class FabricScheduler:
                 pending=self.queue.pending_count(),
             )
 
+    def health(self) -> dict:
+        """Operational snapshot: queue depth by state, lease count, uptime,
+        admission bound, and how often the journal has compacted."""
+        with self._lock:
+            self._expire()
+            done = sum(1 for c in self.queue.cells.values() if c.done)
+            pending = self.queue.pending_count()
+            leased = len(self.queue.cells) - pending - done
+            return envelope(
+                ok=True,
+                uptime=self.clock() - self.started_at,
+                sweeps=len(self.queue.sweeps),
+                cells=len(self.queue.cells),
+                pending=pending,
+                leased=leased,
+                done=done,
+                max_pending=self.max_pending,
+                lease_seconds=self.lease_seconds,
+                compactions=self.queue.compactions,
+            )
+
     # ----------------------------------------------------------------- leasing
 
     def claim(self, payload: dict) -> dict:
@@ -309,11 +393,19 @@ class FabricScheduler:
 
         outcome = decode_outcome(payload["outcome"])
         wall_time = payload.get("wall_time")
+        token = payload.get("token")
         with self._lock:
             cell = self.queue.cells.get(key)
             if cell is None:
                 raise KeyError(key)
-            decision = self.queue.complete(key, outcome)
+            if token is not None and str(token) in cell.tokens:
+                # Duplicated delivery of a completion we already applied:
+                # replay the recorded decision without re-settling the cell
+                # or narrating the terminal event a second time.
+                return envelope(decision=cell.tokens[str(token)], replayed=True)
+            decision = self.queue.complete(
+                key, outcome, token=None if token is None else str(token)
+            )
             if decision == "done":
                 if isinstance(cell.outcome, RunMetrics):
                     if not self.store.has_key(key):
@@ -349,7 +441,8 @@ class FabricScheduler:
                     metrics = cell.outcome
             if metrics is None:
                 return None
-            return envelope(metrics=metrics.to_dict())
+            payload = metrics.to_dict()
+            return envelope(metrics=payload, crc32=payload_crc32(payload))
 
     def close(self) -> None:
         self.queue.close()
@@ -366,6 +459,7 @@ _ROUTES = (
     ("POST", re.compile(r"^/v1/cells/(?P<key>[0-9a-f]+)/complete$"), "complete"),
     ("GET", re.compile(r"^/v1/artifacts/(?P<key>[0-9a-f]+)$"), "artifact"),
     ("GET", re.compile(r"^/v1/ping$"), "ping"),
+    ("GET", re.compile(r"^/v1/health$"), "health"),
 )
 
 
@@ -376,11 +470,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, *_args) -> None:  # quiet by default
         pass
 
-    def _json(self, status: int, payload: dict) -> None:
+    def _json(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -411,6 +509,12 @@ class _Handler(BaseHTTPRequestHandler):
             query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
             try:
                 self._handle(name, match.groupdict(), query)
+            except AdmissionFull as exc:
+                self._json(
+                    429,
+                    {"error": str(exc), "retry_after": exc.retry_after},
+                    headers={"Retry-After": str(int(exc.retry_after + 0.5))},
+                )
             except KeyError as exc:
                 self._json(404, {"error": f"not found: {exc}"})
             except WireError as exc:
@@ -449,6 +553,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json(200, payload)
         elif name == "ping":
             self._json(200, scheduler.ping())
+        elif name == "health":
+            self._json(200, scheduler.health())
 
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         self._dispatch("GET")
@@ -474,6 +580,8 @@ def serve(
     port: int = 8700,
     cache_dir: str | Path | None = None,
     lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    max_pending: int | None = None,
+    compact_every: int | None = DEFAULT_COMPACT_EVERY,
     ready_line: bool = True,
 ) -> None:
     """Run a scheduler until interrupted (the ``repro fabric serve`` entry).
@@ -483,7 +591,11 @@ def serve(
     line of stdout.
     """
     scheduler = FabricScheduler(
-        state_dir, cache_dir=cache_dir, lease_seconds=lease_seconds
+        state_dir,
+        cache_dir=cache_dir,
+        lease_seconds=lease_seconds,
+        max_pending=max_pending,
+        compact_every=compact_every,
     )
     server = make_server(scheduler, host=host, port=port)
     if ready_line:

@@ -17,6 +17,9 @@ cannot silently fork the protocol.
 
 from __future__ import annotations
 
+import json
+import zlib
+
 from repro.sim.api import RunFailure, RunMetrics, RunOutcome
 
 #: Bump on incompatible wire changes (renamed/retyped fields, changed
@@ -24,7 +27,14 @@ from repro.sim.api import RunFailure, RunMetrics, RunOutcome
 #: endpoints — keeps the version.
 #: v2: ExecutionPolicy gained the ``replay`` field (record-once/replay-many
 #: execution backend); old decoders default it to False.
-WIRE_SCHEMA_VERSION = 2
+#: v3: the chaos-hardening release — completion envelopes grew idempotency
+#: ``token`` fields (a v3 scheduler replays the recorded decision for a
+#: duplicated delivery, which a v2 peer would re-apply), sweep submissions
+#: carry a submission ``token``, artifact payloads carry a ``crc32``
+#: checksum, ``ExecutionPolicy`` gained the ``transport`` retry/breaker
+#: policy, and the scheduler serves ``/v1/health`` and 429 + Retry-After
+#: admission control.
+WIRE_SCHEMA_VERSION = 3
 
 #: Cell lifecycle states as the scheduler reports them.
 CELL_PENDING = "pending"
@@ -57,6 +67,17 @@ def envelope(**fields: object) -> dict[str, object]:
     payload: dict[str, object] = {"schema": WIRE_SCHEMA_VERSION}
     payload.update(fields)
     return payload
+
+
+def payload_crc32(payload: object) -> int:
+    """CRC-32 of a JSON payload's canonical form (sorted keys, no spaces).
+
+    Stamped onto artifact bodies so a corrupted-in-flight payload that
+    still parses as JSON is detected by the reader: a mismatch is treated
+    as an artifact miss, never a crash.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
 
 
 def encode_outcome(outcome: RunOutcome) -> dict[str, object]:

@@ -33,8 +33,12 @@ import threading
 import time
 from pathlib import Path
 
-from repro.fabric.transport import FabricError, HttpTransport
-from repro.fabric.wire import encode_outcome, envelope
+from repro.fabric.transport import (
+    FabricError,
+    RetryingTransport,
+    TransportPolicy,
+)
+from repro.fabric.wire import encode_outcome, envelope, payload_crc32
 from repro.sim.api import RunRequest
 from repro.sim.cache import ResultCache
 
@@ -65,8 +69,12 @@ class WorkerAgent:
         poll_interval: float = 0.25,
         max_idle_seconds: float | None = None,
         request_timeout: float = 10.0,
+        transport_policy: TransportPolicy | None = None,
     ) -> None:
-        self.transport = HttpTransport(url, timeout=request_timeout)
+        self.transport_policy = transport_policy or TransportPolicy()
+        self.transport = RetryingTransport(
+            url, timeout=request_timeout, policy=self.transport_policy
+        )
         self.worker_id = worker_id or f"{socket.gethostname()}-{os.getpid()}"
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         # Architectural traces share the cache root: a worker that keeps a
@@ -88,6 +96,7 @@ class WorkerAgent:
             "trace_replays": 0,
             "delivery_failures": 0,
             "network_errors": 0,
+            "artifact_corrupt": 0,
         }
         self._stop = threading.Event()
 
@@ -119,8 +128,12 @@ class WorkerAgent:
 
     def step(self) -> bool:
         """Claim and process at most one cell; ``False`` when idle."""
+        # Claiming is idempotent by lease expiry: a claim whose response
+        # was lost leases a cell nobody works on, which simply expires and
+        # re-queues (at the cost of one retry-budget attempt) — so retrying
+        # the POST is safe.
         reply = self.transport.post_json(
-            "/v1/cells/claim", envelope(worker=self.worker_id)
+            "/v1/cells/claim", envelope(worker=self.worker_id), idempotent=True
         )
         cell = reply.get("cell")
         if cell is None:
@@ -134,7 +147,7 @@ class WorkerAgent:
     def _process(self, cell: dict) -> None:
         key = cell["key"]
         outcome, wall_time = self._resolve(key, cell)
-        self._deliver(key, outcome, wall_time)
+        self._deliver(key, outcome, wall_time, attempt=cell.get("attempt", 0))
 
     def _resolve(self, key: str, cell: dict):
         if self.cache is not None:
@@ -151,6 +164,13 @@ class WorkerAgent:
         return self._execute(key, cell)
 
     def _fetch_artifact(self, key: str):
+        """Read ``key`` through the scheduler's artifact store.
+
+        Any malformed payload — missing ``metrics``, undecodable schema, a
+        CRC-32 that does not match the body — is a **miss**, never a crash:
+        the worker falls through to executing the cell itself, which is
+        always correct (just slower).
+        """
         from repro.sim.api import RunMetrics
 
         try:
@@ -159,7 +179,15 @@ class WorkerAgent:
             return None  # store unreachable — fall through to executing
         if payload is None:
             return None
-        return RunMetrics.from_dict(payload["metrics"])
+        try:
+            metrics_payload = payload["metrics"]
+            crc = payload.get("crc32")
+            if crc is not None and crc != payload_crc32(metrics_payload):
+                raise ValueError("artifact checksum mismatch")
+            return RunMetrics.from_dict(metrics_payload)
+        except (KeyError, TypeError, ValueError):
+            self.stats["artifact_corrupt"] += 1
+            return None
 
     def _execute(self, key: str, cell: dict):
         from repro.sim.engine import SweepEngine
@@ -204,6 +232,7 @@ class WorkerAgent:
                     self.transport.post_json(
                         f"/v1/cells/{key}/heartbeat",
                         envelope(worker=self.worker_id),
+                        idempotent=True,  # renewing a lease twice is a no-op
                     )
                 except FabricError:
                     pass
@@ -212,23 +241,38 @@ class WorkerAgent:
         thread.start()
         return done
 
-    def _deliver(self, key: str, outcome, wall_time: float) -> None:
+    def _deliver(
+        self, key: str, outcome, wall_time: float, *, attempt: int = 0
+    ) -> None:
+        # The idempotency token is stable across *delivery* retries of this
+        # one execution (worker, cell, attempt): a response lost in flight
+        # re-sends the same token and the scheduler replays its recorded
+        # decision instead of double-settling the cell.
+        token = f"{self.worker_id}:{key}:{attempt}"
         payload = envelope(
             worker=self.worker_id,
             outcome=encode_outcome(outcome),
             wall_time=round(wall_time, 6),
+            token=token,
         )
         deadline = time.monotonic() + COMPLETE_RETRY_SECONDS
+        backoff = self.transport_policy.backoff()
+        delivery_try = 1
         while True:
             try:
-                self.transport.post_json(f"/v1/cells/{key}/complete", payload)
+                self.transport.post_json(
+                    f"/v1/cells/{key}/complete", payload, idempotent=True
+                )
                 return
             except FabricError:
                 if time.monotonic() >= deadline or self._stop.is_set():
                     # Abandon: the lease will expire and the cell re-queue.
                     self.stats["delivery_failures"] += 1
                     return
-                time.sleep(min(1.0, self.poll_interval * 4))
+                delivery_try += 1
+                # stop() interrupts the wait promptly; plain sleep() would
+                # hold shutdown hostage for up to a full backoff interval.
+                self._stop.wait(backoff.delay(f"deliver:{key}", delivery_try))
 
     def _ledger(self, key: str) -> None:
         path = os.environ.get(EXEC_LOG_ENV)

@@ -78,6 +78,7 @@ WIRE_FINGERPRINTED = {
     "src/repro/sim/api.py": {"RunFailure"},
     "src/repro/sim/events.py": {"RunEvent"},
     "src/repro/sim/engine.py": {"RetryPolicy"},
+    "src/repro/fabric/transport.py": {"TransportPolicy"},
 }
 
 

@@ -63,6 +63,12 @@ class ExecutionPolicy:
         architectural trace with the functional ISS before dispatch, and
         cells sharing a trace replay it instead of re-running the ISS per
         commit.  Metrics are bit-identical to live execution.
+    ``transport``
+        Network-retry knobs for fabric sessions: a
+        :class:`~repro.fabric.transport.TransportPolicy` (or its dict form)
+        controlling HTTP retry count, backoff, jitter, and the circuit
+        breaker.  ``None`` means the transport defaults.  Ignored for
+        purely local sessions.
     """
 
     jobs: int = 1
@@ -72,6 +78,7 @@ class ExecutionPolicy:
     fabric: str | None = None
     fail_on_unhalted: bool = False
     replay: bool = False
+    transport: object | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -88,6 +95,21 @@ class ExecutionPolicy:
                 f"retries must be an int or RetryPolicy, got {type(retries).__name__}"
             )
         object.__setattr__(self, "retries", retries)
+        if self.transport is not None:
+            # Lazy import: repro.fabric's package __init__ reaches back into
+            # repro.sim at import time, so a module-level import here would
+            # be circular.
+            from repro.fabric.transport import TransportPolicy
+
+            transport = self.transport
+            if isinstance(transport, dict):
+                transport = TransportPolicy.from_dict(transport)
+            elif not isinstance(transport, TransportPolicy):
+                raise TypeError(
+                    "transport must be a TransportPolicy or dict, got "
+                    f"{type(transport).__name__}"
+                )
+            object.__setattr__(self, "transport", transport)
 
     @property
     def retry_policy(self) -> RetryPolicy:
@@ -104,6 +126,9 @@ class ExecutionPolicy:
             "fabric": self.fabric,
             "fail_on_unhalted": self.fail_on_unhalted,
             "replay": self.replay,
+            "transport": (
+                None if self.transport is None else self.transport.to_dict()
+            ),
         }
 
     @classmethod
@@ -117,6 +142,7 @@ class ExecutionPolicy:
             fabric=payload.get("fabric"),
             fail_on_unhalted=payload.get("fail_on_unhalted", False),
             replay=payload.get("replay", False),
+            transport=payload.get("transport"),
         )
 
 

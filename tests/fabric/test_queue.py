@@ -240,3 +240,180 @@ class TestDurability:
         settled = queue.cells["k1"].outcome
         assert settled.attempts == 2
         assert settled == dataclasses.replace(failure(attempts=1), attempts=2)
+
+
+class TestIdempotencyTokens:
+    def test_duplicate_token_replays_decision_without_resettling(self, tmp_path):
+        queue = make_queue(tmp_path, cells=("k1",))
+        queue.claim("w1", lease_seconds=10, now=0.0)
+        assert queue.complete("k1", metrics(cycles=7), token="t-1") == "done"
+        # The duplicated delivery replays "done" — and must NOT overwrite
+        # the settled outcome with its (identical or not) payload.
+        assert queue.complete("k1", metrics(cycles=999), token="t-1") == "done"
+        assert queue.cells["k1"].outcome.cycles == 7
+
+    def test_duplicate_token_does_not_burn_retry_budget(self, tmp_path):
+        queue = make_queue(tmp_path, retry=RETRY_ONCE, cells=("k1",))
+        queue.claim("w1", lease_seconds=10, now=0.0)
+        assert queue.complete("k1", failure(), token="t-1") == "retry"
+        # Re-delivery of the same failed attempt: replays "retry" without
+        # appending a second attempt record.
+        assert queue.complete("k1", failure(), token="t-1") == "retry"
+        assert queue.cells["k1"].attempts == 1
+        queue.claim("w2", lease_seconds=10, now=1.0)
+        assert queue.complete("k1", failure(), token="t-2") == "done"
+
+    def test_tokenless_duplicate_still_stale(self, tmp_path):
+        queue = make_queue(tmp_path, cells=("k1",))
+        queue.claim("w1", lease_seconds=10, now=0.0)
+        assert queue.complete("k1", metrics(), token="t-1") == "done"
+        assert queue.complete("k1", metrics()) == "stale"
+
+    def test_token_replay_survives_restart(self, tmp_path):
+        queue = make_queue(tmp_path, cells=("k1",))
+        queue.claim("w1", lease_seconds=10, now=0.0)
+        queue.complete("k1", metrics(cycles=7), token="t-1")
+        queue.close()
+
+        reloaded = FabricQueue(tmp_path / "queue.jsonl")
+        reloaded.load()
+        assert reloaded.complete("k1", metrics(cycles=999), token="t-1") == "done"
+        assert reloaded.cells["k1"].outcome.cycles == 7
+
+    def test_submission_token_round_trips_restart(self, tmp_path):
+        queue = FabricQueue(tmp_path / "queue.jsonl")
+        queue.submit(
+            "sweep-0", [("k1", request_dict())], retry=NO_RETRY, token="sub-abc"
+        )
+        assert queue.sweep_by_token("sub-abc").sweep_id == "sweep-0"
+        assert queue.sweep_by_token("sub-zzz") is None
+        queue.close()
+
+        reloaded = FabricQueue(tmp_path / "queue.jsonl")
+        reloaded.load()
+        assert reloaded.sweep_by_token("sub-abc").sweep_id == "sweep-0"
+
+
+class TestCompaction:
+    def churn(self, queue, rounds, now=0.0):
+        """Burn journal records: failed attempts fold away in a snapshot."""
+        for round_number in range(rounds):
+            queue.claim("w1", lease_seconds=10, now=now + round_number)
+            queue.complete("k1", failure(), token=f"t-{now}-{round_number}")
+
+    def test_journal_size_bounded_across_three_cycles(self, tmp_path):
+        queue = make_queue(
+            tmp_path, retry=RetryPolicy(max_retries=100, backoff_base=0.0),
+            cells=("k1",),
+        )
+        path = tmp_path / "queue.jsonl"
+        sizes = []
+        for cycle in range(3):
+            self.churn(queue, rounds=20, now=cycle * 100.0)
+            queue.compact()
+            sizes.append(path.stat().st_size)
+        assert queue.compactions == 3
+        # Snapshot size grows only with *state* (here: one more token per
+        # churn round), never with history — 20 failed attempts fold into
+        # one record, so consecutive snapshots stay within a small factor
+        # while the un-compacted journal would have tripled.
+        assert sizes[2] < sizes[0] * 3
+        reloaded = FabricQueue(path)
+        reloaded.load()
+        assert reloaded.cells["k1"].attempts == 60
+        assert reloaded.cells["k1"].state == CELL_PENDING
+
+    def test_compacted_journal_reloads_identical_state(self, tmp_path):
+        queue = make_queue(tmp_path, retry=RETRY_ONCE, cells=("k1", "k2"))
+        queue.claim("w1", lease_seconds=10, now=0.0)
+        queue.claim("w1", lease_seconds=10, now=0.0)
+        queue.complete("k1", failure(), token="t-1")  # retry
+        queue.complete("k2", metrics(cycles=5), token="t-2")  # done
+        queue.compact()
+        queue.close()
+
+        reloaded = FabricQueue(tmp_path / "queue.jsonl")
+        reloaded.load()
+        assert reloaded.cells["k1"].state == CELL_PENDING
+        assert reloaded.cells["k1"].attempts == 1
+        assert reloaded.cells["k1"].last_failure == failure()
+        assert reloaded.cells["k1"].tokens == {"t-1": "retry"}
+        assert reloaded.cells["k2"].done
+        assert reloaded.cells["k2"].outcome.cycles == 5
+        assert reloaded.cells["k2"].tokens == {"t-2": "done"}
+        assert reloaded.sweeps["sweep-0"].cells == ["k1", "k2"]
+
+    def test_auto_compaction_triggers_and_stays_consistent(self, tmp_path):
+        queue = FabricQueue(tmp_path / "queue.jsonl", compact_every=5)
+        queue.submit(
+            "sweep-0",
+            [(f"k{i}", request_dict(name=f"wl-{i}")) for i in range(4)],
+            retry=NO_RETRY,
+        )
+        for i in range(4):
+            queue.claim("w1", lease_seconds=10, now=float(i))
+            queue.complete(f"k{i}", metrics(cycles=i + 1), token=f"t-{i}")
+        assert queue.compactions >= 1
+        queue.close()
+
+        reloaded = FabricQueue(tmp_path / "queue.jsonl")
+        reloaded.load()
+        assert all(reloaded.cells[f"k{i}"].done for i in range(4))
+        assert [reloaded.cells[f"k{i}"].outcome.cycles for i in range(4)] == [1, 2, 3, 4]
+
+    def test_torn_snapshot_tmp_discarded_on_load(self, tmp_path):
+        """kill -9 mid-snapshot: the tmp file is garbage but the journal is
+        still complete — load must use the journal and drop the tmp."""
+        queue = make_queue(tmp_path, cells=("k1",))
+        queue.claim("w1", lease_seconds=10, now=0.0)
+        queue.complete("k1", metrics(cycles=9))
+        queue.close()
+        tmp = tmp_path / "queue.jsonl.compact"
+        tmp.write_text('{"kind": "cell", "key": "k1", "requ')  # torn snapshot
+
+        reloaded = FabricQueue(tmp_path / "queue.jsonl")
+        reloaded.load()
+        assert not tmp.exists()
+        assert reloaded.cells["k1"].outcome.cycles == 9
+
+    def test_crash_during_rename_recovers(self, tmp_path, monkeypatch):
+        """kill -9 between snapshot fsync and rename: os.replace never ran,
+        the old journal is untouched, and a restart recovers everything."""
+        import repro.fabric.queue as queue_module
+
+        queue = make_queue(tmp_path, cells=("k1", "k2"))
+        queue.claim("w1", lease_seconds=10, now=0.0)
+        queue.complete("k1", metrics(cycles=3))
+
+        def crash(*_args):
+            raise OSError("simulated kill -9 at the rename point")
+
+        monkeypatch.setattr(queue_module.os, "replace", crash)
+        with pytest.raises(OSError):
+            queue.compact()
+        monkeypatch.undo()
+
+        reloaded = FabricQueue(tmp_path / "queue.jsonl")
+        reloaded.load()
+        assert reloaded.cells["k1"].outcome.cycles == 3
+        assert reloaded.cells["k2"].state == CELL_PENDING
+        assert reloaded.sweeps["sweep-0"].cells == ["k1", "k2"]
+
+    def test_queue_usable_after_compaction(self, tmp_path):
+        """Compaction closes and reopens the journal handle; appends after
+        it must land in the *new* journal and survive a restart."""
+        queue = make_queue(tmp_path, cells=("k1", "k2"))
+        queue.claim("w1", lease_seconds=10, now=0.0)
+        queue.complete("k1", metrics(cycles=1))
+        queue.compact()
+        queue.claim("w1", lease_seconds=10, now=1.0)
+        queue.complete("k2", metrics(cycles=2))
+        queue.close()
+
+        reloaded = FabricQueue(tmp_path / "queue.jsonl")
+        reloaded.load()
+        assert reloaded.cells["k2"].outcome.cycles == 2
+
+    def test_compact_every_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="compact_every"):
+            FabricQueue(tmp_path / "q.jsonl", compact_every=0)

@@ -272,6 +272,172 @@ class TestLeaseExpiryEndToEnd:
             reborn.close()
 
 
+class TestHardening:
+    """Wire-v3 hardening: admission control, /v1/health, idempotency-token
+    dedup on submissions and completions, artifact CRC-32."""
+
+    def submit_payload(self, names=("lam",), token=None, retries=None):
+        execution = None
+        if retries is not None:
+            execution = ExecutionPolicy(retries=retries).to_dict()
+        payload = envelope(
+            requests=[r.to_dict() for r in requests_for(names)],
+            execution=execution,
+        )
+        if token is not None:
+            payload["token"] = token
+        return payload
+
+    def shaped_payload(self, iterations, token=None):
+        """A 2-cell submission whose *shape* (not just name) varies with
+        ``iterations`` — names are rebranded out of the content-addressed
+        cache key, so distinct shapes are what make distinct cells."""
+        from repro.workloads import make_indirect_stream
+
+        requests = [
+            RunRequest(
+                workload=make_indirect_stream(
+                    f"wl-{iterations}", table_words=64, iterations=iterations, seed=0
+                ),
+                config=config,
+                attack_model=AttackModel.SPECTRE,
+                max_instructions=2_000,
+            )
+            for config in CONFIGS
+        ]
+        payload = envelope(requests=[r.to_dict() for r in requests], execution=None)
+        if token is not None:
+            payload["token"] = token
+        return payload
+
+    def test_admission_full_raises_then_admits_after_drain(self, tmp_path):
+        scheduler = FabricScheduler(tmp_path / "state", max_pending=2)
+        try:
+            from repro.fabric.scheduler import AdmissionFull
+
+            scheduler.submit(self.shaped_payload(16))  # 2 cells pending
+            with pytest.raises(AdmissionFull) as excinfo:
+                scheduler.submit(self.shaped_payload(18))
+            assert excinfo.value.retry_after > 0
+            # Drain one cell; the *resubmission* of the same two cells is
+            # admitted (its keys are already known, so incoming is 0).
+            claimed = scheduler.claim(envelope(worker="w"))
+            from repro.fabric.wire import encode_outcome
+
+            scheduler.complete(
+                claimed["cell"]["key"],
+                envelope(
+                    worker="w",
+                    outcome=encode_outcome(
+                        RunMetrics(
+                            workload="wl-16",
+                            config="Unsafe",
+                            attack_model=AttackModel.SPECTRE,
+                            cycles=1,
+                            instructions=1,
+                        )
+                    ),
+                ),
+            )
+            scheduler.submit(self.shaped_payload(16))
+        finally:
+            scheduler.close()
+
+    def test_admission_over_http_is_429_with_retry_after(self, tmp_path):
+        scheduler = FabricScheduler(tmp_path / "state", max_pending=1)
+        server = make_server(scheduler, port=0)
+        thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.02}, daemon=True
+        )
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            transport = HttpTransport(url)
+            status, _, _ = transport.exchange(
+                "POST", "/v1/sweeps", self.submit_payload(("xi",))
+            )
+            assert status == 429
+            _, text, headers = transport.exchange(
+                "POST", "/v1/sweeps", self.submit_payload(("xi",))
+            )
+            assert float(headers["retry-after"]) >= 1
+            assert "max_pending" in text
+        finally:
+            server.shutdown()
+            server.server_close()
+            scheduler.close()
+            thread.join(timeout=5)
+
+    def test_health_endpoint(self, fabric):
+        url, scheduler = fabric
+        FabricClient(url).submit(requests_for(("omicron",)))
+        reply = HttpTransport(url).get_json("/v1/health")
+        assert reply["ok"] is True
+        assert reply["pending"] == len(CONFIGS)
+        assert reply["leased"] == 0
+        assert reply["done"] == 0
+        assert reply["uptime"] >= 0
+        assert reply["max_pending"] is None
+        assert reply["lease_seconds"] == scheduler.lease_seconds
+        assert reply["compactions"] == scheduler.queue.compactions
+
+    def test_duplicate_submission_token_resolves_to_original_sweep(self, fabric):
+        url, scheduler = fabric
+        transport = HttpTransport(url)
+        first = transport.post_json(
+            "/v1/sweeps", self.submit_payload(("pi",), token="sub-1")
+        )
+        again = transport.post_json(
+            "/v1/sweeps", self.submit_payload(("pi",), token="sub-1")
+        )
+        assert again["sweep_id"] == first["sweep_id"]
+        assert again["keys"] == first["keys"]
+        assert again.get("deduplicated") is True
+        assert len(scheduler.queue.sweeps) == 1
+
+    def test_duplicate_completion_token_replays_without_renarration(self, tmp_path):
+        scheduler = FabricScheduler(tmp_path / "state")
+        try:
+            from repro.fabric.wire import encode_outcome
+
+            reply = scheduler.submit(self.submit_payload(("rho",)))
+            sweep_id = reply["sweep_id"]
+            claimed = scheduler.claim(envelope(worker="w"))
+            key = claimed["cell"]["key"]
+            outcome = RunMetrics(
+                workload="rho",
+                config="Unsafe",
+                attack_model=AttackModel.SPECTRE,
+                cycles=10,
+                instructions=8,
+            )
+            completion = envelope(
+                worker="w", outcome=encode_outcome(outcome), token="w:k:1"
+            )
+            first = scheduler.complete(key, completion)
+            assert first["decision"] == "done"
+            events_before = scheduler.events_since(sweep_id, 0)
+
+            replay = scheduler.complete(key, completion)
+            assert replay["decision"] == "done"
+            assert replay.get("replayed") is True
+            # The duplicated delivery must not re-narrate the terminal event.
+            assert scheduler.events_since(sweep_id, 0) == events_before
+        finally:
+            scheduler.close()
+
+    def test_artifact_payload_carries_matching_crc(self, fabric, tmp_path):
+        from repro.fabric.wire import payload_crc32
+
+        url, _ = fabric
+        run_worker(url, tmp_path)
+        request = requests_for(("sigma",))[0]
+        client = FabricClient(url, poll_interval=0.02)
+        client.run_many([request])
+        payload = HttpTransport(url).get_json(f"/v1/artifacts/{cache_key(request)}")
+        assert payload["crc32"] == payload_crc32(payload["metrics"])
+
+
 class TestWorkerCaches:
     def test_local_cache_answers_without_execution(self, fabric, tmp_path):
         url, scheduler = fabric

@@ -1,0 +1,262 @@
+"""Transport hardening tests: retry/backoff determinism (hypothesis),
+circuit-breaker transitions, 429 compliance, and the torn-JSONL rule —
+all against scripted in-memory transports, no sockets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.transport import (
+    CircuitBreaker,
+    CircuitOpenError,
+    FabricError,
+    HttpTransport,
+    RetryingTransport,
+    TransportPolicy,
+)
+
+PATHS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789/-_", min_size=1, max_size=40
+)
+
+
+class ScriptedTransport:
+    """An ``exchange``-compatible fake: each script entry is either
+    ``FabricError`` (raise one), or a ``(status, text, headers)`` tuple.
+    An exhausted script answers 200 ``{}``."""
+
+    base_url = "http://scripted"
+
+    def __init__(self, *script):
+        self.script = list(script)
+        self.calls = []
+
+    def exchange(self, method, path, payload=None, *, idempotent=False):
+        self.calls.append((method, path, idempotent))
+        if not self.script:
+            return 200, "{}", {}
+        action = self.script.pop(0)
+        if action is FabricError:
+            raise FabricError("scripted transport failure")
+        return action
+
+
+def retrying(*script, policy=None, clock=None):
+    sleeps = []
+    kwargs = {"policy": policy or TransportPolicy(), "sleep": sleeps.append}
+    if clock is not None:
+        kwargs["clock"] = clock
+    transport = RetryingTransport(ScriptedTransport(*script), **kwargs)
+    return transport, sleeps
+
+
+class TestBackoffDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        path=PATHS,
+        attempt=st.integers(min_value=2, max_value=12),
+        seed_base=st.floats(min_value=0.001, max_value=1.0),
+    )
+    def test_delay_reproducible_per_path_attempt(self, path, attempt, seed_base):
+        """Two independently built transports over the same policy agree on
+        every (path, attempt) delay — the schedule is a pure function."""
+        policy = TransportPolicy(backoff_base=seed_base)
+        first = RetryingTransport(ScriptedTransport(), policy=policy)
+        second = RetryingTransport(ScriptedTransport(), policy=policy)
+        assert first.delay(path, attempt) == second.delay(path, attempt)
+
+    @settings(max_examples=60, deadline=None)
+    @given(path=PATHS, attempt=st.integers(min_value=2, max_value=40))
+    def test_delay_respects_cap(self, path, attempt):
+        policy = TransportPolicy(backoff_base=0.05, backoff_max=0.4, jitter=0.1)
+        transport = RetryingTransport(ScriptedTransport(), policy=policy)
+        delay = transport.delay(path, attempt)
+        assert 0.0 <= delay <= policy.backoff_max * (1.0 + policy.jitter)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        path=st.sampled_from(["/v1/ping", "/v1/cells/claim", "/v1/sweeps"]),
+        attempt=st.integers(min_value=2, max_value=8),
+    )
+    def test_delay_varies_by_path(self, path, attempt):
+        """Jitter is keyed on the path: distinct endpoints do not share an
+        exact retry instant (anti-thundering-herd)."""
+        transport = RetryingTransport(
+            ScriptedTransport(), policy=TransportPolicy(jitter=0.5)
+        )
+        other = "/some/other/path"
+        assert transport.delay(path, attempt) != transport.delay(other, attempt)
+
+
+class TestRetryLoop:
+    def test_get_retries_transient_then_succeeds(self):
+        transport, sleeps = retrying(FabricError, FabricError, (200, '{"ok":1}', {}))
+        assert transport.get_json("/v1/ping") == {"ok": 1}
+        assert transport.stats["retries"] == 2
+        assert len(sleeps) == 2
+        # The waits are exactly the deterministic schedule, in order.
+        assert sleeps == [transport.delay("/v1/ping", 2), transport.delay("/v1/ping", 3)]
+
+    def test_non_idempotent_post_never_retried(self):
+        transport, sleeps = retrying(FabricError)
+        with pytest.raises(FabricError):
+            transport.post_json("/v1/cells/claim", {})
+        assert sleeps == []
+        assert transport.stats["retries"] == 0
+
+    def test_idempotent_post_retried(self):
+        transport, _ = retrying(FabricError, (200, "{}", {}))
+        assert transport.post_json("/v1/cells/k/complete", {}, idempotent=True) == {}
+        assert transport.stats["retries"] == 1
+
+    def test_retry_budget_exhausted_raises(self):
+        policy = TransportPolicy(retries=2, breaker_threshold=0)
+        transport, sleeps = retrying(
+            FabricError, FabricError, FabricError, policy=policy
+        )
+        with pytest.raises(FabricError):
+            transport.get_json("/v1/ping")
+        assert len(sleeps) == 2  # two retries, then the third failure surfaces
+
+    def test_undecodable_json_is_fabric_error(self):
+        transport, _ = retrying((200, "garbage{{", {}), policy=TransportPolicy(retries=0, breaker_threshold=0))
+        with pytest.raises(FabricError, match="undecodable"):
+            transport.get_json("/v1/ping")
+
+    def test_corrupt_json_body_refetched(self):
+        """A well-framed 200 whose JSON body is garbage (in-flight byte
+        corruption) is retried like a connection error — for retry-safe
+        requests — instead of surfacing the garbage."""
+        garbage = (200, "}{corrupt", {"content-type": "application/json"})
+        transport, _ = retrying(garbage, (200, '{"ok":1}', {}))
+        assert transport.get_json("/v1/ping") == {"ok": 1}
+        assert transport.stats["retries"] == 1
+
+    def test_corrupt_json_body_not_retried_for_plain_post(self):
+        garbage = (200, "}{corrupt", {"content-type": "application/json"})
+        transport, sleeps = retrying(garbage)
+        with pytest.raises(FabricError, match="undecodable"):
+            transport.post_json("/v1/cells/claim", {})
+        assert sleeps == []
+
+    def test_429_retried_even_for_non_idempotent_post(self):
+        """Admission control: the request was not processed, so the retry is
+        safe regardless of idempotency — and Retry-After is honoured."""
+        transport, sleeps = retrying(
+            (429, '{"error":"full"}', {"retry-after": "7"}),
+            (200, '{"sweep_id":"s"}', {}),
+        )
+        assert transport.post_json("/v1/sweeps", {}) == {"sweep_id": "s"}
+        assert sleeps and sleeps[0] >= 7.0
+
+    def test_429_does_not_trip_breaker(self):
+        policy = TransportPolicy(retries=1, breaker_threshold=1)
+        transport, _ = retrying(
+            (429, "{}", {}), (200, "{}", {}), policy=policy
+        )
+        transport.post_json("/v1/sweeps", {})
+        assert transport.breaker.state == CircuitBreaker.CLOSED
+
+
+class TestCircuitBreaker:
+    def test_open_half_open_closed_cycle_exact(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(2, 10.0, clock=lambda: clock[0])
+        assert breaker.allow() and breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED  # 1 < threshold
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN  # threshold hit
+        assert not breaker.allow()
+        clock[0] = 9.999
+        assert not breaker.allow()  # reset timer not yet elapsed
+        clock[0] = 10.0
+        assert breaker.allow()  # exactly at the timer: half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # only one probe until it settles
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failures == 0
+
+    def test_half_open_failure_reopens_with_fresh_timer(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(1, 5.0, clock=lambda: clock[0])
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock[0] = 5.0
+        assert breaker.allow()  # half-open
+        breaker.record_failure()  # probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        clock[0] = 9.0  # 4s after reopening — timer restarted, still open
+        assert not breaker.allow()
+        clock[0] = 10.0
+        assert breaker.allow()
+
+    def test_threshold_zero_disables(self):
+        breaker = CircuitBreaker(0, 1.0, clock=lambda: 0.0)
+        for _ in range(50):
+            breaker.record_failure()
+        assert breaker.allow()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        threshold=st.integers(min_value=1, max_value=6),
+        failures=st.integers(min_value=0, max_value=12),
+    )
+    def test_trips_exactly_at_threshold(self, threshold, failures):
+        breaker = CircuitBreaker(threshold, 1.0, clock=lambda: 0.0)
+        for _ in range(failures):
+            breaker.record_failure()
+        assert (breaker.state == CircuitBreaker.OPEN) == (failures >= threshold)
+
+    def test_transport_fastfails_when_open(self):
+        clock = [0.0]
+        policy = TransportPolicy(retries=0, breaker_threshold=1, breaker_reset=60.0)
+        transport, _ = retrying(
+            FabricError, (200, "{}", {}), policy=policy, clock=lambda: clock[0]
+        )
+        with pytest.raises(FabricError):
+            transport.get_json("/v1/ping")
+        with pytest.raises(CircuitOpenError):
+            transport.get_json("/v1/ping")
+        assert transport.stats["breaker_fastfails"] == 1
+        clock[0] = 60.0  # half-open probe succeeds and closes the breaker
+        assert transport.get_json("/v1/ping") == {}
+        assert transport.breaker.state == CircuitBreaker.CLOSED
+
+
+class TestGetLines:
+    def test_torn_trailing_line_skipped(self):
+        body = '{"seq": 0}\n{"seq": 1}\n{"seq": 2, "kind": "fini'
+        transport = RetryingTransport(ScriptedTransport((200, body, {})))
+        records = transport.get_lines("/v1/sweeps/s/events")
+        assert [r["seq"] for r in records] == [0, 1]
+
+    def test_torn_midstream_line_raises(self):
+        body = '{"seq": 0}\n{"seq": 1, "kind": "fini\n{"seq": 2}'
+        transport = RetryingTransport(
+            ScriptedTransport((200, body, {})),
+            policy=TransportPolicy(retries=0, breaker_threshold=0),
+        )
+        with pytest.raises(FabricError, match="mid-stream"):
+            transport.get_lines("/v1/sweeps/s/events")
+
+    def test_raw_http_transport_shares_the_torn_tail_rule(self):
+        """Regression: HttpTransport.get_lines used to raise on a torn tail
+        (scheduler restarted mid-stream); it now skips it like the journal."""
+        transport = HttpTransport("http://127.0.0.1:1")
+        transport.exchange = lambda *a, **k: (200, '{"seq": 0}\n{"to', {})
+        assert transport.get_lines("/v1/x") == [{"seq": 0}]
+
+
+class TestPolicy:
+    def test_round_trip(self):
+        policy = TransportPolicy(retries=7, backoff_max=1.5, breaker_threshold=2)
+        assert TransportPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransportPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            TransportPolicy(breaker_reset=0.0)

@@ -1,0 +1,149 @@
+"""Worker-agent hardening tests: artifact payloads that lie (malformed,
+checksum-mismatched), idempotent completion delivery, and prompt shutdown
+out of the delivery retry loop — all against duck-typed fake transports,
+no sockets and no subprocesses."""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.config import AttackModel
+from repro.fabric.transport import FabricError
+from repro.fabric.wire import payload_crc32
+from repro.fabric.worker import WorkerAgent
+from repro.sim.api import RunMetrics
+
+
+def metrics(cycles=123):
+    return RunMetrics(
+        workload="wl",
+        config="Hybrid",
+        attack_model=AttackModel.SPECTRE,
+        cycles=cycles,
+        instructions=80,
+    )
+
+
+class FakeTransport:
+    """Duck-typed stand-in for the worker's transport: scripted artifact
+    replies and a scripted completion behaviour."""
+
+    def __init__(self, *, artifact=None, complete_failures=0):
+        self.artifact = artifact
+        self.complete_failures = complete_failures
+        self.completions = []
+
+    def get_json_or_none(self, path):
+        if callable(self.artifact):
+            return self.artifact()
+        return self.artifact
+
+    def post_json(self, path, payload, *, idempotent=False):
+        if "/complete" in path:
+            self.completions.append((path, payload, idempotent))
+            if self.complete_failures > 0:
+                self.complete_failures -= 1
+                raise FabricError("scripted delivery failure")
+            return {"decision": "done"}
+        return {}
+
+
+def agent_with(transport, **kwargs):
+    agent = WorkerAgent("http://127.0.0.1:1", worker_id="w-test", **kwargs)
+    agent.transport = transport
+    return agent
+
+
+class TestFetchArtifact:
+    def test_good_artifact_with_matching_crc(self):
+        payload = metrics().to_dict()
+        transport = FakeTransport(
+            artifact={"metrics": payload, "crc32": payload_crc32(payload)}
+        )
+        agent = agent_with(transport)
+        assert agent._fetch_artifact("k") == metrics()
+        assert agent.stats["artifact_corrupt"] == 0
+
+    def test_crc_mismatch_is_a_miss(self):
+        payload = metrics().to_dict()
+        transport = FakeTransport(
+            artifact={"metrics": payload, "crc32": payload_crc32(payload) ^ 1}
+        )
+        agent = agent_with(transport)
+        assert agent._fetch_artifact("k") is None
+        assert agent.stats["artifact_corrupt"] == 1
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},  # missing "metrics" entirely
+            {"metrics": "garbage"},  # wrong type
+            {"metrics": {"workload": "wl"}},  # missing required fields
+            {"metrics": {"workload": "wl", "config": "c", "attack_model": "??",
+                         "cycles": 1, "instructions": 1}},  # bad enum
+        ],
+    )
+    def test_malformed_payload_is_a_miss_not_a_crash(self, payload):
+        """Regression: a malformed artifact payload used to escape
+        ``_fetch_artifact`` and kill the worker loop; it is a miss now."""
+        agent = agent_with(FakeTransport(artifact=payload))
+        assert agent._fetch_artifact("k") is None
+        assert agent.stats["artifact_corrupt"] == 1
+
+    def test_miss_falls_through_to_execution(self):
+        agent = agent_with(FakeTransport(artifact={}))  # malformed → miss
+        executed = []
+        agent._execute = lambda key, cell: (executed.append(key) or (metrics(), 0.5))
+        outcome, wall = agent._resolve("k", {"key": "k", "request": {}})
+        assert executed == ["k"]
+        assert outcome == metrics()
+
+
+class TestDeliver:
+    def test_token_stable_across_delivery_retries(self):
+        """The idempotency token must not change between re-sends of the
+        same execution — that is what lets the scheduler deduplicate."""
+        transport = FakeTransport(complete_failures=2)
+        agent = agent_with(transport, poll_interval=0.001)
+        agent._deliver("k", metrics(), 0.1, attempt=3)
+        assert len(transport.completions) == 3
+        tokens = {payload["token"] for _, payload, _ in transport.completions}
+        assert tokens == {"w-test:k:3"}
+        assert all(idempotent for _, _, idempotent in transport.completions)
+        assert agent.stats["delivery_failures"] == 0
+
+    def test_distinct_attempts_get_distinct_tokens(self):
+        transport = FakeTransport()
+        agent = agent_with(transport)
+        agent._deliver("k", metrics(), 0.1, attempt=1)
+        agent._deliver("k", metrics(), 0.1, attempt=2)
+        first, second = (p["token"] for _, p, _ in transport.completions)
+        assert first != second
+
+    def test_stop_interrupts_backoff_promptly(self):
+        """Regression for the satellite: ``_deliver`` used ``time.sleep``,
+        so ``stop()`` could stall shutdown by a full backoff interval.  With
+        ``_stop.wait`` the retry loop exits as soon as stop is set."""
+
+        class AlwaysFailing(FakeTransport):
+            def post_json(self, path, payload, *, idempotent=False):
+                raise FabricError("scheduler gone")
+
+        agent = agent_with(AlwaysFailing())
+        # Make the schedule long enough that a non-interruptible sleep
+        # would visibly stall the join below.
+        agent.transport_policy = agent.transport_policy.__class__(
+            backoff_base=30.0, backoff_max=30.0
+        )
+        thread = threading.Thread(
+            target=agent._deliver, args=("k", metrics(), 0.1), daemon=True
+        )
+        started = time.monotonic()
+        thread.start()
+        time.sleep(0.05)
+        agent.stop()
+        thread.join(timeout=2.0)
+        assert not thread.is_alive()
+        assert time.monotonic() - started < 2.0
+        assert agent.stats["delivery_failures"] == 1
