@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Prove the gadget-scan CI gate actually fires.
+
+A scanner gate that silently passes everything is worse than no gate, so
+CI runs this script alongside ``repro scan``.  It checks three directions:
+
+1. The bundled corpus passes (exit 0) — the committed ``scan-baseline.json``
+   covers every known gadget and no new one has crept in.
+2. A freshly assembled bounds-check-bypass program FAILS (exit 1) and
+   names the ``gadget-v1`` checker — the taint dataflow is alive, not
+   vacuously green.
+3. A safe program (the transient value is killed before any transmit)
+   passes — the scanner is not crying wolf on everything with a branch.
+
+Usage:
+
+    python scripts/check_scan_gate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.isa.assembler import assemble  # noqa: E402
+
+#: A textbook Spectre-v1 gadget: past the bounds check, the speculative
+#: load's result addresses a second load.
+GADGET_SOURCE = """
+    li r1, 64
+    li r2, 8
+    bge r1, r2, done
+    load r3, r1, 0
+    shl r4, r3, r2
+    load r5, r4, 4096
+done:
+    halt
+"""
+
+#: Same shape, but the transient value is overwritten by an immediate
+#: before anything address-forming sees it.
+SAFE_SOURCE = """
+    li r1, 64
+    li r2, 8
+    bge r1, r2, done
+    load r3, r1, 0
+    li r3, 0
+    shl r4, r3, r2
+    load r5, r4, 4096
+done:
+    halt
+"""
+
+
+def run_scan(extra_args: list[str]) -> tuple[int, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "scan", *extra_args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def write_program(directory: Path, source: str, name: str) -> Path:
+    program = assemble(source, name=name)
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(program.to_dict()))
+    return path
+
+
+def main() -> int:
+    code, output = run_scan([])
+    if code != 0:
+        print(output)
+        print("FAIL: bundled corpus does not pass `repro scan`")
+        return 1
+    print("ok: bundled corpus passes the gate")
+
+    with tempfile.TemporaryDirectory(prefix="scan-gate-") as tmp:
+        directory = Path(tmp)
+        gadget = write_program(directory, GADGET_SOURCE, "injected_gadget")
+        code, output = run_scan(["--no-corpus", str(gadget)])
+        if code != 1 or "gadget-v1" not in output:
+            print(output)
+            print("FAIL: injected bounds-check-bypass gadget not flagged")
+            return 1
+        print("ok: injected gadget fails the gate and names gadget-v1")
+
+        safe = write_program(directory, SAFE_SOURCE, "killed_transient")
+        code, output = run_scan(["--no-corpus", str(safe)])
+        if code != 0:
+            print(output)
+            print("FAIL: safe control program was flagged")
+            return 1
+        print("ok: safe control program passes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,13 @@ GOLDEN_CELLS = [
     ("Hybrid", "futuristic"),
     ("SpecBox", "spectre"),
     ("DelayOnMiss", "spectre"),
+    ("Fence", "spectre"),
 ]
+
+#: Extra cell run on a deliberately starved machine so the occupancy/
+#: pressure counters (lq/sq/preg/fetch stalls, MSHR merges and stalls,
+#: evictions, obl failures + validations) all appear in the fixture.
+STRESS_CELL_KEY = "Stress/static-l1"
 
 
 def golden_workload():
@@ -41,6 +47,137 @@ def golden_workload():
     from repro.workloads import make_indirect_stream
 
     return make_indirect_stream("golden_stats_kernel", table_words=1024, iterations=80, seed=42)
+
+
+def stress_workload():
+    """A kernel shaped to exercise the pressure counters.
+
+    Two strided load streams plus an *indirect* load (its address comes
+    from a loaded value, so SDO issues it obliviously — and with the
+    pointed-to region far beyond the stress machine's tiny L1, the
+    Static-L1 prediction fails and validations are issued), three store
+    streams for SQ pressure, a footprint past the tiny L1/L2 (misses,
+    fills, evictions, MSHR merges on line-sharing iterations), and the
+    loop-closing branch as the *last* instruction so the cold not-taken
+    prediction runs fetch off the end of the program on the wrong path.
+    """
+    from dataclasses import replace
+
+    from repro.isa.assembler import assemble
+    from repro.workloads.workload import Workload
+
+    table_a = 1 << 22
+    table_b = (1 << 22) + (1 << 17)
+    table_c = 1 << 23
+    bound = (1 << 22) + (1 << 18)
+    bound2 = (1 << 22) + (1 << 19)
+    bound3 = (1 << 22) + (3 << 18)
+    out = 1 << 28
+    out2 = out + (1 << 17)
+    iterations = 200
+    source = f"""
+        li r1, 0
+        li r12, 3
+        li r13, 6
+        li r21, 48
+        li r22, 1
+        jmp loop
+    done:
+        halt
+    ; --- phase 1: load pressure + oblivious (tainted-address) loads ---
+    loop:
+        shl r3, r1, r12
+        andi r4, r3, 8191
+        shl r14, r1, r13
+        andi r14, r14, 32767
+        load r9, r14, {bound}    ; cold per-iteration bound: slow resolve
+        load r5, r4, {table_a}   ; warm index stream: returns fast, tainted
+        load r6, r4, {table_b}   ; second stream
+        load r10, r4, {table_b + 8}  ; same line as previous -> MSHR merge
+        load r8, r5, {table_c}   ; indirect: tainted address -> Obl issue
+        add r7, r5, r6
+        add r11, r10, r8
+        add r7, r7, r11
+        store r7, r4, {out}
+        store r11, r4, {out2}
+        addi r1, r1, 1
+        bge r1, r9, p2           ; waits on the cold bound every iteration
+        jmp loop
+    ; --- phase 2: store-queue pressure behind a cold load ---
+    p2:
+        li r20, 0
+    p2loop:
+        shl r14, r20, r13
+        andi r14, r14, 32767
+        load r5, r14, {bound2}   ; cold: blocks commit
+        add r6, r5, r1
+        store r6, r14, {out + (1 << 18)}
+        store r1, r14, {out + (1 << 19)}
+        store r20, r14, {out + (1 << 20)}
+        store r12, r14, {out + (1 << 21)}
+        addi r20, r20, 1
+        blt r20, r21, p2loop
+    ; --- phase 3: physical-register pressure behind a cold load ---
+        li r20, 0
+    p3loop:
+        shl r14, r20, r13
+        andi r14, r14, 32767
+        load r5, r14, {bound3}   ; cold: blocks commit, dests pile up
+        addi r15, r1, 1
+        addi r16, r1, 2
+        addi r17, r1, 3
+        addi r18, r1, 4
+        addi r19, r1, 5
+        addi r23, r1, 6
+        addi r24, r1, 7
+        addi r25, r1, 8
+        addi r20, r20, 1
+        bge r20, r21, done
+        blt r0, r22, p3loop  ; always taken; last index, so the cold
+                             ; not-taken prediction fetches off the end
+    """
+    program = assemble(source, name="golden_stress_kernel")
+    # Spread the indirect targets over 512 KiB so Static-L1 predictions
+    # miss; keep them word-aligned.  Each bound cell (stride 64) holds the
+    # trip count, so the phase-1 exit branch waits on a cold load every
+    # iteration — keeping the loads behind it speculative (and tainted)
+    # long enough to issue obliviously.
+    image = {
+        table_a + 8 * i: (i * 2654435761 % (1 << 19)) & ~7 for i in range(1024)
+    }
+    image.update({bound + 64 * i: iterations for i in range(512)})
+    program = replace(program, initial_memory=image)
+    return Workload(
+        name="golden_stress_kernel",
+        program=program,
+        # Warm the index stream so its loads return (tainted) while the
+        # cold bound branch is still unresolved.
+        warm_addresses=tuple(range(table_a, table_a + 8192, 64)),
+        description="pressure-counter stress kernel for the golden fixture",
+        max_cycles=2_000_000,
+    )
+
+
+def stress_machine():
+    """A starved machine: tiny queues, register files, caches and MSHRs."""
+    from repro.common.config import CacheConfig, CoreConfig, MachineConfig
+
+    return MachineConfig(
+        core=CoreConfig(
+            fetch_width=2,
+            decode_width=2,
+            issue_width=2,
+            commit_width=2,
+            rob_entries=48,
+            lq_entries=10,
+            sq_entries=6,
+            iq_entries=16,
+            phys_int_regs=56,
+            phys_fp_regs=20,
+        ),
+        l1d=CacheConfig("L1D", 1024, 64, 2, 2, banks=2, ports=2, mshrs=2),
+        l2=CacheConfig("L2", 8 * 1024, 64, 4, 12, banks=2, mshrs=2),
+    )
 
 
 def collect() -> dict:
@@ -57,6 +194,13 @@ def collect() -> dict:
             attack_model=AttackModel(model),
         )
         cells[f"{config_name}/{model}"] = execute(request).to_dict()
+    stress_request = RunRequest(
+        workload=stress_workload(),
+        config=config_by_name("Static L1"),
+        attack_model=AttackModel.SPECTRE,
+        machine=stress_machine(),
+    )
+    cells[STRESS_CELL_KEY] = execute(stress_request).to_dict()
     return {
         "_comment": "Generated by scripts/refresh_golden_stats.py; do not edit.",
         "cells": cells,

@@ -23,6 +23,9 @@ Commands:
 * ``lint``     — run the sdolint invariant checkers (oblivious-timing,
                  stat-key, determinism, cache-schema, event-schema)
                  against the committed ratchet baseline
+* ``scan``     — run the static speculative-taint gadget scanner over
+                 the bundled corpus (and any extra program JSON files)
+                 against its own ratchet baseline
 """
 
 from __future__ import annotations
@@ -68,13 +71,18 @@ def _cmd_interfere(args) -> int:
     rows = []
     for config in EVALUATED_CONFIGS:
         result = run_forward_interference(config, AttackModel(args.model))
+        divergence = result.divergence
         rows.append([
             config.name,
             "LEAKED" if result.leaked else "blocked",
             f"{result.delta_cycles:+d}",
+            (f"event {divergence.event_index}: "
+             f"{divergence.baseline_event} != {divergence.divergent_event}")
+            if divergence is not None else "-",
         ])
     print(render_table(
-        ["configuration", "outcome", "cycle delta"], rows,
+        ["configuration", "outcome", "cycle delta", "first trace divergence"],
+        rows,
         title=f"forward speculative interference, model={args.model}",
     ))
     return 0
@@ -553,6 +561,13 @@ def main(argv=None) -> int:
     )
     add_lint_arguments(lint)
 
+    from repro.scan.cli import add_scan_arguments
+
+    scan = sub.add_parser(
+        "scan", help="run the static gadget scanner (ratcheted gate)"
+    )
+    add_scan_arguments(scan)
+
     args = parser.parse_args(argv)
     if getattr(args, "resume", False) and not getattr(args, "journal", None):
         parser.error("--resume requires --journal FILE")
@@ -560,6 +575,10 @@ def main(argv=None) -> int:
         from repro.lint.cli import run_lint_command
 
         return run_lint_command(args)
+    if args.command == "scan":
+        from repro.scan.cli import run_scan_command
+
+        return run_scan_command(args)
     handlers = {
         "info": _cmd_info,
         "spectre": _cmd_spectre,

@@ -13,9 +13,13 @@ compare them head-to-head:
 * :class:`~repro.baselines.delay_on_miss.DelayOnMissProtection` —
   delay-on-miss (Sakalis et al. / InvisiSpec-family): speculative loads
   that hit the L1 proceed; misses are delayed to the visibility point.
+* :class:`~repro.baselines.fence.FenceProtection` — fence-on-every-load:
+  every speculative load is delayed to its visibility point, the
+  worst-case conservative scheme every other baseline improves on.
 """
 
 from repro.baselines.delay_on_miss import DelayOnMissProtection
+from repro.baselines.fence import FenceProtection
 from repro.baselines.specbox import SpecBoxProtection
 
-__all__ = ["DelayOnMissProtection", "SpecBoxProtection"]
+__all__ = ["DelayOnMissProtection", "FenceProtection", "SpecBoxProtection"]

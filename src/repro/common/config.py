@@ -88,6 +88,9 @@ class ProtectionKind(enum.Enum):
     #: Delay-on-miss / InvisiSpec-style: speculative L1 misses are delayed
     #: to the visibility point, speculative L1 hits proceed.
     DELAY_ON_MISS = "delay-on-miss"
+    #: Fence-on-every-load: every speculative load is delayed to its
+    #: visibility point — the worst-case conservative baseline.
+    FENCE = "fence"
 
 
 class PredictorKind(enum.Enum):
@@ -255,6 +258,8 @@ class ProtectionConfig:
             return "SpecBox"
         if self.kind is ProtectionKind.DELAY_ON_MISS:
             return "DelayOnMiss"
+        if self.kind is ProtectionKind.FENCE:
+            return "Fence"
         suffix = "{ld+fp}" if self.fp_transmitters else "{ld}"
         if self.kind is ProtectionKind.STT:
             return f"STT{suffix}"

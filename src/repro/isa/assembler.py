@@ -169,3 +169,53 @@ def assemble(
         )
 
     return Program(instructions, dict(initial_memory or {}), name=name)
+
+
+def _render_reg(reg: int) -> str:
+    return f"f{reg - FP_BASE}" if reg >= FP_BASE else f"r{reg}"
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program`` back to :func:`assemble`-able source.
+
+    The inverse of :func:`assemble` up to label naming: re-assembling the
+    output yields a program with identical opcodes, operands, immediates
+    and branch targets.  Branch targets are emitted as labels — the target
+    instruction's own ``label`` when it has one, a synthesized ``L<pc>``
+    otherwise.
+    """
+    labels: dict[int, str] = {
+        pc: inst.label
+        for pc, inst in enumerate(program.instructions)
+        if inst.label
+    }
+    used = set(labels.values())
+    for inst in program.instructions:
+        if inst.target is not None and inst.target not in labels:
+            name = f"L{inst.target}"
+            while name in used:
+                name += "_"
+            labels[inst.target] = name
+            used.add(name)
+    lines: list[str] = []
+    for pc, inst in enumerate(program.instructions):
+        if pc in labels:
+            lines.append(f"{labels[pc]}:")
+        operands: list[str] = []
+        sources = [reg for reg in (inst.rs1, inst.rs2) if reg is not None]
+        for kind in _SIGNATURES[inst.opcode]:
+            if kind == "d":
+                operands.append(_render_reg(inst.rd))
+            elif kind == "s":
+                operands.append(_render_reg(sources.pop(0)))
+            elif kind == "i":
+                operands.append(str(int(inst.imm)))
+            elif kind == "f":
+                operands.append(repr(float(inst.imm)))
+            elif kind == "t":
+                operands.append(labels[inst.target])
+        body = inst.opcode.mnemonic
+        if operands:
+            body += " " + ", ".join(operands)
+        lines.append("    " + body)
+    return "\n".join(lines) + "\n"

@@ -54,11 +54,11 @@ class Baseline:
             entry.pop("fingerprint", None)
         return cls(entries)
 
-    def write(self, path: Path) -> None:
+    def write(self, path: Path, command: str = "repro lint") -> None:
         payload = {
             "comment": (
                 "sdolint ratchet baseline: findings listed here do not fail the "
-                "gate.  Regenerate with `repro lint --write-baseline`; entries "
+                f"gate.  Regenerate with `{command} --write-baseline`; entries "
                 "should only ever be removed."
             ),
             "findings": {k: self.entries[k] for k in sorted(self.entries)},

@@ -1,0 +1,80 @@
+"""Static speculative-taint gadget scanner for micro-ISA programs.
+
+``repro.scan`` answers, *before any simulation*, the question the security
+harnesses answer dynamically: can this program leak a secret through
+speculative execution?  It reconstructs the program's CFG
+(:mod:`repro.scan.cfg`), walks bounded speculative windows past every
+conditional branch, and runs a forward taint dataflow whose sources are
+speculative load results and whose sinks are the resource-modulating
+operands of Definition 2 (:mod:`repro.scan.analyzer`).  Findings are
+emitted through the sdolint :class:`~repro.lint.findings.Finding` model,
+so ``repro scan`` (:mod:`repro.scan.cli`) gets suppressions and a
+ratcheted baseline for free.
+
+The scanner is *cross-validated*, not merely unit-tested: the bundled
+corpus (:mod:`repro.scan.corpus`) pairs each program with a twin whose
+memory differs only in the secret word, and :mod:`repro.scan.crossval`
+runs both through the full pipeline model asserting the static verdict
+matches observed dynamic non-interference — zero false negatives, and
+false positives only where an explicit ``unsound_ok`` annotation names
+the accepted model gap.
+"""
+
+from repro.scan.analyzer import (
+    CLASS_LATENCY,
+    CLASS_STORE,
+    CLASS_V1,
+    DEFAULT_WINDOW,
+    GADGET_CLASSES,
+    Gadget,
+    ScanReport,
+    scan_program,
+)
+from repro.scan.cfg import BasicBlock, ControlFlowGraph, build_cfg, successors
+from repro.scan.corpus import (
+    HAND_WRITTEN,
+    SOUP_SEEDS,
+    CorpusEntry,
+    entry_by_name,
+    full_corpus,
+    generated_entries,
+)
+from repro.scan.crossval import (
+    PROBE_ADDRESS,
+    SUPPRESSING_CONFIGS,
+    CrossValidation,
+    DynamicVerdict,
+    amplified_workload,
+    cross_validate,
+    run_dynamic,
+    sweep_signal,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CLASS_LATENCY",
+    "CLASS_STORE",
+    "CLASS_V1",
+    "ControlFlowGraph",
+    "CorpusEntry",
+    "CrossValidation",
+    "DEFAULT_WINDOW",
+    "DynamicVerdict",
+    "GADGET_CLASSES",
+    "Gadget",
+    "HAND_WRITTEN",
+    "PROBE_ADDRESS",
+    "SOUP_SEEDS",
+    "SUPPRESSING_CONFIGS",
+    "ScanReport",
+    "amplified_workload",
+    "build_cfg",
+    "cross_validate",
+    "entry_by_name",
+    "full_corpus",
+    "generated_entries",
+    "run_dynamic",
+    "scan_program",
+    "successors",
+    "sweep_signal",
+]

@@ -1,0 +1,108 @@
+"""Control-flow graph reconstruction over :class:`repro.isa.Program`.
+
+Every branch target in the micro-ISA is a static instruction index
+(``Instruction.target``), so the CFG is exact: no indirect-target
+over-approximation is needed.  Basic blocks are maximal single-entry
+straight-line runs; the per-instruction successor relation is what the
+speculative-window exploration actually walks, with blocks layered on
+top for reporting and sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+
+def successors(program: Program, pc: int) -> tuple[int, ...]:
+    """Architectural successor pcs of the instruction at ``pc``.
+
+    Conditional branches have two successors (fall-through first, taken
+    target second); JMP has one; HALT has none.  A fall-through off the
+    end of the program is dropped (the frontend would fault / fetch-stall
+    there, never execute).
+    """
+    inst = program[pc]
+    if inst.opcode is Opcode.HALT:
+        return ()
+    if inst.opcode is Opcode.JMP:
+        return (inst.target,) if inst.target is not None else ()
+    out = []
+    if pc + 1 < len(program):
+        out.append(pc + 1)
+    if inst.is_conditional_branch and inst.target is not None:
+        out.append(inst.target)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line run ``[start, end]`` (inclusive indices)."""
+
+    start: int
+    end: int
+    successors: tuple[int, ...]  # start pcs of successor blocks
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def pcs(self) -> range:
+        return range(self.start, self.end + 1)
+
+
+@dataclass
+class ControlFlowGraph:
+    """Basic blocks of a program, keyed by their start pc."""
+
+    program: Program
+    blocks: dict[int, BasicBlock] = field(default_factory=dict)
+
+    def block_of(self, pc: int) -> BasicBlock:
+        """The basic block containing ``pc``."""
+        starts = sorted(self.blocks)
+        lo, hi = 0, len(starts) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            block = self.blocks[starts[mid]]
+            if pc < block.start:
+                hi = mid - 1
+            elif pc > block.end:
+                lo = mid + 1
+            else:
+                return block
+        raise KeyError(f"pc {pc} not in any basic block")
+
+    @property
+    def conditional_branch_pcs(self) -> tuple[int, ...]:
+        return tuple(
+            pc
+            for pc in range(len(self.program))
+            if self.program[pc].is_conditional_branch
+        )
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Partition ``program`` into basic blocks.
+
+    Leaders are: pc 0, every branch target, and every instruction after a
+    branch or HALT.  Unreachable instructions still get blocks (the
+    speculative analysis can reach them through mispredicted paths, and
+    gadget corpora deliberately park payloads behind jumps).
+    """
+    n = len(program)
+    leaders = {0} if n else set()
+    for pc in range(n):
+        inst: Instruction = program[pc]
+        if inst.is_branch and inst.target is not None:
+            leaders.add(inst.target)
+        if (inst.is_branch or inst.opcode is Opcode.HALT) and pc + 1 < n:
+            leaders.add(pc + 1)
+    ordered = sorted(leaders)
+    cfg = ControlFlowGraph(program)
+    for i, start in enumerate(ordered):
+        end = (ordered[i + 1] - 1) if i + 1 < len(ordered) else n - 1
+        succ_pcs = successors(program, end)
+        cfg.blocks[start] = BasicBlock(start, end, tuple(succ_pcs))
+    return cfg

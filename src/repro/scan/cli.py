@@ -1,0 +1,163 @@
+"""``repro scan``: static speculative-taint gadget scanner.
+
+Scans the bundled corpus (and any extra program JSON files given on the
+command line) for speculative leak gadgets and reports them through the
+sdolint finding machinery: exit status is 0 when no finding exists outside
+the committed ratchet baseline, 1 otherwise.  The baseline doubles as the
+suppression mechanism — a known-unsound corpus entry's gadgets are
+ratcheted in, and any *new* gadget (a corpus regression or a gadget in a
+user-supplied program) fails the gate.
+
+Extra files may be either a bare :meth:`Program.to_dict` payload or a
+workload-style object with a ``"program"`` key.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import TextIO
+
+from repro.isa.program import Program
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.scan.analyzer import DEFAULT_WINDOW, scan_program
+from repro.scan.corpus import full_corpus
+
+BASELINE_NAME = "scan-baseline.json"
+
+
+def add_scan_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "programs", nargs="*", metavar="FILE",
+        help="extra program JSON files to scan (Program payloads, or "
+             "workload objects with a 'program' key)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW, metavar="N",
+        help=f"speculative-window horizon in instructions "
+             f"(default {DEFAULT_WINDOW}, the ROB depth)",
+    )
+    parser.add_argument(
+        "--no-corpus", action="store_true",
+        help="skip the bundled corpus; scan only the FILEs given",
+    )
+    parser.add_argument(
+        "--format", choices=["human", "json"], default="human",
+        help="output format (default human)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"ratchet baseline file (default <root>/{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current finding into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print findings already covered by the baseline",
+    )
+
+
+def _load_program(path: Path) -> Program:
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if "instructions" not in payload and isinstance(
+        payload.get("program"), dict
+    ):
+        payload = payload["program"]
+    return Program.from_dict(payload)
+
+
+def _collect_findings(args) -> tuple[list[Finding], int]:
+    findings: list[Finding] = []
+    scanned = 0
+    if not args.no_corpus:
+        for entry in full_corpus():
+            report = scan_program(
+                entry.program(), window=args.window,
+                path=f"corpus/{entry.name}",
+            )
+            findings.extend(report.to_findings())
+            scanned += 1
+    for raw in args.programs:
+        path = Path(raw)
+        report = scan_program(
+            _load_program(path), window=args.window, path=raw
+        )
+        findings.extend(report.to_findings())
+        scanned += 1
+    return findings, scanned
+
+
+def _default_baseline_path() -> Path:
+    # src/repro/scan/cli.py -> repo root is four levels up.
+    return Path(__file__).resolve().parents[3] / BASELINE_NAME
+
+
+def run_scan_command(args, out: TextIO | None = None) -> int:
+    out = out if out is not None else sys.stdout
+    try:
+        findings, scanned = _collect_findings(args)
+    except (OSError, ValueError, KeyError) as exc:
+        out.write(f"repro scan: {exc}\n")
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else _default_baseline_path()
+    )
+    if args.write_baseline:
+        Baseline.from_findings(findings).write(
+            baseline_path, command="repro scan"
+        )
+        out.write(
+            f"baseline with {len(findings)} finding(s) written to "
+            f"{baseline_path}\n"
+        )
+        return 0
+
+    diff = Baseline.load(baseline_path).diff(findings)
+    # With --no-corpus the whole corpus-backed baseline is trivially
+    # unmatched; stale-entry notes would be pure noise.
+    stale = [] if args.no_corpus else diff.stale
+    if args.format == "json":
+        json.dump(
+            {
+                "programs_scanned": scanned,
+                "new": [f.to_dict() for f in diff.new],
+                "baselined": [f.to_dict() for f in diff.baselined],
+                "stale_baseline_entries": stale,
+            },
+            out, indent=2,
+        )
+        out.write("\n")
+    else:
+        for finding in diff.new:
+            out.write(finding.render() + "\n")
+        if args.show_baselined:
+            for finding in diff.baselined:
+                out.write(f"{finding.render()}  (baselined)\n")
+        for fingerprint in stale:
+            out.write(
+                f"note: baseline entry {fingerprint} no longer matches "
+                "anything — re-ratchet with --write-baseline\n"
+            )
+        out.write(
+            f"repro scan: {scanned} program(s), {len(diff.new)} new "
+            f"gadget(s), {len(diff.baselined)} baselined\n"
+        )
+    return 1 if diff.new else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro scan", description=__doc__)
+    add_scan_arguments(parser)
+    return run_scan_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

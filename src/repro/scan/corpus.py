@@ -1,0 +1,390 @@
+"""The bundled gadget corpus: hand-written entries plus seeded soups.
+
+Every entry is a *pair* of programs — identical instruction streams whose
+initial memories differ in exactly one word, the secret — built on the
+bounds-check-bypass skeleton in :mod:`repro.workloads.generators`
+(:func:`~repro.workloads.generators.make_bounds_check_gadget`): branchless
+attacker-index selection, a cold-limit bounds check that mispredicts on
+the attack round, a warmed access load inside the window, and a payload
+that decides the verdict.  The attack round's branch is architecturally
+taken, so the payload never commits: the committed instruction stream is
+secret-invariant by construction, and any dynamic trace/cycle difference
+between the two secrets is a speculative leak.  That is what
+:mod:`repro.scan.crossval` measures and what each entry's declared static
+verdict is validated against.
+
+Entries whose static positive is *expected* to be dynamically invariant
+carry an explicit ``unsound_ok`` annotation naming the class and the
+reason (e.g. stores touch memory only at commit in this machine, so a
+squashed store-address gadget leaves no resource trace).  The crossval
+gate fails on any unannotated disagreement, in either direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.scan.analyzer import CLASS_LATENCY, CLASS_STORE, CLASS_V1
+from repro.workloads.generators import (
+    GADGET_A_BASE as A_BASE,
+    GADGET_B_BASE as B_BASE,
+    GADGET_C_BASE as C_BASE,
+    GADGET_CHAIN_LENGTH as CHAIN_LENGTH,
+    GADGET_LIMIT_BASE as LIMIT_BASE,
+    GADGET_OOB_INDEX as OOB_INDEX,
+    GADGET_SECRET_ADDR as SECRET_ADDR,
+    GADGET_TRAIN_ROUNDS as TRAIN_ROUNDS,
+    GADGET_TRANSMIT_SHIFT as TRANSMIT_SHIFT,
+    OUTPUT_BASE as OUT_BASE,
+    gadget_memory,
+    gadget_soup_spec,
+    make_bounds_check_gadget,
+    make_gadget_soup,
+    SOUP_STORE_UNSOUND_REASON,
+)
+from repro.workloads.workload import Workload
+
+#: Seeds of the bundled generated corpus (>= 20 per the scan gate).
+SOUP_SEEDS: tuple[int, ...] = tuple(range(24))
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus program pair plus its expected verdicts."""
+
+    name: str
+    builder: Callable[[int], Workload] = field(compare=False)
+    #: Gadget classes the static scan must report (exactly these).
+    expected_classes: frozenset[str] = frozenset()
+    #: Classes that are *statically* real but *dynamically* invariant in
+    #: this machine model — accepted imprecision, never silent.
+    unsound_ok: frozenset[str] = frozenset()
+    unsound_reason: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.unsound_ok and not self.unsound_reason:
+            raise ValueError(
+                f"{self.name}: unsound_ok annotations must state a reason"
+            )
+        if not self.unsound_ok <= self.expected_classes:
+            raise ValueError(
+                f"{self.name}: unsound_ok {sorted(self.unsound_ok)} is not a "
+                f"subset of expected classes {sorted(self.expected_classes)}"
+            )
+
+    @property
+    def expected_leak(self) -> bool:
+        """Should the Unsafe machine leak the secret dynamically?"""
+        return bool(self.expected_classes - self.unsound_ok)
+
+    def workload(self, secret: int) -> Workload:
+        return self.builder(secret)
+
+    def program(self) -> Program:
+        """The (secret-independent) instruction stream, for static scans."""
+        return self.builder(0).program
+
+
+def _loop_builder(
+    name: str, payload: str, *, fp: bool = False
+) -> Callable[[int], Workload]:
+    def build(secret: int) -> Workload:
+        return make_bounds_check_gadget(
+            name, payload=payload, secret=secret, fp_access=fp
+        )
+
+    return build
+
+
+def _taken_path_builder(name: str) -> Callable[[int], Workload]:
+    """Gadget on the *taken* side of the branch (trained-taken variant)."""
+    chain = "\n".join(
+        "        addi r26, r26, 0" for _ in range(CHAIN_LENGTH)
+    )
+    source = f"""
+        li r1, 0
+        li r2, {TRAIN_ROUNDS + 1}
+        li r21, {TRAIN_ROUNDS}
+        li r18, 1
+        li r22, {OOB_INDEX}
+        li r12, 3
+        li r13, {TRANSMIT_SHIFT}
+    loop:
+        slt r16, r1, r21
+        sub r17, r18, r16
+        mul r19, r17, r22
+        andi r4, r1, 7
+        mul r4, r4, r16
+        add r4, r4, r19
+        shl r10, r4, r12
+        add r26, r1, r18         ; resolution-delay chain (see generators)
+{chain}
+        andi r26, r26, 0
+        addi r6, r26, 8
+        blt r4, r6, body         ; taken while training, not on attack
+        jmp skip
+    body:
+        load r7, r10, {A_BASE}
+        shl r8, r7, r13
+        load r11, r8, {B_BASE}
+    skip:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """
+
+    def build(secret: int) -> Workload:
+        return Workload(
+            name=name,
+            program=assemble(source, gadget_memory(secret), name=name),
+            warm_addresses=(A_BASE, SECRET_ADDR),
+        )
+
+    return build
+
+
+def _beyond_window_builder(name: str, pads: int = 200) -> Callable[[int], Workload]:
+    """Transmit placed ``pads`` dependent instructions past the branch.
+
+    With more pads than ROB entries the transmit can never share the ROB
+    with the unresolved branch, so it is dynamically unreachable inside
+    the window — and the static scan's depth bound must agree.
+    """
+    pad_block = "\n".join("        addi r7, r7, 0" for _ in range(pads))
+    source = f"""
+        li r1, 8
+        li r12, 3
+        li r13, {TRANSMIT_SHIFT}
+        li r22, {OOB_INDEX}
+        shl r10, r22, r12
+        load r6, r0, {LIMIT_BASE}  ; cold limit: slow resolution
+        bge r1, r6, over           ; architecturally taken, cold-predicted not
+        load r7, r10, {A_BASE}     ; speculative access (window source)
+{pad_block}
+        shl r8, r7, r13
+        load r11, r8, {B_BASE}     ; transmit — beyond any real window
+    over:
+        halt
+    """
+
+    def build(secret: int) -> Workload:
+        return Workload(
+            name=name,
+            program=assemble(source, gadget_memory(secret), name=name),
+            warm_addresses=(A_BASE, SECRET_ADDR),
+        )
+
+    return build
+
+
+def _straightline_builder(name: str) -> Callable[[int], Workload]:
+    """Load-to-load shape with no conditional branch anywhere."""
+    source = f"""
+        li r1, 0
+        li r12, 3
+        shl r9, r1, r12
+        load r5, r9, {A_BASE}      ; A[0] == 0
+        shl r10, r5, r12
+        load r7, r10, {A_BASE}     ; dependent load, but never speculative
+        add r3, r3, r7
+        store r3, r0, {OUT_BASE}
+        halt
+    """
+
+    def build(secret: int) -> Workload:
+        return Workload(
+            name=name,
+            program=assemble(source, gadget_memory(secret), name=name),
+            warm_addresses=(A_BASE, SECRET_ADDR),
+        )
+
+    return build
+
+
+_SAME_LINE = (
+    "the taint analysis is value-blind: both secret values map the "
+    "transmit into the same cache line, so the resource traces coincide; "
+    "a finer model would need value-range tracking"
+)
+_FP_RESIDUE = (
+    "this machine's FP units are fully pipelined per-cycle issue slots, so "
+    "a squashed subnormal fdiv's extra latency leaves no committed-path "
+    "residue; the finding is kept — Obl-FP exists precisely because real "
+    "dividers are not so forgiving"
+)
+
+_TRANSMIT = f"""        shl r8, r7, r13
+        load r11, r8, {B_BASE}"""
+
+HAND_WRITTEN: tuple[CorpusEntry, ...] = (
+    CorpusEntry(
+        name="v1_classic",
+        builder=_loop_builder("v1_classic", _TRANSMIT),
+        expected_classes=frozenset({CLASS_V1}),
+        description="bounds-check bypass, load-to-load transmit",
+    ),
+    CorpusEntry(
+        name="v1_arith_chain",
+        builder=_loop_builder(
+            "v1_arith_chain",
+            f"""        add r8, r7, r18
+        xor r8, r8, r18
+        shl r8, r8, r13
+        load r11, r8, {B_BASE}""",
+        ),
+        expected_classes=frozenset({CLASS_V1}),
+        description="secret laundered through an ALU chain before transmit",
+    ),
+    CorpusEntry(
+        name="v1_two_hop",
+        builder=_loop_builder(
+            "v1_two_hop",
+            f"""        shl r8, r7, r13
+        load r11, r8, {B_BASE}
+        shl r20, r11, r12
+        load r23, r20, {C_BASE}""",
+        ),
+        expected_classes=frozenset({CLASS_V1}),
+        description="transmit feeds a second dependent load (both are sinks)",
+    ),
+    CorpusEntry(
+        name="v1_after_jmp",
+        builder=_loop_builder(
+            "v1_after_jmp",
+            f"""        jmp hop
+        add r3, r3, r3           ; dead block, jumped over
+    hop:
+        shl r8, r7, r13
+        load r11, r8, {B_BASE}""",
+        ),
+        expected_classes=frozenset({CLASS_V1}),
+        description="transmit reached through an unconditional jump",
+    ),
+    CorpusEntry(
+        name="v1_taken_path",
+        builder=_taken_path_builder("v1_taken_path"),
+        expected_classes=frozenset({CLASS_V1}),
+        description="gadget on the trained-taken side of the branch",
+    ),
+    CorpusEntry(
+        name="v1_store_addr",
+        builder=_loop_builder(
+            "v1_store_addr",
+            f"""        shl r8, r7, r13
+        store r3, r8, {B_BASE}""",
+        ),
+        expected_classes=frozenset({CLASS_STORE}),
+        unsound_ok=frozenset({CLASS_STORE}),
+        unsound_reason=SOUP_STORE_UNSOUND_REASON,
+        description="v1.1: secret-dependent store address",
+    ),
+    CorpusEntry(
+        name="v1_same_line",
+        builder=_loop_builder(
+            "v1_same_line",
+            f"""        shl r8, r7, r12
+        load r11, r8, {B_BASE}""",
+        ),
+        expected_classes=frozenset({CLASS_V1}),
+        unsound_ok=frozenset({CLASS_V1}),
+        unsound_reason=_SAME_LINE,
+        description="transmit stride so small both secrets share a line",
+    ),
+    CorpusEntry(
+        name="v1_fp_latency",
+        builder=_loop_builder(
+            "v1_fp_latency", "        fdiv f2, f3, f1", fp=True
+        ),
+        expected_classes=frozenset({CLASS_LATENCY}),
+        unsound_ok=frozenset({CLASS_LATENCY}),
+        unsound_reason=_FP_RESIDUE,
+        description="secret float operand reaches a variable-latency fdiv",
+    ),
+    CorpusEntry(
+        name="safe_accumulate",
+        builder=_loop_builder("safe_accumulate", "        add r3, r3, r7"),
+        expected_classes=frozenset(),
+        description="secret only accumulates into a register",
+    ),
+    CorpusEntry(
+        name="safe_store_value",
+        builder=_loop_builder(
+            "safe_store_value",
+            f"""        shl r8, r1, r12
+        store r7, r8, {OUT_BASE}""",
+        ),
+        expected_classes=frozenset(),
+        description="secret stored as a *value* to a clean address",
+    ),
+    CorpusEntry(
+        name="safe_kill",
+        builder=_loop_builder(
+            "safe_kill",
+            f"""        li r7, 0
+        shl r8, r7, r13
+        load r11, r8, {B_BASE}""",
+        ),
+        expected_classes=frozenset(),
+        description="taint killed by an immediate write before the transmit",
+    ),
+    CorpusEntry(
+        name="safe_fadd",
+        builder=_loop_builder("safe_fadd", "        fadd f2, f1, f3", fp=True),
+        expected_classes=frozenset(),
+        description="secret float reaches only a fixed-latency fadd",
+    ),
+    CorpusEntry(
+        name="safe_straightline",
+        builder=_straightline_builder("safe_straightline"),
+        expected_classes=frozenset(),
+        description="load-to-load shape with no branch to speculate past",
+    ),
+    CorpusEntry(
+        name="safe_beyond_window",
+        builder=_beyond_window_builder("safe_beyond_window"),
+        expected_classes=frozenset(),
+        description="transmit parked past the ROB-depth speculation horizon",
+    ),
+)
+
+
+def generated_entries(
+    seeds: Iterable[int] = SOUP_SEEDS,
+) -> tuple[CorpusEntry, ...]:
+    """Wrap the seeded soups with their generator-declared verdicts."""
+    entries = []
+    for seed in seeds:
+        payload, classes, unsound = gadget_soup_spec(seed)
+        name = f"soup_{seed:03d}"
+        entries.append(
+            CorpusEntry(
+                name=name,
+                builder=lambda secret, name=name, seed=seed: make_gadget_soup(
+                    name, seed=seed, secret=secret
+                ),
+                expected_classes=classes,
+                unsound_ok=unsound,
+                unsound_reason=SOUP_STORE_UNSOUND_REASON if unsound else "",
+                description=f"seeded gadget soup (seed {seed})",
+            )
+        )
+    return tuple(entries)
+
+
+def full_corpus() -> tuple[CorpusEntry, ...]:
+    """Hand-written entries plus the bundled generated soups."""
+    return HAND_WRITTEN + generated_entries()
+
+
+def entry_by_name(name: str) -> CorpusEntry:
+    for entry in full_corpus():
+        if entry.name == name:
+            return entry
+    raise KeyError(
+        f"no corpus entry named {name!r}; available: "
+        f"{[e.name for e in full_corpus()]}"
+    )

@@ -1,0 +1,197 @@
+"""Dynamic non-interference verdicts for corpus program pairs.
+
+The dynamic side of the scan gate: run one corpus entry's two secret
+variants on the full pipeline model under one protection scheme, with a
+:class:`~repro.memory.observer.ResourceObserver` recording every memory-
+system event after warmup, and call it a **leak** when the two runs differ
+in their resource-event traces *or* their committed cycle counts.  The
+committed instruction streams are asserted identical first — the corpus
+skeleton only ever touches the secret transiently — so any difference can
+only be speculative.
+
+:func:`cross_validate` then compares that dynamic verdict against the
+static :func:`~repro.scan.analyzer.scan_program` verdict, honouring the
+entry's ``unsound_ok`` annotations:
+
+* dynamic leak without a static gadget ⇒ **false negative**, always fatal;
+* static gadget without a dynamic leak ⇒ fatal unless every found class
+  is covered by an explicit ``unsound_ok`` annotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.common.config import AttackModel, MachineConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.observer import ResourceObserver
+from repro.pipeline.core import Core
+from repro.scan.analyzer import ScanReport, scan_program
+from repro.scan.corpus import CorpusEntry
+from repro.security.analyzer import TraceDivergence, _find_divergence
+from repro.sim.configs import EvaluatedConfig, config_by_name, make_protection
+from repro.workloads import generators
+from repro.workloads.workload import Workload
+
+#: Schemes every statically-found gadget must be suppressed under.  STT{ld}
+#: is deliberately absent: it does not gate FP transmitters, so latency-
+#: class gadgets stay dynamically live under it (assert that separately).
+SUPPRESSING_CONFIGS = ("Fence", "STT{ld+fp}", "Hybrid")
+
+#: One cache line in the transmit array: the line a v1 gadget's transient
+#: load touches when the secret takes its first bundled value.  Warming it
+#: before the run makes the leak *sweep-visible*: the transient transmit
+#: then hits L1 for one secret and walks to DRAM for the other, so the
+#: aggregate ``mem.hits_*`` counters in :class:`RunMetrics` — not just the
+#: event-level observer trace — become secret-dependent under Unsafe.
+PROBE_ADDRESS = generators.GADGET_B_BASE + (
+    generators.GADGET_SECRET_VALUES[0] << generators.GADGET_TRANSMIT_SHIFT
+)
+
+#: Stat prefixes an attacker can sense at sweep granularity: where demand
+#: accesses were satisfied summarizes probeable cache/DRAM content.
+#: Scheme-internal bookkeeping (``stt.*``, ``core.obl_*``, ``mem.obl_*`` —
+#: e.g. SDO's level-predictor accuracy, which legitimately depends on
+#: whether the oblivious access happened to hit) is not attacker-visible
+#: state and is excluded.
+SWEEP_VISIBLE_PREFIXES = ("mem.hits_",)
+
+
+def amplified_workload(entry: CorpusEntry, secret: int) -> Workload:
+    """The entry's workload with :data:`PROBE_ADDRESS` pre-warmed."""
+    workload = entry.workload(secret)
+    return replace(
+        workload,
+        warm_addresses=tuple(workload.warm_addresses) + (PROBE_ADDRESS,),
+    )
+
+
+def sweep_signal(metrics) -> tuple:
+    """The secret-sensitive projection of one sweep cell's metrics."""
+    visible = {
+        key: value
+        for key, value in sorted(metrics.stats.items())
+        if key.startswith(SWEEP_VISIBLE_PREFIXES)
+    }
+    return (metrics.cycles, tuple(visible.items()))
+
+
+@dataclass(frozen=True)
+class DynamicVerdict:
+    """One entry under one scheme: did the two secrets interfere?"""
+
+    name: str
+    config: str
+    cycles_by_secret: dict[int, int]
+    divergence: TraceDivergence | None
+
+    @property
+    def cycles_differ(self) -> bool:
+        return len(set(self.cycles_by_secret.values())) > 1
+
+    @property
+    def leaked(self) -> bool:
+        return self.cycles_differ or self.divergence is not None
+
+    @property
+    def delta_cycles(self) -> int:
+        return self.cycles_by_secret[1] - self.cycles_by_secret[0]
+
+
+def run_dynamic(
+    builder: Callable[[int], Workload],
+    config: EvaluatedConfig | str = "Unsafe",
+    attack_model: AttackModel = AttackModel.SPECTRE,
+) -> DynamicVerdict:
+    """Run both secret variants under ``config`` and compare."""
+    if isinstance(config, str):
+        config = config_by_name(config)
+    machine = MachineConfig().with_protection(
+        config.protection_config(attack_model)
+    )
+    cycles: dict[int, int] = {}
+    instructions: dict[int, int] = {}
+    traces: list[tuple] = []
+    name = ""
+    for secret in (0, 1):
+        workload = builder(secret)
+        name = workload.name
+        observer = ResourceObserver(enabled=False)
+        hierarchy = MemoryHierarchy(machine, observer)
+        core = Core(
+            workload.program,
+            config=machine,
+            protection=make_protection(config, attack_model),
+            hierarchy=hierarchy,
+        )
+        hierarchy.warm(list(workload.warm_addresses))
+        observer.enabled = True
+        metrics = core.run(max_cycles=workload.max_cycles)
+        cycles[secret] = metrics.cycles
+        instructions[secret] = metrics.instructions
+        traces.append(observer.normalized(base_cycle=0))
+    if instructions[0] != instructions[1]:
+        raise RuntimeError(
+            f"{name}: committed stream is not secret-invariant "
+            f"({instructions[0]} vs {instructions[1]} instructions) — the "
+            "corpus entry is broken; a trace difference would not prove a "
+            "speculative leak"
+        )
+    return DynamicVerdict(
+        name=name,
+        config=config.name,
+        cycles_by_secret=cycles,
+        divergence=_find_divergence(traces),
+    )
+
+
+@dataclass(frozen=True)
+class CrossValidation:
+    """Static verdict vs dynamic Unsafe verdict for one corpus entry."""
+
+    entry: CorpusEntry
+    report: ScanReport
+    unsafe: DynamicVerdict
+
+    @property
+    def false_negative(self) -> bool:
+        """Dynamically leaks but the scan saw nothing — never acceptable."""
+        return self.unsafe.leaked and not self.report.is_positive
+
+    @property
+    def unannotated_false_positive(self) -> bool:
+        """Scan fired, no dynamic leak, and some class lacks ``unsound_ok``."""
+        if self.unsafe.leaked or not self.report.is_positive:
+            return False
+        return not self.report.classes <= self.entry.unsound_ok
+
+    @property
+    def agreed(self) -> bool:
+        return not (self.false_negative or self.unannotated_false_positive)
+
+    def explain(self) -> str:
+        static = ",".join(sorted(self.report.classes)) or "negative"
+        dynamic = "leaked" if self.unsafe.leaked else "invariant"
+        verdict = "agree" if self.agreed else (
+            "FALSE NEGATIVE" if self.false_negative
+            else "unannotated false positive"
+        )
+        return (
+            f"{self.entry.name}: static [{static}] vs Unsafe dynamic "
+            f"[{dynamic}] -> {verdict}"
+        )
+
+
+def cross_validate(
+    entry: CorpusEntry,
+    window: int | None = None,
+    attack_model: AttackModel = AttackModel.SPECTRE,
+) -> CrossValidation:
+    """Scan one entry statically and run its Unsafe dynamic verdict."""
+    kwargs = {} if window is None else {"window": window}
+    report = scan_program(
+        entry.program(), path=f"corpus/{entry.name}", **kwargs
+    )
+    unsafe = run_dynamic(entry.builder, "Unsafe", attack_model)
+    return CrossValidation(entry=entry, report=report, unsafe=unsafe)

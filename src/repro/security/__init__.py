@@ -14,14 +14,24 @@ Three tools:
 """
 
 from repro.security.channels import CacheTimingReceiver
-from repro.security.analyzer import resource_trace_of, traces_equal, check_non_interference
+from repro.security.analyzer import (
+    NonInterferenceResult,
+    TraceDivergence,
+    check_non_interference,
+    first_divergence,
+    resource_trace_of,
+    traces_equal,
+)
 from repro.security.spectre_v1 import SpectreV1Result, build_spectre_v1, run_spectre_v1
 
 __all__ = [
     "CacheTimingReceiver",
+    "NonInterferenceResult",
     "SpectreV1Result",
+    "TraceDivergence",
     "build_spectre_v1",
     "check_non_interference",
+    "first_divergence",
     "resource_trace_of",
     "run_spectre_v1",
     "traces_equal",

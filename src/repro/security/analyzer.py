@@ -10,6 +10,7 @@ addresses; the normal load path — by design — does not.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.common.config import MachineConfig
@@ -40,15 +41,97 @@ def traces_equal(trace_a: tuple, trace_b: tuple) -> bool:
     return trace_a == trace_b
 
 
+@dataclass(frozen=True)
+class TraceDivergence:
+    """Where two resource traces first disagree.
+
+    ``event_index`` is the position of the first differing event;
+    ``baseline_event``/``divergent_event`` are the events at that position
+    (``None`` past the end of the shorter trace).  ``operand_index`` says
+    which operand's trace diverged from operand 0's.
+    """
+
+    operand_index: int
+    event_index: int
+    baseline_event: tuple | None
+    divergent_event: tuple | None
+
+    def describe(self) -> str:
+        return (
+            f"operand #{self.operand_index} diverges at event "
+            f"{self.event_index}: {self.baseline_event} != "
+            f"{self.divergent_event}"
+        )
+
+
+def first_divergence(trace_a: tuple, trace_b: tuple) -> int | None:
+    """Index of the first event where the traces disagree, else ``None``.
+
+    A strict prefix counts as diverging at the shorter trace's length.
+    """
+    for index, (event_a, event_b) in enumerate(zip(trace_a, trace_b)):
+        if event_a != event_b:
+            return index
+    if len(trace_a) != len(trace_b):
+        return min(len(trace_a), len(trace_b))
+    return None
+
+
+class NonInterferenceResult:
+    """Outcome of a :func:`check_non_interference` run.
+
+    Iterable as the historical ``(ok, traces)`` pair, so existing callers
+    that unpack two values keep working; ``divergence`` additionally says
+    *where* the first differing operand's trace splits from operand 0's.
+    """
+
+    def __init__(self, ok: bool, traces: list[tuple],
+                 divergence: TraceDivergence | None):
+        self.ok = ok
+        self.traces = traces
+        self.divergence = divergence
+
+    def __iter__(self):
+        return iter((self.ok, self.traces))
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"DIVERGED ({self.divergence.describe()})"
+        return f"NonInterferenceResult({status}, {len(self.traces)} traces)"
+
+
+def _find_divergence(traces: list[tuple]) -> TraceDivergence | None:
+    first = traces[0]
+    for operand_index, trace in enumerate(traces[1:], start=1):
+        event_index = first_divergence(first, trace)
+        if event_index is None:
+            continue
+        return TraceDivergence(
+            operand_index=operand_index,
+            event_index=event_index,
+            baseline_event=(
+                first[event_index] if event_index < len(first) else None
+            ),
+            divergent_event=(
+                trace[event_index] if event_index < len(trace) else None
+            ),
+        )
+    return None
+
+
 def check_non_interference(
     make_action: Callable[[int], Callable[[MemoryHierarchy], None]],
     operands: list[int],
     machine: MachineConfig | None = None,
     prepare: Callable[[MemoryHierarchy], None] | None = None,
-) -> tuple[bool, list[tuple]]:
-    """Run the same operation over many operands; True if all traces match.
+) -> NonInterferenceResult:
+    """Run the same operation over many operands; ok if all traces match.
 
-    Returns ``(ok, traces)`` so a failing test can diff the traces.
+    Returns a :class:`NonInterferenceResult`, unpackable as the historical
+    ``(ok, traces)`` pair; its ``divergence`` field pins the first trace
+    index where an operand's trace splits from operand 0's.
     """
     if len(operands) < 2:
         raise ValueError(
@@ -59,5 +142,5 @@ def check_non_interference(
         resource_trace_of(make_action(operand), machine, prepare)
         for operand in operands
     ]
-    first = traces[0]
-    return all(t == first for t in traces[1:]), traces
+    divergence = _find_divergence(traces)
+    return NonInterferenceResult(divergence is None, traces, divergence)

@@ -62,7 +62,9 @@ from dataclasses import dataclass
 from repro.common.config import AttackModel, MachineConfig
 from repro.isa.assembler import assemble
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.observer import ResourceObserver
 from repro.pipeline.core import Core
+from repro.security.analyzer import TraceDivergence, _find_divergence
 from repro.sim.configs import EvaluatedConfig, config_by_name, make_protection
 
 TRAIN_ROUNDS = 12
@@ -93,6 +95,9 @@ class InterferenceResult:
     attack_model: AttackModel
     cycles_by_secret: dict[int, int]
     instructions_by_secret: dict[int, int]
+    #: First resource-trace event where the secret-1 run splits from the
+    #: secret-0 run (``None`` when the traces are identical).
+    divergence: TraceDivergence | None = None
 
     @property
     def leaked(self) -> bool:
@@ -159,7 +164,8 @@ def _run_one(
     secret: int, machine: MachineConfig,
 ):
     program = build_forward_interference(secret)
-    hierarchy = MemoryHierarchy(machine)
+    observer = ResourceObserver(enabled=False)
+    hierarchy = MemoryHierarchy(machine, observer)
     core = Core(
         program,
         config=machine,
@@ -170,8 +176,9 @@ def _run_one(
     # just before, so the transient access chain is fast enough to fit the
     # window.  Nothing about the interference channel itself is warmed.
     hierarchy.warm([_SECRET_ADDR, _A_BASE])
+    observer.enabled = True
     metrics = core.run(max_cycles=200_000)
-    return metrics
+    return metrics, observer.normalized(base_cycle=0)
 
 
 def run_forward_interference(
@@ -192,10 +199,12 @@ def run_forward_interference(
     machine = machine.with_protection(config.protection_config(attack_model))
     cycles: dict[int, int] = {}
     instructions: dict[int, int] = {}
+    traces: list[tuple] = []
     for secret in (0, 1):
-        metrics = _run_one(config, attack_model, secret, machine)
+        metrics, trace = _run_one(config, attack_model, secret, machine)
         cycles[secret] = metrics.cycles
         instructions[secret] = metrics.instructions
+        traces.append(trace)
     if instructions[0] != instructions[1]:
         raise RuntimeError(
             "committed stream is not secret-invariant "
@@ -208,4 +217,5 @@ def run_forward_interference(
         attack_model=attack_model,
         cycles_by_secret=cycles,
         instructions_by_secret=instructions,
+        divergence=_find_divergence(traces),
     )

@@ -9,14 +9,16 @@ Hybrid          SDO with the hybrid location predictor (Section V-D)
 Perfect         SDO with an oracle predictor
 SpecBox         label-based transparent speculation (speculative buffer)
 DelayOnMiss     speculative L1 misses delayed to the visibility point
+Fence           every speculative load delayed to the visibility point
 ==============  ==============================================================
 
 Per Section VIII-A, every SDO configuration also protects FP transmitters by
 statically predicting normal inputs (Obl-FP), and handles virtual memory
 with the single L1-TLB DO variant.  Each configuration can be instantiated
-under either attack model.  The last two rows are not from the paper: they
-are published competing schemes added as first-class baselines so the
-figure matrix and the security harnesses can compare against them.
+under either attack model.  The last three rows are not from the paper:
+they are published competing schemes (plus the fence-every-load worst
+case) added as first-class baselines so the figure matrix and the
+security harnesses can compare against them.
 """
 
 from __future__ import annotations
@@ -29,7 +31,11 @@ from repro.common.config import (
     ProtectionConfig,
     ProtectionKind,
 )
-from repro.baselines import DelayOnMissProtection, SpecBoxProtection
+from repro.baselines import (
+    DelayOnMissProtection,
+    FenceProtection,
+    SpecBoxProtection,
+)
 from repro.core.predictors import make_predictor
 from repro.core.protection import SdoProtection
 from repro.pipeline.protection import ProtectionScheme, UnsafeProtection
@@ -125,6 +131,12 @@ EVALUATED_CONFIGS: tuple[EvaluatedConfig, ...] = (
         description="Speculative loads that miss the L1 are delayed to the "
                     "visibility point; L1 hits proceed",
     ),
+    EvaluatedConfig(
+        "Fence", ProtectionKind.FENCE,
+        description="Fence on every load: every speculative load is delayed "
+                    "to its visibility point — the worst-case conservative "
+                    "baseline",
+    ),
 )
 
 #: The SDO rows of Table II (used by Figure 8 / Table III harnesses).
@@ -172,6 +184,8 @@ def make_protection(
         return SpecBoxProtection(attack_model=attack_model)
     if config.kind is ProtectionKind.DELAY_ON_MISS:
         return DelayOnMissProtection(attack_model=attack_model)
+    if config.kind is ProtectionKind.FENCE:
+        return FenceProtection(attack_model=attack_model)
     return SdoProtection(
         make_predictor(config.predictor),
         attack_model=attack_model,

@@ -511,6 +511,212 @@ def make_compute_kernel(
     )
 
 
+# --------------------------------------------------------------------------
+# Spectre-v1 gadget skeleton (the repro.scan corpus and its seeded soups).
+#
+# The skeleton computes the attacker index *branchlessly* (slt/sub/mul select
+# in-bounds while training, out-of-bounds on the final round) so the only
+# data-relevant branch is the bounds check itself; the check's limit arrives
+# through a long dependent ALU chain, so the branch resolves tens of cycles
+# after the (warm) access load and the mispredict window is dynamically wide
+# open on the attack round.  A cold limit *load* would not work here: making
+# it slow round after round requires serialising it on the previous round's
+# loaded value, which taints the limit address chain and would turn every
+# looped program — including the safe ones — into a static positive.  The
+# ALU chain delays resolution with zero taint.  The attack round's branch is
+# architecturally taken, so the payload never commits: the committed stream
+# is secret-invariant and any trace/cycle difference between the two secrets
+# is a speculative leak.
+
+#: Victim array (warmed; 8 in-bounds words).
+GADGET_A_BASE = 1 << 22
+#: Transmit target array (cold).
+GADGET_B_BASE = 1 << 23
+#: Second-hop transmit target (cold).
+GADGET_C_BASE = 1 << 24
+#: Per-round bounds-limit cells, one cold line each (stride 64).
+GADGET_LIMIT_BASE = 1 << 25
+GADGET_TRAIN_ROUNDS = 12
+#: Out-of-bounds index of the secret cell (32 KiB past A).
+GADGET_OOB_INDEX = 4096
+GADGET_SECRET_ADDR = GADGET_A_BASE + WORD * GADGET_OOB_INDEX
+#: Integer secrets: x512 transmit stride puts them on different cache
+#: lines, away from anything the training rounds touch.
+GADGET_SECRET_VALUES = (16, 17)
+GADGET_TRANSMIT_SHIFT = 9
+#: FP secrets: a normal vs a subnormal operand (the Obl-FP slow path).
+GADGET_FP_SECRET_VALUES = (1.5, 1e-40)
+#: Dependent ALU ops delaying the bounds check's limit each round.  The
+#: access load hits a warm line (~2 cycles), so the transmit issues a few
+#: cycles after dispatch; the branch cannot resolve for at least this many.
+GADGET_CHAIN_LENGTH = 48
+
+
+def gadget_memory(secret: int, *, fp: bool = False) -> dict[int, int | float]:
+    """Initial memory for one gadget-pair half: differs only at the secret."""
+    if secret not in (0, 1):
+        raise ValueError("secret selects a memory image; it must be 0 or 1")
+    memory: dict[int, int | float] = {}
+    for i in range(8):
+        memory[GADGET_A_BASE + WORD * i] = 1.0 if fp else 0
+    values = GADGET_FP_SECRET_VALUES if fp else GADGET_SECRET_VALUES
+    memory[GADGET_SECRET_ADDR] = values[secret]
+    for round_index in range(GADGET_TRAIN_ROUNDS + 1):
+        memory[GADGET_LIMIT_BASE + 64 * round_index] = 8
+    return memory
+
+
+def make_bounds_check_gadget(
+    name: str,
+    *,
+    payload: str,
+    secret: int,
+    fp_access: bool = False,
+    description: str = "",
+) -> Workload:
+    """The corpus skeleton: bounds-check bypass around ``payload``.
+
+    ``payload`` is raw assembly (8-space indented) placed right after the
+    access load, inside the speculative window; it sees the loaded value in
+    ``r7`` (``f1`` with ``fp_access``) and may scratch r3/r5/r8/r9/r11,
+    r20, r23+ and f2.  The skeleton reserves r1/r2/r4/r6/r10/r12/r13/
+    r16-r19/r21/r22/r26 and provides r13 = transmit shift, r18 = 1,
+    f3 = 3.0.
+    """
+    access = (
+        f"        fload f1, r10, {GADGET_A_BASE}"
+        if fp_access
+        else f"        load r7, r10, {GADGET_A_BASE}"
+    )
+    chain = "\n".join(
+        "        addi r26, r26, 0" for _ in range(GADGET_CHAIN_LENGTH)
+    )
+    source = f"""
+        li r1, 0
+        li r2, {GADGET_TRAIN_ROUNDS + 1}
+        li r21, {GADGET_TRAIN_ROUNDS}
+        li r18, 1
+        li r22, {GADGET_OOB_INDEX}
+        li r12, 3
+        li r13, {GADGET_TRANSMIT_SHIFT}
+        fli f3, 3.0
+    loop:
+        slt r16, r1, r21         ; 1 while training, 0 on the attack round
+        sub r17, r18, r16        ; 0 while training, 1 on the attack round
+        mul r19, r17, r22        ; 0 while training, OOB index on attack
+        andi r4, r1, 7
+        mul r4, r4, r16          ; benign component (0 on the attack round)
+        add r4, r4, r19          ; final index, selected without a branch
+        shl r10, r4, r12         ; byte offset into A
+        add r26, r1, r18         ; restart the resolution-delay chain
+{chain}
+        andi r26, r26, 0         ; back to 0, only after the delay
+        addi r6, r26, 8          ; the limit: 8, ready late, never tainted
+        bge r4, r6, skip         ; bounds check; mispredicted on attack
+{access}
+{payload}
+    skip:
+        addi r1, r1, 1
+        blt r1, r2, loop
+        halt
+    """
+    return Workload(
+        name=name,
+        program=assemble(source, gadget_memory(secret, fp=fp_access), name=name),
+        # The victim touched the secret legitimately just before (the usual
+        # Spectre preamble), so the access load is fast enough for the
+        # payload to issue inside the window.
+        warm_addresses=(GADGET_A_BASE, GADGET_SECRET_ADDR),
+        description=description or "bounds-check-bypass gadget skeleton",
+    )
+
+
+#: Payload fragment kinds for the seeded soups.  Weights lean toward the
+#: interesting ones; "pad" keeps programs from being wall-to-wall sinks.
+_SOUP_POOL = (
+    "transmit", "transmit",
+    "alu", "alu",
+    "store_addr",
+    "store_value",
+    "kill",
+    "accumulate",
+    "pad",
+)
+
+#: Reason attached to soups whose only sink is a store address.
+SOUP_STORE_UNSOUND_REASON = (
+    "stores touch memory only at commit in this machine, so a squashed "
+    "store-address gadget leaves no resource trace; the static finding is "
+    "kept — real LSUs translate store addresses speculatively"
+)
+
+
+def gadget_soup_spec(
+    seed: int, *, fragments: tuple[int, int] = (2, 5)
+) -> tuple[str, frozenset[str], frozenset[str]]:
+    """Derive one soup's payload and its expected static verdict.
+
+    Returns ``(payload, expected_classes, unsound_ok)`` where the classes
+    use the :mod:`repro.scan.analyzer` names (``v1``/``v1.1``/``latency``).
+    The generator tracks taint liveness through the fragments — an
+    immediate write kills the chain — so the declared classes are exactly
+    what a correct window-taint analysis must report, and ``v1`` membership
+    is exactly "this soup leaks under the Unsafe machine".
+    """
+    rng = random.Random(seed)
+    count = rng.randint(*fragments)
+    lines: list[str] = []
+    classes: set[str] = set()
+    curr = "r7"  # register currently holding the access value's dataflow
+    live = True  # does ``curr`` still carry the access load's taint?
+    for _ in range(count):
+        kind = rng.choice(_SOUP_POOL)
+        if kind == "transmit":
+            lines.append(f"        shl r8, {curr}, r13")
+            lines.append(f"        load r11, r8, {GADGET_B_BASE}")
+            if live:
+                classes.add("v1")
+        elif kind == "alu":
+            lines.append(f"        add r8, {curr}, r18")
+            lines.append("        xor r8, r8, r18")
+            curr = "r8"
+        elif kind == "store_addr":
+            # Targets C, not B: a speculative store to the same address as
+            # a later transmit load would satisfy it by SQ forwarding, and
+            # the forwarded load never touches the hierarchy.
+            lines.append(f"        shl r20, {curr}, r13")
+            lines.append(f"        store r3, r20, {GADGET_C_BASE}")
+            if live:
+                classes.add("v1.1")
+        elif kind == "store_value":
+            lines.append("        shl r20, r1, r12")
+            lines.append(f"        store {curr}, r20, {OUTPUT_BASE}")
+        elif kind == "kill":
+            lines.append("        li r8, 0")
+            curr = "r8"
+            live = False
+        elif kind == "accumulate":
+            lines.append(f"        add r3, r3, {curr}")
+        else:  # pad
+            lines.append("        addi r24, r24, 1")
+    unsound = frozenset({"v1.1"} & classes)
+    return "\n".join(lines), frozenset(classes), unsound
+
+
+def make_gadget_soup(name: str, *, seed: int, secret: int) -> Workload:
+    """One seeded random gadget-soup program (see :func:`gadget_soup_spec`)."""
+    payload, classes, _ = gadget_soup_spec(seed)
+    return make_bounds_check_gadget(
+        name,
+        payload=payload,
+        secret=secret,
+        description=(
+            f"seeded gadget soup (seed {seed}; "
+            f"classes {sorted(classes) or 'none'})"
+        ),
+    )
+
+
 def make_mixed_kernel(
     name: str,
     *,

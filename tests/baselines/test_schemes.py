@@ -90,3 +90,29 @@ class TestDelayOnMiss:
             WORKLOADS["chase"], "DelayOnMiss", AttackModel.FUTURISTIC
         )
         assert futuristic.cycles >= spectre.cycles
+
+
+class TestFence:
+    @pytest.mark.parametrize("model", MODELS)
+    def test_every_speculative_load_delays(self, model):
+        metrics, _ = _run(WORKLOADS["chase"], "Fence", model)
+        stats = metrics.stats
+        assert stats["protection.decisions.load_delay"] > 0
+        # Fence has no escape hatches: no L1-hit allowance, no oblivious
+        # or buffered issue paths.
+        assert stats.get("stt.dom_hits_allowed", 0) == 0
+        assert stats.get("protection.decisions.load_oblivious", 0) == 0
+        assert stats.get("protection.decisions.load_buffered", 0) == 0
+
+    def test_architectural_results_match_unsafe(self):
+        unsafe, _ = _run(WORKLOADS["chase"], "Unsafe", AttackModel.SPECTRE)
+        fence, _ = _run(WORKLOADS["chase"], "Fence", AttackModel.SPECTRE)
+        assert fence.instructions == unsafe.instructions
+        assert fence.cycles >= unsafe.cycles
+
+    def test_at_least_as_slow_as_delay_on_miss(self):
+        """Fence is DoM minus the L1-hit allowance, so on any workload it
+        can only delay a superset of DoM's loads."""
+        dom, _ = _run(WORKLOADS["chase"], "DelayOnMiss", AttackModel.SPECTRE)
+        fence, _ = _run(WORKLOADS["chase"], "Fence", AttackModel.SPECTRE)
+        assert fence.cycles >= dom.cycles

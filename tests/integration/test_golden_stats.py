@@ -45,6 +45,7 @@ def fixture_cells():
 
 def test_fixture_covers_expected_cells(refresh, fixture_cells):
     expected = {f"{config}/{model}" for config, model in refresh.GOLDEN_CELLS}
+    expected.add(refresh.STRESS_CELL_KEY)
     assert set(fixture_cells) == expected
 
 
@@ -53,6 +54,25 @@ def test_fixture_pins_observability_counters(fixture_cells):
     assert any(key.startswith("core.stall.") for key in stats)
     assert any(key.startswith("core.occ.") for key in stats)
     assert any(key.startswith("protection.decisions.") for key in stats)
+
+
+def test_stress_cell_pins_pressure_counters(refresh, fixture_cells):
+    """The starved-machine cell observes the occupancy/pressure counters
+    that the tiny golden workload never exercises."""
+    stats = fixture_cells[refresh.STRESS_CELL_KEY]["stats"]
+    for key in (
+        "mem.evictions",
+        "core.fetch_buffer_full_cycles",
+        "core.fetch_off_end_cycles",
+        "core.lq_full_stalls",
+        "mem.mshr_merges",
+        "mem.mshr_stalls",
+        "core.no_preg_stalls",
+        "mem.obl_fail",
+        "core.sq_full_stalls",
+        "mem.validations",
+    ):
+        assert stats.get(key, 0) > 0, f"stress cell failed to observe {key}"
 
 
 def test_current_stats_match_golden_fixture(refresh, fixture_cells):

@@ -1,9 +1,68 @@
 """Tests for the two-pass assembler."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
-from repro.isa.assembler import AssemblyError, assemble
-from repro.isa.instructions import Opcode
+from repro.isa.assembler import _SIGNATURES, AssemblyError, assemble, disassemble
+from repro.isa.instructions import FP_BASE, Instruction, Opcode
+from repro.isa.program import Program
+
+_INT_REG = st.integers(0, 31)
+_FP_REG = st.integers(0, 15).map(lambda i: FP_BASE + i)
+
+
+def _operand_reg_kinds(opcode):
+    """(dest kind, source kinds) per opcode; 'f' = fp reg, 'r' = int reg."""
+    if opcode in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV):
+        return "f", ("f", "f")
+    if opcode is Opcode.FSQRT:
+        return "f", ("f",)
+    if opcode is Opcode.FLI:
+        return "f", ()
+    if opcode is Opcode.FLOAD:
+        return "f", ("r",)
+    if opcode is Opcode.FSTORE:
+        return None, ("f", "r")
+    return "r", ("r", "r")
+
+
+@st.composite
+def random_instructions(draw):
+    """Arbitrary well-formed instruction lists (HALT-terminated)."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    opcodes = sorted(_SIGNATURES, key=lambda op: op.name)
+    body = draw(
+        st.lists(st.sampled_from(opcodes), min_size=n - 1, max_size=n - 1)
+    )
+    instructions = []
+    for opcode in body:
+        dest_kind, source_kinds = _operand_reg_kinds(opcode)
+        rd = rs1 = rs2 = target = None
+        imm = 0
+        sources = []
+        for kind in _SIGNATURES[opcode]:
+            if kind == "d":
+                rd = draw(_FP_REG if dest_kind == "f" else _INT_REG)
+            elif kind == "s":
+                want = source_kinds[len(sources)]
+                sources.append(draw(_FP_REG if want == "f" else _INT_REG))
+            elif kind == "i":
+                imm = draw(st.integers(-(2**31), 2**31))
+            elif kind == "f":
+                imm = draw(
+                    st.floats(allow_nan=False, allow_infinity=False, width=64)
+                )
+            elif kind == "t":
+                target = draw(st.integers(0, n - 1))
+        if sources:
+            rs1 = sources[0]
+        if len(sources) > 1:
+            rs2 = sources[1]
+        instructions.append(
+            Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm, target=target)
+        )
+    instructions.append(Instruction(Opcode.HALT))
+    return instructions
 
 
 class TestBasicAssembly:
@@ -121,3 +180,47 @@ class TestAssemblyErrors:
     def test_missing_halt_rejected_by_program(self):
         with pytest.raises(ValueError, match="no HALT"):
             assemble("nop")
+
+
+class TestDisassemble:
+    def test_renders_labels_and_operands(self):
+        program = assemble("""
+        loop:
+            li r1, 5
+            fli f0, 1.5
+            blt r1, r2, loop
+            halt
+        """)
+        source = disassemble(program)
+        assert "loop:" in source
+        assert "li r1, 5" in source
+        assert "fli f0, 1.5" in source
+        assert "blt r1, r2, loop" in source
+
+    def test_synthesizes_labels_for_numeric_targets(self):
+        program = assemble("jmp 1\nhalt")
+        source = disassemble(program)
+        assert "L1:" in source
+        assert "jmp L1" in source
+
+    def test_synthesized_label_avoids_collision(self):
+        program = assemble("""
+            jmp 1
+        L1_other:
+            nop
+            beq r1, r2, L1_other
+            halt
+        """)
+        # Force the pathological case: a user label literally named L1.
+        program.instructions[1].__dict__["label"] = "L1"
+        source = disassemble(program)
+        rebuilt = assemble(source)
+        assert rebuilt.instructions == program.instructions
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_random_programs(self, data):
+        instructions = data.draw(random_instructions())
+        program = Program(instructions, name="prop")
+        rebuilt = assemble(disassemble(program), name="prop")
+        assert rebuilt.instructions == program.instructions

@@ -43,7 +43,7 @@ WORKLOADS = {
 }
 CONFIG_NAMES = (
     "Unsafe", "STT{ld}", "STT{ld+fp}", "Hybrid", "Perfect",
-    "SpecBox", "DelayOnMiss",
+    "SpecBox", "DelayOnMiss", "Fence",
 )
 
 
@@ -127,8 +127,16 @@ def test_naive_loop_matches_golden_fixture(monkeypatch):
     """The committed fixture pins the default (skipping) path; running the
     same cells with skipping force-disabled must reproduce it bit for bit,
     closing the loop fixture == fast-forward == naive."""
+    import importlib.util
+
     from repro.common.config import AttackModel as Model
     from repro.sim.api import RunRequest, execute
+
+    spec = importlib.util.spec_from_file_location(
+        "refresh_golden_stats", REPO_ROOT / "scripts" / "refresh_golden_stats.py"
+    )
+    refresh = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(refresh)
 
     fixture_cells = json.loads(GOLDEN_FIXTURE.read_text())["cells"]
     monkeypatch.setattr(Core, "fast_forward", False)
@@ -136,10 +144,18 @@ def test_naive_loop_matches_golden_fixture(monkeypatch):
         "golden_stats_kernel", table_words=1024, iterations=80, seed=42
     )
     for cell, expected in fixture_cells.items():
-        config_name, model = cell.split("/")
-        request = RunRequest(
-            workload=workload,
-            config=config_by_name(config_name),
-            attack_model=Model(model),
-        )
+        if cell == refresh.STRESS_CELL_KEY:
+            request = RunRequest(
+                workload=refresh.stress_workload(),
+                config=config_by_name("Static L1"),
+                attack_model=Model.SPECTRE,
+                machine=refresh.stress_machine(),
+            )
+        else:
+            config_name, model = cell.split("/")
+            request = RunRequest(
+                workload=workload,
+                config=config_by_name(config_name),
+                attack_model=Model(model),
+            )
         assert execute(request).to_dict() == expected, cell

@@ -1,0 +1,241 @@
+"""Unit tests for the speculative-taint window analysis."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.scan.analyzer import (
+    CLASS_LATENCY,
+    CLASS_STORE,
+    CLASS_V1,
+    scan_program,
+)
+
+
+def scan(source, **kwargs):
+    return scan_program(assemble(source), **kwargs)
+
+
+class TestSinks:
+    def test_classic_v1(self):
+        report = scan("""
+            bge r1, r2, done
+            load r3, r1, 0
+            load r5, r3, 4096
+        done:
+            halt
+        """)
+        [gadget] = report.gadgets
+        assert gadget.gadget_class == CLASS_V1
+        assert gadget.source_pcs == (1,)
+        assert gadget.sink_pc == 2
+        assert gadget.branch_pc == 0
+
+    def test_store_address_is_a_sink(self):
+        report = scan("""
+            bge r1, r2, done
+            load r3, r1, 0
+            store r4, r3, 0
+        done:
+            halt
+        """)
+        assert report.classes == {CLASS_STORE}
+
+    def test_store_value_is_not_a_sink(self):
+        report = scan("""
+            bge r1, r2, done
+            load r3, r1, 0
+            store r3, r4, 0
+        done:
+            halt
+        """)
+        assert not report.is_positive
+
+    def test_fp_transmitter_is_a_sink(self):
+        report = scan("""
+            bge r1, r2, done
+            fload f1, r1, 0
+            fdiv f2, f3, f1
+        done:
+            halt
+        """)
+        assert report.classes == {CLASS_LATENCY}
+
+    def test_fixed_latency_fadd_is_not_a_sink(self):
+        report = scan("""
+            bge r1, r2, done
+            fload f1, r1, 0
+            fadd f2, f3, f1
+        done:
+            halt
+        """)
+        assert not report.is_positive
+
+    def test_branch_operand_is_not_a_sink(self):
+        report = scan("""
+            bge r1, r2, done
+            load r3, r1, 0
+            beq r3, r4, done
+        done:
+            halt
+        """)
+        assert not report.is_positive
+
+
+class TestPropagation:
+    def test_alu_chain_propagates(self):
+        report = scan("""
+            bge r1, r2, done
+            load r3, r1, 0
+            add r4, r3, r2
+            xor r4, r4, r2
+            load r5, r4, 0
+        done:
+            halt
+        """)
+        [gadget] = report.gadgets
+        assert gadget.source_pcs == (1,)
+        assert gadget.sink_pc == 4
+
+    def test_immediate_write_kills_taint(self):
+        report = scan("""
+            bge r1, r2, done
+            load r3, r1, 0
+            li r3, 0
+            load r5, r3, 0
+        done:
+            halt
+        """)
+        assert not report.is_positive
+
+    def test_two_hop_chain_reports_both_sources(self):
+        report = scan("""
+            bge r1, r2, done
+            load r3, r1, 0
+            load r5, r3, 0
+            load r7, r5, 0
+        done:
+            halt
+        """)
+        by_sink = {g.sink_pc: g for g in report.gadgets}
+        assert by_sink[2].source_pcs == (1,)
+        # The second hop's data carries both loads' provenance.
+        assert by_sink[3].source_pcs == (1, 2)
+
+    def test_clean_overwrite_kills_taint(self):
+        report = scan("""
+            bge r1, r2, done
+            load r3, r1, 0
+            add r3, r2, r4
+            load r5, r3, 0
+        done:
+            halt
+        """)
+        assert not report.is_positive
+
+
+class TestWindowShape:
+    def test_taken_direction_is_explored(self):
+        report = scan("""
+            bge r1, r2, body
+            halt
+        body:
+            load r3, r1, 0
+            load r5, r3, 0
+            halt
+        """)
+        assert report.classes == {CLASS_V1}
+
+    def test_gadget_behind_jmp_is_found(self):
+        report = scan("""
+            bge r1, r2, done
+            jmp hop
+            add r4, r4, r4
+        hop:
+            load r3, r1, 0
+            load r5, r3, 0
+        done:
+            halt
+        """)
+        assert report.classes == {CLASS_V1}
+
+    def test_window_bound_excludes_deep_sinks(self):
+        pads = "\n".join("            addi r9, r9, 0" for _ in range(10))
+        source = f"""
+            bge r1, r2, done
+            load r3, r1, 0
+{pads}
+            load r5, r3, 0
+        done:
+            halt
+        """
+        assert scan(source, window=5).is_positive is False
+        assert scan(source, window=20).is_positive is True
+
+    def test_no_branch_means_no_window(self):
+        report = scan("""
+            load r3, r1, 0
+            load r5, r3, 0
+            halt
+        """)
+        assert not report.is_positive
+
+    def test_loop_terminates_and_finds_gadget(self):
+        report = scan("""
+        loop:
+            load r3, r1, 0
+            load r5, r3, 0
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """)
+        assert report.classes == {CLASS_V1}
+
+    def test_depth_is_distance_past_branch(self):
+        report = scan("""
+            bge r1, r2, done
+            load r3, r1, 0
+            load r5, r3, 0
+        done:
+            halt
+        """)
+        [gadget] = report.gadgets
+        assert gadget.depth == 2
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            scan("halt", window=0)
+
+
+class TestFindings:
+    def test_findings_carry_checker_and_line(self):
+        report = scan_program(
+            assemble("""
+                bge r1, r2, done
+                load r3, r1, 0
+                load r5, r3, 0
+            done:
+                halt
+            """),
+            path="programs/example",
+        )
+        [finding] = report.to_findings()
+        assert finding.checker == "gadget-v1"
+        assert finding.path == "programs/example"
+        assert finding.line == 3  # sink pc 2, 1-based
+        assert "load@1" in finding.message
+
+    def test_fingerprint_is_stable(self):
+        source = """
+            bge r1, r2, done
+            load r3, r1, 0
+            load r5, r3, 0
+        done:
+            halt
+        """
+        a = scan_program(assemble(source), path="p").to_findings()
+        b = scan_program(assemble(source), path="p").to_findings()
+        assert [f.fingerprint for f in a] == [f.fingerprint for f in b]
+
+    def test_default_path_uses_program_name(self):
+        program = assemble("halt", name="tiny")
+        assert scan_program(program).path == "programs/tiny"

@@ -1,0 +1,116 @@
+"""Tests for CFG reconstruction over micro-ISA programs."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.scan.cfg import build_cfg, successors
+
+
+def prog(source):
+    return assemble(source)
+
+
+class TestSuccessors:
+    def test_halt_has_none(self):
+        p = prog("halt")
+        assert successors(p, 0) == ()
+
+    def test_straightline_falls_through(self):
+        p = prog("""
+            li r1, 1
+            halt
+        """)
+        assert successors(p, 0) == (1,)
+
+    def test_jmp_goes_only_to_target(self):
+        p = prog("""
+            jmp end
+            li r1, 1
+        end:
+            halt
+        """)
+        assert successors(p, 0) == (2,)
+
+    def test_conditional_branch_has_both_edges(self):
+        p = prog("""
+            beq r1, r2, end
+            li r1, 1
+        end:
+            halt
+        """)
+        assert set(successors(p, 0)) == {1, 2}
+
+    def test_last_instruction_fallthrough_is_clipped(self):
+        # A non-HALT final instruction has no fall-through edge.
+        p = prog("""
+            halt
+            li r1, 1
+        """)
+        assert successors(p, 1) == ()
+
+
+class TestBuildCfg:
+    def test_blocks_partition_the_program(self):
+        p = prog("""
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """)
+        cfg = build_cfg(p)
+        covered = sorted(
+            pc for b in cfg.blocks.values() for pc in b.pcs()
+        )
+        assert covered == list(range(len(p)))
+
+    def test_branch_target_starts_a_block(self):
+        p = prog("""
+            li r1, 0
+            li r2, 4
+        loop:
+            addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+        """)
+        cfg = build_cfg(p)
+        assert 2 in cfg.blocks
+        assert cfg.block_of(3).end == 3  # the branch terminates its block
+
+    def test_block_of_every_pc(self):
+        p = prog("""
+            beq r1, r2, skip
+            li r3, 1
+        skip:
+            halt
+        """)
+        cfg = build_cfg(p)
+        for pc in range(len(p)):
+            block = cfg.block_of(pc)
+            assert block.start <= pc <= block.end
+
+    def test_conditional_branch_pcs(self):
+        p = prog("""
+            beq r1, r2, out
+            jmp out
+        out:
+            bne r3, r4, out
+            halt
+        """)
+        assert build_cfg(p).conditional_branch_pcs == (0, 2)
+
+    def test_unreachable_code_still_gets_a_block(self):
+        # Architecturally dead code is speculatively reachable; the CFG
+        # must not drop it.
+        p = prog("""
+            jmp end
+            li r1, 1
+        end:
+            halt
+        """)
+        cfg = build_cfg(p)
+        assert cfg.block_of(1) is not None
+
+    def test_block_of_out_of_range_raises(self):
+        cfg = build_cfg(prog("halt"))
+        with pytest.raises((IndexError, KeyError, ValueError)):
+            cfg.block_of(99)

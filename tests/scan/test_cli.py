@@ -1,0 +1,164 @@
+"""Tests for the ``repro scan`` command."""
+
+import argparse
+import io
+import json
+
+from repro.isa.assembler import assemble
+from repro.scan.cli import add_scan_arguments, main, run_scan_command
+
+GADGET_SOURCE = """
+    li r1, 64
+    li r2, 8
+    bge r1, r2, done
+    load r3, r1, 0
+    load r5, r3, 4096
+done:
+    halt
+"""
+
+SAFE_SOURCE = """
+    li r1, 64
+    li r2, 8
+    bge r1, r2, done
+    load r3, r1, 0
+    li r3, 0
+    load r5, r3, 4096
+done:
+    halt
+"""
+
+
+def scan(argv):
+    parser = argparse.ArgumentParser()
+    add_scan_arguments(parser)
+    out = io.StringIO()
+    code = run_scan_command(parser.parse_args(argv), out)
+    return code, out.getvalue()
+
+
+def write_program(tmp_path, source, name, wrap=False):
+    payload = assemble(source, name=name).to_dict()
+    if wrap:
+        payload = {"name": name, "program": payload}
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestGate:
+    def test_committed_baseline_covers_the_corpus(self):
+        # The real gate: the checked-in scan-baseline.json must cover
+        # every corpus gadget, with no stale entries.
+        code, output = scan([])
+        assert code == 0, output
+        assert "0 new gadget(s)" in output
+        assert "no longer matches" not in output
+
+    def test_empty_baseline_fails_on_corpus(self, tmp_path):
+        code, output = scan(["--baseline", str(tmp_path / "empty.json")])
+        assert code == 1
+        assert "gadget-v1" in output
+
+    def test_write_then_rescan_is_clean(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        code, _ = scan(["--baseline", str(baseline), "--write-baseline"])
+        assert code == 0
+        code, output = scan(["--baseline", str(baseline)])
+        assert code == 0, output
+
+    def test_baseline_names_the_scan_command(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        scan(["--baseline", str(baseline), "--write-baseline"])
+        assert "repro scan --write-baseline" in baseline.read_text()
+
+
+class TestExtraFiles:
+    def test_gadget_file_fails_the_gate(self, tmp_path):
+        path = write_program(tmp_path, GADGET_SOURCE, "gadget")
+        code, output = scan(
+            ["--no-corpus", str(path),
+             "--baseline", str(tmp_path / "empty.json")]
+        )
+        assert code == 1
+        assert "gadget-v1" in output
+
+    def test_safe_file_passes(self, tmp_path):
+        path = write_program(tmp_path, SAFE_SOURCE, "safe")
+        code, output = scan(
+            ["--no-corpus", str(path),
+             "--baseline", str(tmp_path / "empty.json")]
+        )
+        assert code == 0, output
+
+    def test_workload_style_payload_is_accepted(self, tmp_path):
+        path = write_program(tmp_path, GADGET_SOURCE, "wrapped", wrap=True)
+        code, output = scan(
+            ["--no-corpus", str(path),
+             "--baseline", str(tmp_path / "empty.json")]
+        )
+        assert code == 1
+        assert "gadget-v1" in output
+
+    def test_no_corpus_suppresses_stale_notes(self, tmp_path):
+        # Skipping the corpus leaves the whole committed baseline
+        # unmatched; that must not drown the user's own results in
+        # stale-entry noise.
+        path = write_program(tmp_path, SAFE_SOURCE, "safe")
+        code, output = scan(["--no-corpus", str(path)])
+        assert code == 0, output
+        assert "no longer matches" not in output
+
+    def test_missing_file_is_a_usage_error(self, tmp_path):
+        code, output = scan(["--no-corpus", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "repro scan:" in output
+
+    def test_malformed_json_is_a_usage_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        code, _ = scan(["--no-corpus", str(path)])
+        assert code == 2
+
+
+class TestOutputFormats:
+    def test_json_format(self, tmp_path):
+        path = write_program(tmp_path, GADGET_SOURCE, "gadget")
+        code, output = scan(
+            ["--no-corpus", str(path), "--format", "json",
+             "--baseline", str(tmp_path / "empty.json")]
+        )
+        assert code == 1
+        payload = json.loads(output)
+        assert payload["programs_scanned"] == 1
+        assert payload["new"][0]["checker"] == "gadget-v1"
+        assert payload["baselined"] == []
+
+    def test_show_baselined(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        scan(["--baseline", str(baseline), "--write-baseline"])
+        code, output = scan(
+            ["--baseline", str(baseline), "--show-baselined"]
+        )
+        assert code == 0
+        assert "(baselined)" in output
+
+    def test_window_is_honoured(self, tmp_path):
+        path = write_program(tmp_path, GADGET_SOURCE, "gadget")
+        code, _ = scan(
+            ["--no-corpus", str(path), "--window", "1",
+             "--baseline", str(tmp_path / "empty.json")]
+        )
+        assert code == 0  # sink is 2 deep; a 1-instruction window misses it
+
+
+class TestMain:
+    def test_main_entry_point(self, tmp_path, capsys):
+        assert main(["--baseline", str(tmp_path / "b.json"),
+                     "--write-baseline"]) == 0
+        capsys.readouterr()
+
+    def test_invalid_window_is_a_usage_error(self):
+        code, output = scan(["--window", "0"])
+        assert code == 2
+        assert "window" in output

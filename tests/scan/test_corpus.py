@@ -1,0 +1,134 @@
+"""Golden static verdicts and structural checks for the bundled corpus."""
+
+import pytest
+
+from repro.isa.assembler import assemble, disassemble
+from repro.scan.analyzer import scan_program
+from repro.scan.corpus import (
+    HAND_WRITTEN,
+    SOUP_SEEDS,
+    CorpusEntry,
+    entry_by_name,
+    full_corpus,
+    generated_entries,
+)
+from repro.workloads.generators import gadget_soup_spec, make_gadget_soup
+
+CORPUS = full_corpus()
+IDS = [entry.name for entry in CORPUS]
+
+
+class TestStructure:
+    def test_corpus_size_floors(self):
+        assert len(HAND_WRITTEN) >= 12
+        assert len(generated_entries()) >= 20
+
+    def test_names_are_unique(self):
+        assert len(IDS) == len(set(IDS))
+
+    def test_entry_by_name(self):
+        assert entry_by_name("v1_classic").name == "v1_classic"
+        with pytest.raises(KeyError):
+            entry_by_name("no_such_entry")
+
+    def test_unsound_requires_reason(self):
+        with pytest.raises(ValueError, match="reason"):
+            CorpusEntry(
+                name="x",
+                builder=lambda secret: None,
+                expected_classes=frozenset({"v1"}),
+                unsound_ok=frozenset({"v1"}),
+            )
+
+    def test_unsound_must_be_subset_of_expected(self):
+        with pytest.raises(ValueError, match="subset"):
+            CorpusEntry(
+                name="x",
+                builder=lambda secret: None,
+                expected_classes=frozenset({"v1"}),
+                unsound_ok=frozenset({"latency"}),
+                unsound_reason="because",
+            )
+
+    def test_verdict_mix(self):
+        # The corpus must exercise every outcome: dynamic leaks, clean
+        # negatives, and annotated static-only positives.
+        leaks = [e for e in CORPUS if e.expected_leak]
+        negatives = [e for e in CORPUS if not e.expected_classes]
+        annotated = [e for e in CORPUS if e.unsound_ok]
+        assert len(leaks) >= 5
+        assert len(negatives) >= 5
+        assert len(annotated) >= 3
+
+
+class TestGoldenVerdicts:
+    @pytest.mark.parametrize("entry", CORPUS, ids=IDS)
+    def test_static_classes_match_declared(self, entry):
+        report = scan_program(entry.program())
+        assert report.classes == entry.expected_classes, (
+            f"{entry.name}: scanner found {sorted(report.classes)}, "
+            f"entry declares {sorted(entry.expected_classes)}"
+        )
+
+    def test_two_hop_reports_two_gadgets(self):
+        report = scan_program(entry_by_name("v1_two_hop").program())
+        assert len(report.gadgets) == 2
+
+
+class TestSecretPairs:
+    @pytest.mark.parametrize("entry", CORPUS, ids=IDS)
+    def test_instruction_streams_are_secret_invariant(self, entry):
+        a, b = entry.workload(0), entry.workload(1)
+        assert a.program.instructions == b.program.instructions
+        assert a.warm_addresses == b.warm_addresses
+        diff = {
+            addr
+            for addr in set(a.program.initial_memory)
+            | set(b.program.initial_memory)
+            if a.program.initial_memory.get(addr)
+            != b.program.initial_memory.get(addr)
+        }
+        assert len(diff) == 1, (
+            f"{entry.name}: memories differ at {sorted(diff)}; the pair "
+            "must differ in exactly the secret word"
+        )
+
+
+class TestSoupGenerator:
+    def test_spec_is_deterministic(self):
+        for seed in SOUP_SEEDS[:6]:
+            assert gadget_soup_spec(seed) == gadget_soup_spec(seed)
+
+    def test_workload_is_deterministic(self):
+        a = make_gadget_soup("s", seed=3, secret=1)
+        b = make_gadget_soup("s", seed=3, secret=1)
+        assert a.program.instructions == b.program.instructions
+        assert a.program.initial_memory == b.program.initial_memory
+
+    def test_seeds_vary_payloads(self):
+        payloads = {gadget_soup_spec(seed)[0] for seed in SOUP_SEEDS}
+        assert len(payloads) > len(SOUP_SEEDS) // 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("entry", CORPUS, ids=IDS)
+    def test_disassemble_assemble_round_trip(self, entry):
+        program = entry.program()
+        source = disassemble(program)
+        rebuilt = assemble(
+            source, program.initial_memory, name=program.name
+        )
+        # Instruction equality ignores labels, which is exactly the
+        # round-trip contract: same opcodes, operands, targets.
+        assert rebuilt.instructions == program.instructions
+        assert rebuilt.initial_memory == program.initial_memory
+
+    @pytest.mark.parametrize("entry", CORPUS, ids=IDS)
+    def test_round_trip_preserves_static_verdict(self, entry):
+        program = entry.program()
+        rebuilt = assemble(disassemble(program), program.initial_memory)
+        assert (
+            scan_program(rebuilt).classes
+            == scan_program(program).classes
+            == entry.expected_classes
+        )

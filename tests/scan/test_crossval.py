@@ -1,0 +1,97 @@
+"""Static-vs-dynamic cross-validation of the whole corpus.
+
+The load-bearing acceptance tests: every corpus entry's static verdict
+must agree with dynamic non-interference on the full pipeline model —
+no false negatives anywhere, false positives only where the entry carries
+an explicit ``unsound_ok`` annotation — and every statically-found gadget
+must go quiet under the protection schemes.
+"""
+
+import pytest
+
+from repro.scan.analyzer import CLASS_LATENCY, scan_program
+from repro.scan.corpus import full_corpus
+from repro.scan.crossval import (
+    SUPPRESSING_CONFIGS,
+    cross_validate,
+    run_dynamic,
+)
+
+CORPUS = full_corpus()
+IDS = [entry.name for entry in CORPUS]
+POSITIVE = [entry for entry in CORPUS if entry.expected_classes]
+
+#: (entry, config) cells for the suppression matrix.  STT{ld} does not
+#: gate FP transmitters, so latency-class entries are excluded from it.
+SUPPRESSION_CELLS = [
+    (entry, config)
+    for entry in POSITIVE
+    for config in (
+        SUPPRESSING_CONFIGS
+        if CLASS_LATENCY in entry.expected_classes
+        else SUPPRESSING_CONFIGS + ("STT{ld}",)
+    )
+]
+
+
+class TestUnsafeAgreement:
+    @pytest.mark.parametrize("entry", CORPUS, ids=IDS)
+    def test_static_verdict_matches_dynamic(self, entry):
+        result = cross_validate(entry)
+        assert result.agreed, result.explain()
+
+    @pytest.mark.parametrize(
+        "entry",
+        [e for e in CORPUS if e.expected_leak],
+        ids=[e.name for e in CORPUS if e.expected_leak],
+    )
+    def test_expected_leaks_really_leak(self, entry):
+        verdict = run_dynamic(entry.builder, "Unsafe")
+        assert verdict.leaked, (
+            f"{entry.name} declares a dynamic leak but Unsafe ran "
+            f"secret-invariant (cycles {verdict.cycles_by_secret})"
+        )
+
+    @pytest.mark.parametrize(
+        "entry",
+        [e for e in CORPUS if not e.expected_leak],
+        ids=[e.name for e in CORPUS if not e.expected_leak],
+    )
+    def test_expected_invariants_stay_invariant(self, entry):
+        verdict = run_dynamic(entry.builder, "Unsafe")
+        assert not verdict.leaked, (
+            f"{entry.name} declares non-interference but Unsafe leaked "
+            f"(divergence: {verdict.divergence})"
+        )
+
+
+class TestSuppression:
+    @pytest.mark.parametrize(
+        "entry,config",
+        SUPPRESSION_CELLS,
+        ids=[f"{e.name}-{c}" for e, c in SUPPRESSION_CELLS],
+    )
+    def test_gadget_is_suppressed(self, entry, config):
+        assert scan_program(entry.program()).is_positive
+        verdict = run_dynamic(entry.builder, config)
+        assert not verdict.leaked, (
+            f"{entry.name} still leaks under {config} "
+            f"(cycles {verdict.cycles_by_secret}, "
+            f"divergence: {verdict.divergence})"
+        )
+
+
+class TestHarnessSelfChecks:
+    def test_run_dynamic_rejects_secret_dependent_commits(self):
+        # A builder whose *architectural* behaviour depends on the secret
+        # must be rejected: trace differences would not prove a
+        # speculative leak.
+        from repro.isa.assembler import assemble
+        from repro.workloads.workload import Workload
+
+        def broken(secret):
+            source = "nop\n" * (secret + 1) + "halt"
+            return Workload(name="broken", program=assemble(source))
+
+        with pytest.raises(RuntimeError, match="not secret-invariant"):
+            run_dynamic(broken, "Unsafe")

@@ -103,3 +103,69 @@ class TestTraceMachinery:
         assert trace  # only the observed action's events
         structures = {entry[1] for entry in trace}
         assert "L1D.bank" in structures
+
+
+class TestDivergenceReporting:
+    """The checker pins *where* two traces first split, not just whether."""
+
+    def test_first_divergence_index(self):
+        from repro.security.analyzer import first_divergence
+
+        a = ((0, "L1D", "respond", 1), (2, "L2", "respond", 3))
+        b = ((0, "L1D", "respond", 1), (2, "L2", "respond", 4))
+        assert first_divergence(a, a) is None
+        assert first_divergence(a, b) == 1
+        # A strict prefix diverges at the shorter trace's length.
+        assert first_divergence(a, a[:1]) == 1
+        assert first_divergence((), ()) is None
+
+    def test_result_reports_divergence_site(self):
+        def make(addr):
+            def action(hierarchy):
+                hierarchy.load(addr, now=10)
+            return action
+
+        result = check_non_interference(make, [0x40000, 0x900000], prepare=_warm)
+        assert not result.ok
+        divergence = result.divergence
+        assert divergence is not None
+        assert divergence.operand_index == 1
+        assert divergence.event_index == first_event_mismatch(result.traces)
+        assert divergence.baseline_event == result.traces[0][divergence.event_index]
+        assert divergence.divergent_event == result.traces[1][divergence.event_index]
+        assert "diverges at event" in divergence.describe()
+
+    def test_matching_traces_have_no_divergence(self):
+        level = MemLevel.L1
+        result = check_non_interference(
+            _obl_action(level), [0x40000, 0x40040], prepare=_warm
+        )
+        assert result.ok
+        assert result.divergence is None
+
+    def test_tuple_unpacking_back_compat(self):
+        """Historical callers unpack ``(ok, traces)``; that must keep
+        working."""
+        level = MemLevel.L1
+        ok, traces = check_non_interference(
+            _obl_action(level), [0x40000, 0x40040], prepare=_warm
+        )
+        assert ok is True
+        assert len(traces) == 2
+
+    def test_forward_interference_surfaces_divergence(self):
+        from repro.security.forward_interference import run_forward_interference
+
+        unsafe = run_forward_interference("Unsafe")
+        assert unsafe.leaked
+        assert unsafe.divergence is not None
+        fence = run_forward_interference("Fence")
+        assert not fence.leaked
+        assert fence.divergence is None
+
+
+def first_event_mismatch(traces):
+    for i, (ea, eb) in enumerate(zip(traces[0], traces[1])):
+        if ea != eb:
+            return i
+    return min(len(traces[0]), len(traces[1]))

@@ -12,7 +12,7 @@ from repro.common.config import MachineConfig
 PROTECTED = [
     "STT{ld}", "STT{ld+fp}",
     "Static L1", "Static L2", "Static L3", "Hybrid", "Perfect",
-    "SpecBox", "DelayOnMiss",
+    "SpecBox", "DelayOnMiss", "Fence",
 ]
 MODELS = [AttackModel.SPECTRE, AttackModel.FUTURISTIC]
 

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.baselines import DelayOnMissProtection, SpecBoxProtection
+from repro.baselines import (
+    DelayOnMissProtection,
+    FenceProtection,
+    SpecBoxProtection,
+)
 from repro.common.config import AttackModel, PredictorKind, ProtectionKind
 from repro.core.protection import SdoProtection
 from repro.pipeline.protection import UnsafeProtection
@@ -22,10 +26,10 @@ SESSION = Session(cache=CachePolicy(enabled=False))
 
 
 class TestConfigs:
-    def test_table2_plus_baselines_has_ten_rows(self):
-        # The paper's eight Table II rows plus the two competing baselines
-        # (SpecBox, DelayOnMiss).
-        assert len(EVALUATED_CONFIGS) == 10
+    def test_table2_plus_baselines_row_count(self):
+        # The paper's eight Table II rows plus the three competing baselines
+        # (SpecBox, DelayOnMiss, Fence).
+        assert len(EVALUATED_CONFIGS) == 11
 
     def test_lookup(self):
         assert config_by_name("Hybrid").predictor is PredictorKind.HYBRID
@@ -50,9 +54,12 @@ class TestConfigs:
         assert isinstance(specbox, SpecBoxProtection)
         dom = make_protection(config_by_name("DelayOnMiss"), AttackModel.FUTURISTIC)
         assert isinstance(dom, DelayOnMissProtection)
-        # Neither competing baseline gates FP transmitters.
+        fence = make_protection(config_by_name("Fence"), AttackModel.SPECTRE)
+        assert isinstance(fence, FenceProtection)
+        # No competing baseline gates FP transmitters.
         assert not specbox.fp_transmitters
         assert not dom.fp_transmitters
+        assert not fence.fp_transmitters
 
     def test_all_sdo_configs_protect_fp(self):
         """Section VIII-A: all SDO configurations protect subnormal FP
